@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the coding layer: encode/decode throughput
+//! of the Hamming family on 64-bit words, with and without injected errors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onoc_ecc_codes::EccScheme;
+use onoc_interface::{InterfaceConfig, Receiver, Transmitter};
+
+fn bench_block_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_codec");
+    for scheme in [
+        EccScheme::Hamming74,
+        EccScheme::Hamming7164,
+        EccScheme::Secded7264,
+        EccScheme::Uncoded,
+    ] {
+        let code = scheme.build().expect("built-in scheme");
+        let message: Vec<bool> = (0..code.message_length()).map(|i| i % 3 == 0).collect();
+        let codeword = code.encode(&message).expect("valid message");
+        group.throughput(Throughput::Elements(code.message_length() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", scheme), &message, |b, m| {
+            b.iter(|| code.encode(m).expect("valid message"));
+        });
+        group.bench_with_input(BenchmarkId::new("decode_clean", scheme), &codeword, |b, cw| {
+            b.iter(|| code.decode(cw).expect("valid codeword"));
+        });
+        let mut corrupted = codeword.clone();
+        corrupted[0] = !corrupted[0];
+        group.bench_with_input(BenchmarkId::new("decode_corrupted", scheme), &corrupted, |b, cw| {
+            b.iter(|| code.decode(cw).expect("valid codeword"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interface_datapath(c: &mut Criterion) {
+    let config = InterfaceConfig::paper_default();
+    let tx = Transmitter::new(config.clone());
+    let rx = Receiver::new(config);
+    let mut group = c.benchmark_group("oni_datapath");
+    group.throughput(Throughput::Bytes(8));
+    for scheme in EccScheme::paper_schemes() {
+        group.bench_with_input(BenchmarkId::new("tx_encode_word", scheme), &scheme, |b, &s| {
+            b.iter(|| tx.encode_word(0xDEAD_BEEF_CAFE_F00D, s).expect("supported scheme"));
+        });
+        let stream = tx
+            .encode_word(0xDEAD_BEEF_CAFE_F00D, scheme)
+            .expect("supported scheme");
+        group.bench_with_input(BenchmarkId::new("rx_decode_stream", scheme), &stream, |b, st| {
+            b.iter(|| rx.decode_stream(st, scheme).expect("valid stream"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_codecs, bench_interface_datapath);
+criterion_main!(benches);

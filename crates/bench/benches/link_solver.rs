@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the analytic chain: erfc inversion, the
+//! laser power solver and the full design-space sweep behind Fig. 5/6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_ber::erfc_inv;
+use onoc_ecc_codes::EccScheme;
+use onoc_link::explore::DesignSpace;
+use onoc_link::NanophotonicLink;
+
+fn bench_math(c: &mut Criterion) {
+    c.bench_function("erfc_inv_1e-11", |b| {
+        b.iter(|| erfc_inv(std::hint::black_box(2e-11)));
+    });
+}
+
+fn bench_operating_point(c: &mut Criterion) {
+    let link = NanophotonicLink::paper_link();
+    let mut group = c.benchmark_group("operating_point");
+    for scheme in EccScheme::paper_schemes() {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter(|| link.operating_point(s, 1e-11));
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_space(c: &mut Criterion) {
+    c.bench_function("paper_sweep_evaluate_all", |b| {
+        b.iter(|| DesignSpace::paper_sweep().evaluate_all());
+    });
+    c.bench_function("pareto_front_1e-9", |b| {
+        let sweep = DesignSpace::paper_sweep();
+        b.iter(|| sweep.pareto_front(1e-9));
+    });
+}
+
+criterion_group!(benches, bench_math, bench_operating_point, bench_design_space);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the NoC simulator: messages simulated per
+//! second for uniform and hotspot traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onoc_link::TrafficClass;
+use onoc_sim::traffic::TrafficPattern;
+use onoc_sim::{Simulation, SimulationConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_simulation");
+    group.sample_size(20);
+    for (name, pattern) in [
+        ("uniform", TrafficPattern::UniformRandom { messages_per_node: 50 }),
+        ("hotspot", TrafficPattern::Hotspot { destination: 0, messages_per_node: 50 }),
+    ] {
+        let config = SimulationConfig {
+            oni_count: 12,
+            pattern,
+            class: TrafficClass::Bulk,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 3.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 5,
+        };
+        let messages = Simulation::new(config.clone())
+            .expect("valid config")
+            .message_count() as u64;
+        group.throughput(Throughput::Elements(messages));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| Simulation::new(cfg.clone()).expect("valid config").run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

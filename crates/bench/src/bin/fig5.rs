@@ -1,0 +1,49 @@
+//! Regenerates Fig. 5: laser electrical power per wavelength as a function of
+//! the targeted BER (10⁻³ … 10⁻¹²) for the uncoded, H(71,64) and H(7,4)
+//! configurations on the 12-ONI, 16-wavelength MWSR channel.
+
+use onoc_bench::{banner, opt, print_table};
+use onoc_ecc_codes::EccScheme;
+use onoc_link::explore::DesignSpace;
+use onoc_link::report::{format_ber, TextTable};
+
+fn main() {
+    banner(
+        "Fig. 5",
+        "P_laser vs targeted BER for w/o ECC, H(71,64) and H(7,4) (MWSR, 12 ONIs, 16 wavelengths, 6 cm)",
+    );
+
+    let sweep = DesignSpace::paper_sweep();
+    let rows = sweep.laser_power_sweep();
+    let targets = sweep.ber_targets().to_vec();
+
+    let mut header = vec!["scheme".to_owned()];
+    header.extend(targets.iter().map(|&b| format_ber(b)));
+    let mut table = TextTable::new(header);
+    for (scheme, series) in &rows {
+        let mut row = vec![scheme.to_string()];
+        row.extend(series.iter().map(|&v| format!("{} mW", opt(v, 2))));
+        table.push_row(row);
+    }
+    print_table(&table);
+
+    // Paper anchor points at BER = 1e-11.
+    let link = sweep.link();
+    let at = |s: EccScheme| {
+        link.operating_point(s, 1e-11)
+            .map(|p| p.laser.laser_electrical_power.value())
+            .ok()
+    };
+    println!("Anchor points at BER = 1e-11 (paper: 14.3 / 7.12 / 6.64 mW):");
+    println!("  w/o ECC  : {} mW", opt(at(EccScheme::Uncoded), 2));
+    println!("  H(71,64) : {} mW", opt(at(EccScheme::Hamming7164), 2));
+    println!("  H(7,4)   : {} mW", opt(at(EccScheme::Hamming74), 2));
+    println!(
+        "BER = 1e-12: uncoded transmission is {} (paper: unreachable, exceeds the 700 uW laser ceiling).",
+        if link.operating_point(EccScheme::Uncoded, 1e-12).is_err() {
+            "NOT reachable"
+        } else {
+            "reachable"
+        }
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Fig. 6b: the power / communication-time trade-off for BER
+//! targets from 10⁻⁶ to 10⁻¹², with Pareto-front membership per point.
+
+use onoc_bench::{banner, print_table};
+use onoc_link::explore::{decade_targets, DesignSpace};
+use onoc_link::report::{format_ber, TextTable};
+
+fn main() {
+    banner("Fig. 6b", "power and performance trade-off wrt. BER and ECC (Pareto plane)");
+
+    let sweep = DesignSpace::paper_sweep();
+    let mut table = TextTable::new(vec![
+        "BER",
+        "scheme",
+        "communication time (CT)",
+        "P_channel (mW)",
+        "pJ/bit",
+        "on Pareto front",
+    ]);
+    for &ber in &decade_targets(6, 12) {
+        for point in sweep.pareto_front(ber) {
+            table.push_row(vec![
+                format_ber(ber),
+                point.point.scheme().to_string(),
+                format!("{:.2}", point.point.communication_time_factor()),
+                format!("{:.1}", point.point.channel_power.value()),
+                format!("{:.2}", point.point.energy_per_bit.value()),
+                if point.on_front { "yes" } else { "no" }.to_owned(),
+            ]);
+        }
+    }
+    print_table(&table);
+    println!("Paper observation: for a given BER, all three coding configurations belong to the Pareto front");
+    println!("(uncoded is fastest, H(7,4) cheapest in power, H(71,64) in between).");
+}

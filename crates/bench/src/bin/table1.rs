@@ -1,0 +1,62 @@
+//! Regenerates Table I: synthesis results of the ONI interfaces
+//! (area, critical path, static and dynamic power per block, plus per-mode
+//! totals) for the uncoded, H(7,4) and H(71,64) communication modes.
+
+use onoc_bench::{banner, print_table};
+use onoc_ecc_codes::EccScheme;
+use onoc_interface::blocks::{InterfaceSide, SynthesisDatabase};
+use onoc_link::report::TextTable;
+
+fn side_name(side: InterfaceSide) -> &'static str {
+    match side {
+        InterfaceSide::Transmitter => "Transmitter",
+        InterfaceSide::Receiver => "Receiver",
+    }
+}
+
+fn main() {
+    banner(
+        "Table I",
+        "synthesis results of the interfaces (28 nm FDSOI, FIP = 1 GHz, Ndata = 64, Fmod = 10 Gb/s)",
+    );
+    let db = SynthesisDatabase::table1();
+
+    let mut table = TextTable::new(vec![
+        "side",
+        "hardware block",
+        "area (um^2)",
+        "critical path (ps)",
+        "static (nW)",
+        "dynamic (uW)",
+        "total (uW)",
+    ]);
+    for block in db.blocks() {
+        table.push_row(vec![
+            side_name(block.side).to_owned(),
+            format!("{:?}", block.kind),
+            format!("{:.0}", block.area.value()),
+            format!("{:.0}", block.critical_path.value()),
+            format!("{:.1}", block.static_power.value()),
+            format!("{:.2}", block.dynamic_power.value()),
+            format!("{:.2}", block.total_power().value()),
+        ]);
+    }
+    print_table(&table);
+
+    let mut totals = TextTable::new(vec!["side", "mode", "active dynamic power (uW)", "total area (um^2)"]);
+    for side in [InterfaceSide::Transmitter, InterfaceSide::Receiver] {
+        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164, EccScheme::Uncoded] {
+            totals.push_row(vec![
+                side_name(side).to_owned(),
+                scheme.to_string(),
+                format!("{:.2}", db.dynamic_power(side, scheme).value()),
+                format!("{:.0}", db.total_area(side).value()),
+            ]);
+        }
+    }
+    print_table(&totals);
+    println!(
+        "Paper anchors: TX totals 9.57 / 5.99 / 3.16 uW, RX totals 10.1 / 7.21 / 4.29 uW, \
+         areas 2013 / 3050 um^2."
+    );
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated
+//! binary in `src/bin/` that prints the regenerated rows/series:
+//!
+//! | binary | paper artefact |
+//! |--------|----------------|
+//! | `table1` | Table I — interface synthesis results |
+//! | `fig3` | Fig. 3 — MR transmission spectrum (ON/OFF) |
+//! | `fig4` | Fig. 4 — laser electrical power vs optical output |
+//! | `fig5` | Fig. 5 — laser power vs target BER per scheme |
+//! | `fig6a` | Fig. 6a — channel power breakdown at BER 10⁻¹¹ |
+//! | `fig6b` | Fig. 6b — power/performance Pareto trade-off |
+//! | `ablation_codes` | code-length ablation (A1) |
+//! | `ablation_sensitivity` | geometry/activity sensitivity (A2) |
+//! | `runtime_manager` | run-time manager scenario on the NoC simulator (R1) |
+//!
+//! Criterion micro-benchmarks (`benches/`) measure codec throughput, the
+//! link-solver latency and the simulator event rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use onoc_link::report::TextTable;
+
+/// Prints a standard banner naming the regenerated artefact.
+pub fn banner(artifact: &str, description: &str) {
+    println!("================================================================");
+    println!("{artifact}: {description}");
+    println!("(reproduction of 'Energy and Performance Trade-off in Nanophotonic");
+    println!(" Interconnects using Coding Techniques', DAC 2017)");
+    println!("================================================================");
+}
+
+/// Prints a table with a trailing blank line.
+pub fn print_table(table: &TextTable) {
+    println!("{table}");
+}
+
+/// Formats an optional value, printing `--` for `None` (infeasible points).
+#[must_use]
+pub fn opt(value: Option<f64>, precision: usize) -> String {
+    value.map_or_else(|| "--".to_owned(), |v| format!("{v:.precision$}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_formats_values_and_placeholders() {
+        assert_eq!(opt(Some(1.234), 2), "1.23");
+        assert_eq!(opt(None, 2), "--");
+    }
+}

@@ -1,0 +1,40 @@
+//! Signal-integrity mathematics for on-off-keyed (OOK) optical links.
+//!
+//! This crate implements Section IV-D of the DAC'17 paper:
+//!
+//! * the complementary error function and its inverse, written from scratch so
+//!   that the workspace keeps to the pre-approved dependency set ([`math`]),
+//! * the SNR ↔ BER conversions for uncoded OOK detection (Eq. 1 and Eq. 3 of
+//!   the paper) and for Hamming-coded transmissions (via the BER transfer
+//!   functions of [`onoc_ecc_codes::ber`]) in [`snr`],
+//! * the receiver detection model of Eq. 4 translating an SNR requirement
+//!   into a required optical signal power at the photodetector, given its
+//!   responsivity, dark current and the worst-case crosstalk ([`detection`]).
+//!
+//! # Example: how much optical signal does a BER target need?
+//!
+//! ```
+//! use onoc_ber::{detection::ReceiverModel, snr::required_snr};
+//! use onoc_ecc_codes::EccScheme;
+//! use onoc_units::{AmpsPerWatt, Microamps, Microwatts};
+//!
+//! let receiver = ReceiverModel::new(AmpsPerWatt::new(1.0), Microamps::new(4.0));
+//!
+//! // Uncoded at BER 1e-11 needs a much larger swing than H(7,4).
+//! let snr_uncoded = required_snr(EccScheme::Uncoded, 1e-11);
+//! let snr_h74 = required_snr(EccScheme::Hamming74, 1e-11);
+//! let p_uncoded = receiver.required_signal_power(snr_uncoded, Microwatts::zero());
+//! let p_h74 = receiver.required_signal_power(snr_h74, Microwatts::zero());
+//! assert!(p_uncoded.value() > 1.9 * p_h74.value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detection;
+pub mod math;
+pub mod snr;
+
+pub use detection::ReceiverModel;
+pub use math::{erf, erfc, erfc_inv, q_function, q_inv};
+pub use snr::{ber_from_snr, required_snr, snr_from_ber_uncoded};

@@ -1,0 +1,359 @@
+//! The configured nanophotonic link and its operating points.
+
+use onoc_ecc_codes::EccScheme;
+use onoc_interface::{ChannelPowerBreakdown, ChannelPowerModel, CommunicationTiming, EnergyAccounting, InterfaceConfig};
+use onoc_photonics::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
+use onoc_photonics::{MwsrChannel, PaperCalibration};
+use onoc_units::{Milliwatts, PicojoulesPerBit};
+use serde::{Deserialize, Serialize};
+
+/// Errors returned by link-level queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkError {
+    /// The photonic solver found no feasible laser operating point.
+    Infeasible(SolveError),
+    /// The interface cannot sustain the requested scheme at line rate.
+    SchemeNotSustainable {
+        /// The offending scheme.
+        scheme: EccScheme,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Infeasible(e) => write!(f, "no feasible operating point: {e}"),
+            Self::SchemeNotSustainable { scheme } => write!(
+                f,
+                "the optical channel cannot sustain {scheme} at the IP word rate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<SolveError> for LinkError {
+    fn from(value: SolveError) -> Self {
+        Self::Infeasible(value)
+    }
+}
+
+/// A request against the link manager: what the communication needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkRequest {
+    /// Required decoded bit-error rate.
+    pub target_ber: f64,
+    /// Maximum acceptable communication-time factor (1.0 = no slack over an
+    /// uncoded transfer); `None` means latency does not matter.
+    pub max_communication_time_factor: Option<f64>,
+    /// Maximum acceptable per-waveguide channel power; `None` means no cap.
+    pub max_channel_power: Option<Milliwatts>,
+}
+
+impl LinkRequest {
+    /// A latency-insensitive request at the given BER.
+    #[must_use]
+    pub fn best_effort(target_ber: f64) -> Self {
+        Self {
+            target_ber,
+            max_communication_time_factor: None,
+            max_channel_power: None,
+        }
+    }
+}
+
+/// A fully-evaluated operating point of the link for one (scheme, BER) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The laser-side solution (OP_laser, P_laser, SNR, crosstalk…).
+    pub laser: LaserOperatingPoint,
+    /// Per-wavelength power breakdown (Fig. 6a bars).
+    pub power: ChannelPowerBreakdown,
+    /// Channel power for the full set of wavelength lanes.
+    pub channel_power: Milliwatts,
+    /// Timing of one word transfer.
+    pub timing: CommunicationTiming,
+    /// Energy per payload bit under the primary accounting.
+    pub energy_per_bit: PicojoulesPerBit,
+}
+
+impl OperatingPoint {
+    /// Coding scheme of this point.
+    #[must_use]
+    pub fn scheme(&self) -> EccScheme {
+        self.laser.scheme
+    }
+
+    /// Target BER of this point.
+    #[must_use]
+    pub fn target_ber(&self) -> f64 {
+        self.laser.target_ber
+    }
+
+    /// Communication-time factor (CT).
+    #[must_use]
+    pub fn communication_time_factor(&self) -> f64 {
+        self.timing.communication_time_factor
+    }
+}
+
+/// A nanophotonic MWSR link with ECC-capable interfaces and a tunable laser.
+///
+/// This is the object the rest of the workspace (examples, benches, the NoC
+/// simulator) interacts with.
+#[derive(Debug, Clone)]
+pub struct NanophotonicLink {
+    solver: LaserPowerSolver,
+    power_model: ChannelPowerModel,
+    accounting: EnergyAccounting,
+}
+
+impl NanophotonicLink {
+    /// Builds a link from a photonic calibration and an interface
+    /// configuration.
+    #[must_use]
+    pub fn new(calibration: PaperCalibration, interface: InterfaceConfig) -> Self {
+        let modulation_power = calibration.modulation_power;
+        let channel = calibration.into_channel();
+        Self {
+            solver: LaserPowerSolver::new(channel),
+            power_model: ChannelPowerModel::new(interface, modulation_power),
+            accounting: EnergyAccounting::ActiveTransfersOnly,
+        }
+    }
+
+    /// The link evaluated in the paper: 12 ONIs, 16 wavelengths, 6 cm
+    /// waveguide, 64-bit IP bus at 1 GHz, 10 Gb/s modulation.
+    #[must_use]
+    pub fn paper_link() -> Self {
+        Self::new(PaperCalibration::dac17(), InterfaceConfig::paper_default())
+    }
+
+    /// Selects the energy accounting used for `energy_per_bit`.
+    #[must_use]
+    pub fn with_energy_accounting(mut self, accounting: EnergyAccounting) -> Self {
+        self.accounting = accounting;
+        self
+    }
+
+    /// The underlying MWSR channel model.
+    #[must_use]
+    pub fn channel(&self) -> &MwsrChannel {
+        self.solver.channel()
+    }
+
+    /// The interface/power model.
+    #[must_use]
+    pub fn power_model(&self) -> &ChannelPowerModel {
+        &self.power_model
+    }
+
+    /// The laser power solver.
+    #[must_use]
+    pub fn solver(&self) -> &LaserPowerSolver {
+        &self.solver
+    }
+
+    /// Evaluates the complete operating point of `scheme` at `target_ber`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinkError::SchemeNotSustainable`] when the optical channel cannot
+    ///   carry the encoded word within one IP cycle;
+    /// * [`LinkError::Infeasible`] when the laser cannot reach the required
+    ///   optical power (e.g. uncoded at BER = 10⁻¹²).
+    pub fn operating_point(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+    ) -> Result<OperatingPoint, LinkError> {
+        if !self.power_model.config().supports(scheme) {
+            return Err(LinkError::SchemeNotSustainable { scheme });
+        }
+        let laser = self.solver.solve(scheme, target_ber)?;
+        let power = self
+            .power_model
+            .breakdown(scheme, laser.laser_electrical_power);
+        let lanes = self.power_model.config().wavelength_lanes;
+        let timing = self.power_model.timing(scheme);
+        let energy_per_bit = self.power_model.energy_per_bit(&power, self.accounting);
+        Ok(OperatingPoint {
+            laser,
+            power,
+            channel_power: power.channel_total(lanes),
+            timing,
+            energy_per_bit,
+        })
+    }
+
+    /// Evaluates every scheme in `candidates` at `target_ber`, silently
+    /// dropping infeasible ones.
+    #[must_use]
+    pub fn feasible_points(
+        &self,
+        candidates: &[EccScheme],
+        target_ber: f64,
+    ) -> Vec<OperatingPoint> {
+        candidates
+            .iter()
+            .filter_map(|&scheme| self.operating_point(scheme, target_ber).ok())
+            .collect()
+    }
+
+    /// Serves a [`LinkRequest`]: among all feasible schemes, returns the one
+    /// with the lowest channel power that satisfies the request constraints,
+    /// or `None` when no scheme qualifies.
+    #[must_use]
+    pub fn serve(&self, request: &LinkRequest, candidates: &[EccScheme]) -> Option<OperatingPoint> {
+        self.feasible_points(candidates, request.target_ber)
+            .into_iter()
+            .filter(|p| {
+                request
+                    .max_communication_time_factor
+                    .map_or(true, |ct| p.communication_time_factor() <= ct + 1e-12)
+            })
+            .filter(|p| {
+                request
+                    .max_channel_power
+                    .map_or(true, |cap| p.channel_power.value() <= cap.value() + 1e-12)
+            })
+            .min_by(|a, b| {
+                a.channel_power
+                    .value()
+                    .partial_cmp(&b.channel_power.value())
+                    .expect("powers are finite")
+            })
+    }
+}
+
+impl Default for NanophotonicLink {
+    fn default() -> Self {
+        Self::paper_link()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> NanophotonicLink {
+        NanophotonicLink::paper_link()
+    }
+
+    #[test]
+    fn paper_headline_laser_power_reduction() {
+        let l = link();
+        let uncoded = l.operating_point(EccScheme::Uncoded, 1e-11).unwrap();
+        let h74 = l.operating_point(EccScheme::Hamming74, 1e-11).unwrap();
+        let h7164 = l.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
+        // Roughly −45% / −49% channel power as in Fig. 6a.
+        let saving74 = 1.0 - h74.channel_power.value() / uncoded.channel_power.value();
+        let saving7164 = 1.0 - h7164.channel_power.value() / uncoded.channel_power.value();
+        assert!(saving74 > 0.40 && saving74 < 0.60, "H(7,4) saving = {saving74}");
+        assert!(saving7164 > 0.35 && saving7164 < 0.55, "H(71,64) saving = {saving7164}");
+    }
+
+    #[test]
+    fn unreachable_ber_without_coding() {
+        let l = link();
+        assert!(matches!(
+            l.operating_point(EccScheme::Uncoded, 1e-12),
+            Err(LinkError::Infeasible(_))
+        ));
+        assert!(l.operating_point(EccScheme::Hamming74, 1e-12).is_ok());
+        assert!(l.operating_point(EccScheme::Hamming7164, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn operating_point_is_internally_consistent() {
+        let l = link();
+        let p = l.operating_point(EccScheme::Hamming7164, 1e-9).unwrap();
+        assert_eq!(p.scheme(), EccScheme::Hamming7164);
+        assert!((p.target_ber() - 1e-9).abs() < 1e-20);
+        assert!((p.channel_power.value() - p.power.channel_total(16).value()).abs() < 1e-9);
+        assert!((p.communication_time_factor() - 71.0 / 64.0).abs() < 1e-9);
+        assert!(p.energy_per_bit.value() > 0.5 && p.energy_per_bit.value() < 10.0);
+    }
+
+    #[test]
+    fn feasible_points_drop_infeasible_schemes() {
+        let l = link();
+        let points = l.feasible_points(&EccScheme::paper_schemes(), 1e-12);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.scheme() != EccScheme::Uncoded));
+    }
+
+    #[test]
+    fn serve_picks_the_lowest_power_scheme_within_constraints() {
+        let l = link();
+        // Latency-insensitive: a Hamming code wins on power.
+        let relaxed = l
+            .serve(&LinkRequest::best_effort(1e-11), &EccScheme::paper_schemes())
+            .unwrap();
+        assert_ne!(relaxed.scheme(), EccScheme::Uncoded);
+
+        // Tight deadline (CT ≤ 1.0): only the uncoded path qualifies.
+        let tight = l
+            .serve(
+                &LinkRequest {
+                    target_ber: 1e-11,
+                    max_communication_time_factor: Some(1.0),
+                    max_channel_power: None,
+                },
+                &EccScheme::paper_schemes(),
+            )
+            .unwrap();
+        assert_eq!(tight.scheme(), EccScheme::Uncoded);
+
+        // Impossible combination: BER 1e-12 with CT ≤ 1.0.
+        assert!(l
+            .serve(
+                &LinkRequest {
+                    target_ber: 1e-12,
+                    max_communication_time_factor: Some(1.0),
+                    max_channel_power: None,
+                },
+                &EccScheme::paper_schemes(),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn power_cap_filters_operating_points() {
+        let l = link();
+        let capped = l.serve(
+            &LinkRequest {
+                target_ber: 1e-11,
+                max_communication_time_factor: None,
+                max_channel_power: Some(Milliwatts::new(150.0)),
+            },
+            &EccScheme::paper_schemes(),
+        );
+        let uncapped = l
+            .serve(&LinkRequest::best_effort(1e-11), &EccScheme::paper_schemes())
+            .unwrap();
+        assert!(capped.is_some());
+        assert!(capped.unwrap().channel_power.value() <= 150.0);
+        assert!(uncapped.channel_power.value() <= 150.0);
+    }
+
+    #[test]
+    fn scheme_not_sustainable_on_a_narrow_interface() {
+        let mut interface = InterfaceConfig::paper_default();
+        interface.wavelength_lanes = 8; // 80 Gb/s: too narrow for H(7,4)'s 112 bits/cycle.
+        let l = NanophotonicLink::new(PaperCalibration::dac17(), interface);
+        assert!(matches!(
+            l.operating_point(EccScheme::Hamming74, 1e-9),
+            Err(LinkError::SchemeNotSustainable { .. })
+        ));
+        assert!(l.operating_point(EccScheme::Hamming7164, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let l = link();
+        let err = l.operating_point(EccScheme::Uncoded, 1e-12).unwrap_err();
+        assert!(err.to_string().contains("no feasible operating point"));
+    }
+}

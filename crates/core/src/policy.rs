@@ -1,0 +1,216 @@
+//! The run-time optical-link energy/performance manager (Section III-C).
+//!
+//! The paper describes a centralized manager: a source ONI sends a request
+//! naming the destination and the communication requirements; the manager
+//! answers with the configuration to apply on both sides — the coding scheme
+//! and the laser output power.  "The choice of the communication scheme is
+//! handled by the Operating System": real-time traffic favours the fast
+//! uncoded path, power-constrained multimedia traffic favours the coded,
+//! lower-power path, possibly with a degraded BER.
+
+use onoc_ecc_codes::EccScheme;
+use onoc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+use crate::link::{LinkRequest, NanophotonicLink, OperatingPoint};
+
+/// Coarse application classes distinguished by the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Hard-deadline traffic: communication time must not stretch.
+    RealTime,
+    /// Throughput traffic: moderate latency slack, strict BER.
+    Bulk,
+    /// Multimedia-like traffic: large latency slack, BER may be degraded to
+    /// save power.
+    Multimedia,
+}
+
+impl TrafficClass {
+    /// Latency slack (maximum CT factor) granted to this class.
+    #[must_use]
+    pub fn max_communication_time_factor(self) -> f64 {
+        match self {
+            Self::RealTime => 1.0,
+            Self::Bulk => 1.5,
+            Self::Multimedia => 2.0,
+        }
+    }
+
+    /// BER degradation factor tolerated by this class (multiplies the
+    /// nominal target).
+    #[must_use]
+    pub fn ber_relaxation(self) -> f64 {
+        match self {
+            Self::RealTime | Self::Bulk => 1.0,
+            Self::Multimedia => 100.0,
+        }
+    }
+}
+
+/// The configuration answered by the manager for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagerDecision {
+    /// Traffic class the decision was made for.
+    pub class: TrafficClass,
+    /// Selected operating point (scheme + laser power + derived figures).
+    pub point: OperatingPoint,
+}
+
+/// The centralized energy/performance manager.
+#[derive(Debug, Clone)]
+pub struct LinkManager {
+    link: NanophotonicLink,
+    candidates: Vec<EccScheme>,
+    nominal_ber: f64,
+    power_budget: Option<Milliwatts>,
+}
+
+impl LinkManager {
+    /// Creates a manager over `link` with the given candidate schemes and the
+    /// nominal BER target the platform guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or `nominal_ber` is outside (0, 0.5).
+    #[must_use]
+    pub fn new(link: NanophotonicLink, candidates: Vec<EccScheme>, nominal_ber: f64) -> Self {
+        assert!(!candidates.is_empty(), "at least one candidate scheme is required");
+        assert!(
+            nominal_ber > 0.0 && nominal_ber < 0.5,
+            "nominal BER must be in (0, 0.5)"
+        );
+        Self {
+            link,
+            candidates,
+            nominal_ber,
+            power_budget: None,
+        }
+    }
+
+    /// The manager used by the paper's evaluation: the three paper schemes at
+    /// a nominal BER of 10⁻¹¹.
+    #[must_use]
+    pub fn paper_manager() -> Self {
+        Self::new(
+            NanophotonicLink::paper_link(),
+            EccScheme::paper_schemes().to_vec(),
+            1e-11,
+        )
+    }
+
+    /// Applies a per-waveguide power budget to every subsequent decision.
+    #[must_use]
+    pub fn with_power_budget(mut self, budget: Milliwatts) -> Self {
+        self.power_budget = Some(budget);
+        self
+    }
+
+    /// Nominal BER target.
+    #[must_use]
+    pub fn nominal_ber(&self) -> f64 {
+        self.nominal_ber
+    }
+
+    /// Candidate schemes.
+    #[must_use]
+    pub fn candidates(&self) -> &[EccScheme] {
+        &self.candidates
+    }
+
+    /// Configures the link for one request of the given traffic class.
+    /// Returns `None` when no candidate satisfies the constraints.
+    #[must_use]
+    pub fn configure(&self, class: TrafficClass) -> Option<ManagerDecision> {
+        let request = LinkRequest {
+            target_ber: (self.nominal_ber * class.ber_relaxation()).min(0.499),
+            max_communication_time_factor: Some(class.max_communication_time_factor()),
+            max_channel_power: self.power_budget,
+        };
+        self.link
+            .serve(&request, &self.candidates)
+            .map(|point| ManagerDecision { class, point })
+    }
+
+    /// Configures the link for every class, reporting which classes are
+    /// servable under the current budget.
+    #[must_use]
+    pub fn configure_all(&self) -> Vec<(TrafficClass, Option<ManagerDecision>)> {
+        [TrafficClass::RealTime, TrafficClass::Bulk, TrafficClass::Multimedia]
+            .into_iter()
+            .map(|class| (class, self.configure(class)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_traffic_uses_the_uncoded_path() {
+        let manager = LinkManager::paper_manager();
+        let decision = manager.configure(TrafficClass::RealTime).unwrap();
+        assert_eq!(decision.point.scheme(), EccScheme::Uncoded);
+        assert!((decision.point.communication_time_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multimedia_traffic_uses_a_coded_low_power_path() {
+        let manager = LinkManager::paper_manager();
+        let rt = manager.configure(TrafficClass::RealTime).unwrap();
+        let mm = manager.configure(TrafficClass::Multimedia).unwrap();
+        assert_ne!(mm.point.scheme(), EccScheme::Uncoded);
+        assert!(mm.point.channel_power.value() < rt.point.channel_power.value());
+    }
+
+    #[test]
+    fn bulk_traffic_accepts_h7164_but_not_h74() {
+        // CT cap of 1.5 excludes H(7,4) (1.75) but admits H(71,64) (1.11).
+        let manager = LinkManager::paper_manager();
+        let decision = manager.configure(TrafficClass::Bulk).unwrap();
+        assert_eq!(decision.point.scheme(), EccScheme::Hamming7164);
+    }
+
+    #[test]
+    fn tight_power_budget_rules_out_the_uncoded_path() {
+        let manager = LinkManager::paper_manager().with_power_budget(Milliwatts::new(160.0));
+        // Real-time traffic demands CT = 1.0, i.e. the uncoded path, but that
+        // path blows the 160 mW budget: the request cannot be served.
+        assert!(manager.configure(TrafficClass::RealTime).is_none());
+        // Multimedia traffic still fits.
+        assert!(manager.configure(TrafficClass::Multimedia).is_some());
+    }
+
+    #[test]
+    fn configure_all_reports_every_class() {
+        let manager = LinkManager::paper_manager();
+        let all = manager.configure_all();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|(_, d)| d.is_some()));
+    }
+
+    #[test]
+    fn multimedia_ber_relaxation_lowers_the_laser_power_further() {
+        let manager = LinkManager::paper_manager();
+        let bulk = manager.configure(TrafficClass::Bulk).unwrap();
+        let mm = manager.configure(TrafficClass::Multimedia).unwrap();
+        assert!(
+            mm.point.laser.laser_electrical_power.value()
+                <= bulk.point.laser.laser_electrical_power.value() + 1e-9
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let manager = LinkManager::paper_manager();
+        assert_eq!(manager.candidates().len(), 3);
+        assert!((manager.nominal_ber() - 1e-11).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panics() {
+        let _ = LinkManager::new(NanophotonicLink::paper_link(), vec![], 1e-9);
+    }
+}

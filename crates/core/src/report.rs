@@ -1,0 +1,198 @@
+//! Plain-text report rendering for the figure/table binaries.
+//!
+//! The benchmark harness (`onoc-bench`) prints the regenerated tables and
+//! figure series as aligned text tables; the formatting lives here so the
+//! examples and integration tests can reuse it.
+
+use onoc_ecc_codes::EccScheme;
+
+use crate::link::OperatingPoint;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a BER as the compact scientific notation used in the paper's
+/// figures (e.g. `1e-11`).
+#[must_use]
+pub fn format_ber(ber: f64) -> String {
+    format!("{ber:.0e}")
+}
+
+/// Renders one Fig. 6a-style row for an operating point.
+#[must_use]
+pub fn operating_point_row(point: &OperatingPoint) -> Vec<String> {
+    vec![
+        point.scheme().to_string(),
+        format_ber(point.target_ber()),
+        format!("{:.3}", point.power.encoder_decoder.value()),
+        format!("{:.2}", point.power.modulation.value()),
+        format!("{:.2}", point.power.laser.value()),
+        format!("{:.2}", point.power.per_wavelength_total().value()),
+        format!("{:.1}", point.channel_power.value()),
+        format!("{:.2}", point.communication_time_factor()),
+        format!("{:.2}", point.energy_per_bit.value()),
+    ]
+}
+
+/// Header matching [`operating_point_row`].
+#[must_use]
+pub fn operating_point_header() -> Vec<String> {
+    [
+        "scheme",
+        "BER",
+        "Penc+dec (mW)",
+        "PMR (mW)",
+        "Plaser (mW)",
+        "Pwl (mW)",
+        "Pchannel (mW)",
+        "CT",
+        "pJ/bit",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect()
+}
+
+/// Convenience: renders a full table of operating points.
+#[must_use]
+pub fn render_operating_points(points: &[OperatingPoint]) -> String {
+    let mut table = TextTable::new(operating_point_header());
+    for p in points {
+        table.push_row(operating_point_row(p));
+    }
+    table.render()
+}
+
+/// Renders an infeasible cell the way the figure binaries report it.
+#[must_use]
+pub fn infeasible_cell(scheme: EccScheme, ber: f64) -> String {
+    format!("{scheme} @ {}: not reachable (laser power ceiling)", format_ber(ber))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::NanophotonicLink;
+
+    #[test]
+    fn table_alignment_and_rendering() {
+        let mut t = TextTable::new(vec!["a", "long header", "c"]);
+        t.push_row(vec!["1", "2", "3"]);
+        t.push_row(vec!["wide cell", "x", "y"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long header"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn ber_formatting() {
+        assert_eq!(format_ber(1e-11), "1e-11");
+        assert_eq!(format_ber(1e-3), "1e-3");
+    }
+
+    #[test]
+    fn operating_point_rows_render() {
+        let link = NanophotonicLink::paper_link();
+        let points: Vec<_> = link.feasible_points(&EccScheme::paper_schemes(), 1e-11);
+        let rendered = render_operating_points(&points);
+        assert!(rendered.contains("w/o ECC"));
+        assert!(rendered.contains("H(7,4)"));
+        assert!(rendered.contains("H(71,64)"));
+        assert!(rendered.contains("1e-11"));
+    }
+
+    #[test]
+    fn infeasible_cell_mentions_the_ceiling() {
+        let text = infeasible_cell(EccScheme::Uncoded, 1e-12);
+        assert!(text.contains("not reachable"));
+        assert!(text.contains("1e-12"));
+    }
+
+    #[test]
+    fn row_and_header_have_matching_widths() {
+        let link = NanophotonicLink::paper_link();
+        let point = link.operating_point(EccScheme::Hamming74, 1e-9).unwrap();
+        assert_eq!(operating_point_row(&point).len(), operating_point_header().len());
+    }
+}

@@ -1,0 +1,60 @@
+//! Electrical/optical network-interface (ONI) models.
+//!
+//! Section IV-C of the DAC'17 paper describes the electrical side of the
+//! optical network interface: a mode multiplexer selecting between the
+//! uncoded path and the Hamming coder banks, a serializer running at the
+//! modulation speed F_mod, and the mirrored receiver datapath
+//! (deserializer → decoders → mode mux).  Table I reports the 28 nm FDSOI
+//! synthesis results for every block.
+//!
+//! This crate provides:
+//!
+//! * [`blocks`] — the synthesis cost database reproducing Table I,
+//! * [`serdes`] — bit-true functional models of the serializer /
+//!   deserializer register pipelines,
+//! * [`transmitter`] / [`receiver`] — the full TX/RX datapaths (functional
+//!   encode/serialize and deserialize/decode plus aggregated cost),
+//! * [`config`] — interface configuration (bus width, clock domains, coding
+//!   mode),
+//! * [`power`] — the channel power model of Section IV-E
+//!   (`P_channel = P_enc+dec + P_MR + P_laser`), energy-per-bit accounting
+//!   and the communication-time factor,
+//! * [`timing`] — serialization latency and communication time.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_interface::{config::InterfaceConfig, transmitter::Transmitter, receiver::Receiver};
+//! use onoc_ecc_codes::EccScheme;
+//!
+//! let config = InterfaceConfig::paper_default();
+//! let tx = Transmitter::new(config.clone());
+//! let rx = Receiver::new(config);
+//!
+//! // Send a 64-bit word through the H(7,4) path and recover it.
+//! let word: u64 = 0xDEAD_BEEF_CAFE_F00D;
+//! let stream = tx.encode_word(word, EccScheme::Hamming74)?;
+//! assert_eq!(stream.len(), 112);
+//! let decoded = rx.decode_stream(&stream, EccScheme::Hamming74)?;
+//! assert_eq!(decoded.word, word);
+//! # Ok::<(), onoc_interface::InterfaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod config;
+pub mod power;
+pub mod receiver;
+pub mod serdes;
+pub mod timing;
+pub mod transmitter;
+
+pub use blocks::{BlockCost, SynthesisDatabase};
+pub use config::{InterfaceConfig, InterfaceError};
+pub use power::{ChannelPowerBreakdown, ChannelPowerModel, EnergyAccounting};
+pub use receiver::{DecodedWord, Receiver};
+pub use serdes::{Deserializer, Serializer};
+pub use timing::CommunicationTiming;
+pub use transmitter::Transmitter;

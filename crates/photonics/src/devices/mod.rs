@@ -1,0 +1,17 @@
+//! Individual nanophotonic device models.
+//!
+//! Each sub-module models one of the active or passive devices that make up
+//! the MWSR channel of the paper; [`crate::mwsr`] composes them into the
+//! channel-level link budget.
+
+mod laser;
+mod micro_ring;
+mod multiplexer;
+mod photodetector;
+mod waveguide;
+
+pub use laser::{LaserThermalModel, VcselLaser};
+pub use micro_ring::{MicroRingResonator, RingState};
+pub use multiplexer::Multiplexer;
+pub use photodetector::Photodetector;
+pub use waveguide::Waveguide;

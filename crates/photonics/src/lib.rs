@@ -1,0 +1,52 @@
+//! Nanophotonic device and channel models for the DAC'17 ECC/laser-power
+//! trade-off reproduction.
+//!
+//! The paper evaluates its coding proposal on a Multiple-Writer Single-Reader
+//! (MWSR) optical channel built from CMOS-compatible VCSEL laser sources,
+//! micro-ring resonator (MR) modulators, a silicon waveguide and a
+//! photodetector per wavelength.  None of these device models exist as
+//! reusable open-source Rust code, so this crate provides them:
+//!
+//! * [`devices::MicroRingResonator`] — Lorentzian through/drop response,
+//!   ON/OFF electro-optic detuning, extinction ratio (Fig. 3 of the paper);
+//! * [`devices::VcselLaser`] — electrical-power model with temperature
+//!   dependent efficiency and a self-heating fixed point (Fig. 4);
+//! * [`devices::Waveguide`], [`devices::Photodetector`],
+//!   [`devices::Multiplexer`] — propagation loss, responsivity/dark current,
+//!   MMI combiner insertion loss;
+//! * [`spectrum::WavelengthGrid`] — the N_W-wavelength WDM comb;
+//! * [`mwsr::MwsrChannel`] — the worst-case link budget and crosstalk model
+//!   (after ref. [8] of the paper) that turns a required optical swing at the
+//!   photodetector into a laser output power requirement;
+//! * [`power::LaserPowerSolver`] — the end-to-end chain *target BER → raw BER
+//!   (per ECC) → SNR → optical swing → laser output power → laser electrical
+//!   power* used by Figs. 5 and 6.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_photonics::calibration::PaperCalibration;
+//! use onoc_photonics::power::LaserPowerSolver;
+//! use onoc_ecc_codes::EccScheme;
+//!
+//! let solver = LaserPowerSolver::new(PaperCalibration::dac17().into_channel());
+//! let uncoded = solver.solve(EccScheme::Uncoded, 1e-9)?;
+//! let coded = solver.solve(EccScheme::Hamming74, 1e-9)?;
+//! assert!(coded.laser_electrical_power.value() < uncoded.laser_electrical_power.value());
+//! # Ok::<(), onoc_photonics::power::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod devices;
+pub mod mwsr;
+pub mod power;
+pub mod spectrum;
+
+pub use calibration::PaperCalibration;
+pub use devices::{MicroRingResonator, Multiplexer, Photodetector, VcselLaser, Waveguide};
+pub use mwsr::{ChannelGeometry, MwsrChannel};
+pub use power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
+pub use spectrum::WavelengthGrid;

@@ -1,0 +1,343 @@
+//! Multiple-Writer Single-Reader (MWSR) channel link budget.
+//!
+//! Following the transmission model of ref. [8] of the paper, the optical
+//! signal of each wavelength is tracked from its laser source through the
+//! multiplexer, the waveguide, every micro-ring it passes (the parked rings
+//! of intermediate writers, the modulating ring of the granted writer, the
+//! detuned drop filters of the reader) down to the photodetector of the
+//! destination ONI.  The same spectral model provides the worst-case
+//! inter-wavelength crosstalk collected by each drop filter.
+//!
+//! The quantity the rest of the workspace needs is the *signal swing* at the
+//! photodetector — the difference between the received power for a '1'
+//! (modulator OFF) and for a '0' (modulator ON, attenuated by the extinction
+//! ratio) — because that is what Eq. 4 of the paper compares against the dark
+//! current to form the SNR.
+
+use onoc_units::{Decibels, LinearRatio, Microwatts, Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+use crate::devices::{
+    MicroRingResonator, Multiplexer, Photodetector, RingState, VcselLaser, Waveguide,
+};
+use crate::spectrum::WavelengthGrid;
+
+/// Structural description of one MWSR channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelGeometry {
+    /// Number of optical network interfaces sharing the interconnect
+    /// (12 in the paper's evaluation).
+    pub oni_count: usize,
+    /// Wavelength comb used by the channel (16 wavelengths in the paper).
+    pub grid: WavelengthGrid,
+    /// The waveguide the channel is routed on (6 cm, 0.274 dB/cm).
+    pub waveguide: Waveguide,
+    /// Activity of the electrical layer, used by the laser thermal model
+    /// (0.25 in the paper).
+    pub chip_activity: f64,
+}
+
+impl ChannelGeometry {
+    /// The geometry evaluated in Section V of the paper.
+    #[must_use]
+    pub fn paper_geometry() -> Self {
+        Self {
+            oni_count: 12,
+            grid: WavelengthGrid::paper_grid(16),
+            waveguide: Waveguide::paper_waveguide(),
+            chip_activity: 0.25,
+        }
+    }
+
+    /// Number of writers on the channel (every ONI except the reader).
+    #[must_use]
+    pub fn writer_count(&self) -> usize {
+        self.oni_count.saturating_sub(1)
+    }
+
+    /// Number of intermediate (non-granted) writers the worst-case signal
+    /// crosses before reaching the reader.
+    #[must_use]
+    pub fn worst_case_intermediate_writers(&self) -> usize {
+        self.writer_count().saturating_sub(1)
+    }
+
+    /// Number of wavelengths.
+    #[must_use]
+    pub fn wavelength_count(&self) -> usize {
+        self.grid.count()
+    }
+}
+
+/// A fully-instantiated MWSR channel: geometry plus device models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MwsrChannel {
+    geometry: ChannelGeometry,
+    modulator: MicroRingResonator,
+    drop_filter: MicroRingResonator,
+    multiplexer: Multiplexer,
+    photodetector: Photodetector,
+    laser: VcselLaser,
+}
+
+impl MwsrChannel {
+    /// Assembles a channel from its geometry and device prototypes.
+    ///
+    /// The `modulator` and `drop_filter` prototypes are re-centred on each
+    /// channel wavelength as needed, so a single prototype describes the
+    /// whole bank.
+    #[must_use]
+    pub fn new(
+        geometry: ChannelGeometry,
+        modulator: MicroRingResonator,
+        drop_filter: MicroRingResonator,
+        multiplexer: Multiplexer,
+        photodetector: Photodetector,
+        laser: VcselLaser,
+    ) -> Self {
+        Self {
+            geometry,
+            modulator,
+            drop_filter,
+            multiplexer,
+            photodetector,
+            laser,
+        }
+    }
+
+    /// Channel geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &ChannelGeometry {
+        &self.geometry
+    }
+
+    /// The laser source model (shared by all wavelengths of the channel).
+    #[must_use]
+    pub fn laser(&self) -> &VcselLaser {
+        &self.laser
+    }
+
+    /// The photodetector model.
+    #[must_use]
+    pub fn photodetector(&self) -> &Photodetector {
+        &self.photodetector
+    }
+
+    /// The modulator prototype.
+    #[must_use]
+    pub fn modulator(&self) -> &MicroRingResonator {
+        &self.modulator
+    }
+
+    /// The drop-filter prototype.
+    #[must_use]
+    pub fn drop_filter(&self) -> &MicroRingResonator {
+        &self.drop_filter
+    }
+
+    /// Electrical power of one modulating ring (P_MR, 1.36 mW in the paper).
+    #[must_use]
+    pub fn modulation_power(&self) -> Milliwatts {
+        self.modulator.modulation_power()
+    }
+
+    /// Extinction ratio of the modulator at channel `index`.
+    #[must_use]
+    pub fn extinction_ratio(&self, index: usize) -> Decibels {
+        let carrier = self.geometry.grid.wavelength(index);
+        self.modulator_at(carrier).extinction_ratio(carrier)
+    }
+
+    /// The modulator prototype re-centred on `carrier`.
+    fn modulator_at(&self, carrier: Nanometers) -> MicroRingResonator {
+        self.modulator.recentered(self.prototype_carrier(), carrier)
+    }
+
+    /// The drop-filter prototype re-centred on `carrier`.
+    fn drop_filter_at(&self, carrier: Nanometers) -> MicroRingResonator {
+        self.drop_filter.recentered(self.prototype_carrier(), carrier)
+    }
+
+    /// Both prototypes are constructed for the first grid wavelength.
+    fn prototype_carrier(&self) -> Nanometers {
+        self.geometry.grid.wavelength(0)
+    }
+
+    /// Worst-case path transmission for a '1' bit (modulator OFF) on channel
+    /// `index`: laser → multiplexer → waveguide → parked rings of the
+    /// intermediate writers → the granted writer's ring bank → the reader's
+    /// detuned drop filters → the drop into the destination filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the wavelength grid.
+    #[must_use]
+    pub fn path_transmission(&self, index: usize) -> LinearRatio {
+        let carrier = self.geometry.grid.wavelength(index);
+        let modulator = self.modulator_at(carrier);
+        let own_drop = self.drop_filter_at(carrier);
+
+        let mut transmission = self.multiplexer.transmission();
+        transmission = transmission * self.geometry.waveguide.transmission();
+
+        // Intermediate writers: every ring is parked far off resonance
+        // (thermal detuning), so each crossing costs only the broadband
+        // insertion loss.
+        let parked_crossings =
+            self.geometry.worst_case_intermediate_writers() * self.geometry.wavelength_count();
+        let per_crossing = self.modulator.through_insertion_loss().to_attenuation();
+        transmission = transmission * LinearRatio::new(per_crossing.value().powi(parked_crossings as i32));
+
+        // Granted writer: its own-wavelength ring is in the OFF state for a
+        // '1' (this is where the extinction ratio is defined); its other
+        // rings are parked.
+        transmission = transmission * modulator.through_transmission(carrier, RingState::Off);
+        let sibling_crossings = self.geometry.wavelength_count().saturating_sub(1);
+        transmission =
+            transmission * LinearRatio::new(per_crossing.value().powi(sibling_crossings as i32));
+
+        // Reader: the signal passes the drop filters of the other wavelengths
+        // (detuned, small residual loss from their Lorentzian tails) and is
+        // finally dropped by its own filter.
+        for other in self.geometry.grid.other_channels(index) {
+            let other_filter = self.drop_filter_at(self.geometry.grid.wavelength(other));
+            transmission = transmission * other_filter.through_transmission(carrier, RingState::Off);
+        }
+        transmission = transmission * own_drop.drop_transmission(carrier, RingState::Off);
+
+        transmission
+    }
+
+    /// Fraction of the received '1' power that constitutes the usable swing:
+    /// `1 − 10^(−ER/10)`.
+    #[must_use]
+    pub fn extinction_factor(&self, index: usize) -> f64 {
+        1.0 - self.extinction_ratio(index).to_attenuation().value()
+    }
+
+    /// Worst-case crosstalk power collected by the drop filter of channel
+    /// `index`, assuming every other wavelength is simultaneously carrying a
+    /// '1' at the full laser output power (the conservative assumption of
+    /// ref. [8]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the wavelength grid.
+    #[must_use]
+    pub fn worst_case_crosstalk(&self, index: usize) -> Microwatts {
+        let victim = self.drop_filter_at(self.geometry.grid.wavelength(index));
+        let mut total = Microwatts::zero();
+        for other in self.geometry.grid.other_channels(index) {
+            let aggressor_wavelength = self.geometry.grid.wavelength(other);
+            // The aggressor reaches the reader with the same path loss as the
+            // victim (same worst-case writer), at the maximum laser output.
+            let received = self
+                .laser
+                .max_output()
+                .scaled_by(self.path_transmission(other));
+            let leak = victim.drop_transmission(aggressor_wavelength, RingState::Off);
+            total += received.scaled_by(leak);
+        }
+        total
+    }
+
+    /// Signal swing at the photodetector of channel `index` when the laser
+    /// emits `laser_output`.
+    #[must_use]
+    pub fn signal_swing(&self, laser_output: Microwatts, index: usize) -> Microwatts {
+        laser_output
+            .scaled_by(self.path_transmission(index))
+            .scaled_by(LinearRatio::new(self.extinction_factor(index)))
+    }
+
+    /// Laser output power required to produce `swing` at the photodetector of
+    /// channel `index`.  The result is *not* clamped to the laser's
+    /// capability; use [`VcselLaser::can_emit`] to check feasibility.
+    #[must_use]
+    pub fn required_laser_output(&self, swing: Microwatts, index: usize) -> Microwatts {
+        let factor = self.path_transmission(index).value() * self.extinction_factor(index);
+        Microwatts::new(swing.value() / factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PaperCalibration;
+
+    fn channel() -> MwsrChannel {
+        PaperCalibration::dac17().into_channel()
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let g = ChannelGeometry::paper_geometry();
+        assert_eq!(g.oni_count, 12);
+        assert_eq!(g.writer_count(), 11);
+        assert_eq!(g.worst_case_intermediate_writers(), 10);
+        assert_eq!(g.wavelength_count(), 16);
+    }
+
+    #[test]
+    fn path_loss_is_in_a_plausible_on_chip_range() {
+        let ch = channel();
+        let t = ch.path_transmission(0);
+        let loss_db = -10.0 * t.value().log10();
+        assert!(loss_db > 5.0 && loss_db < 10.0, "path loss = {loss_db} dB");
+    }
+
+    #[test]
+    fn extinction_ratio_close_to_the_paper_value() {
+        let ch = channel();
+        for index in [0, 7, 15] {
+            let er = ch.extinction_ratio(index);
+            assert!((er.value() - 6.9).abs() < 0.3, "ER({index}) = {er}");
+        }
+    }
+
+    #[test]
+    fn all_wavelengths_have_similar_budgets() {
+        let ch = channel();
+        let losses: Vec<f64> = (0..16).map(|i| ch.path_transmission(i).value()).collect();
+        let min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = losses.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min < 1.1, "budgets spread too widely: {min}..{max}");
+    }
+
+    #[test]
+    fn crosstalk_is_small_but_non_zero() {
+        let ch = channel();
+        let xt = ch.worst_case_crosstalk(8);
+        assert!(xt.value() > 0.1, "crosstalk unexpectedly negligible: {xt}");
+        assert!(xt.value() < 10.0, "crosstalk unreasonably large: {xt}");
+    }
+
+    #[test]
+    fn edge_channels_collect_less_crosstalk_than_middle_channels() {
+        let ch = channel();
+        let edge = ch.worst_case_crosstalk(0);
+        let middle = ch.worst_case_crosstalk(8);
+        assert!(edge.value() < middle.value());
+    }
+
+    #[test]
+    fn swing_and_required_output_are_inverse_operations() {
+        let ch = channel();
+        let swing = ch.signal_swing(Microwatts::new(500.0), 3);
+        let back = ch.required_laser_output(swing, 3);
+        assert!((back.value() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn swing_is_linear_in_laser_output() {
+        let ch = channel();
+        let s1 = ch.signal_swing(Microwatts::new(100.0), 0);
+        let s2 = ch.signal_swing(Microwatts::new(200.0), 0);
+        assert!((s2.value() / s1.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modulation_power_matches_the_paper() {
+        assert!((channel().modulation_power().value() - 1.36).abs() < 1e-12);
+    }
+}

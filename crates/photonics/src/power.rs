@@ -1,0 +1,334 @@
+//! End-to-end laser power solver.
+//!
+//! This module chains every model of the workspace below the interface layer:
+//!
+//! ```text
+//! target BER ──(ECC transfer, Eq. 2)──▶ raw channel BER
+//!            ──(Eq. 1/3)─────────────▶ required SNR
+//!            ──(Eq. 4)───────────────▶ required optical swing at the detector
+//!            ──(MWSR link budget)────▶ required laser output power OP_laser
+//!            ──(VCSEL thermal model)─▶ laser electrical power P_laser
+//! ```
+//!
+//! which is exactly the computation behind Fig. 5 of the paper, and the
+//! building block for Fig. 6.
+
+use onoc_ber::snr::ber_from_snr;
+use onoc_ber::ReceiverModel;
+use onoc_ecc_codes::ber::raw_ber_for_target;
+use onoc_ecc_codes::EccScheme;
+use onoc_units::{Microwatts, Milliwatts};
+use serde::{Deserialize, Serialize};
+
+use crate::mwsr::MwsrChannel;
+
+/// Why a (scheme, target BER) pair has no feasible operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// The required laser output power exceeds what the laser can deliver.
+    LaserPowerExceeded {
+        /// Scheme that was being solved for.
+        scheme: EccScheme,
+        /// Target decoded BER.
+        target_ber: f64,
+        /// Required optical output power in µW.
+        required_microwatts: f64,
+        /// Maximum deliverable optical output power in µW.
+        maximum_microwatts: f64,
+    },
+    /// The requested BER target is outside the supported range.
+    InvalidTarget {
+        /// The offending value.
+        target_ber: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LaserPowerExceeded {
+                scheme,
+                target_ber,
+                required_microwatts,
+                maximum_microwatts,
+            } => write!(
+                f,
+                "{scheme} at BER {target_ber:.1e} needs {required_microwatts:.1} uW of optical power \
+                 but the laser delivers at most {maximum_microwatts:.1} uW"
+            ),
+            Self::InvalidTarget { target_ber } => {
+                write!(f, "target BER {target_ber} is outside (0, 0.5)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A feasible laser/ECC operating point for one wavelength of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaserOperatingPoint {
+    /// Coding scheme.
+    pub scheme: EccScheme,
+    /// Target decoded BER.
+    pub target_ber: f64,
+    /// Raw channel BER tolerated by the scheme at this target.
+    pub raw_ber: f64,
+    /// Required linear SNR at the decision circuit.
+    pub snr: f64,
+    /// Worst-case crosstalk power at the photodetector.
+    pub crosstalk: Microwatts,
+    /// Required optical signal swing at the photodetector.
+    pub required_swing: Microwatts,
+    /// Required laser optical output power (OP_laser).
+    pub laser_output_power: Microwatts,
+    /// Laser electrical power (P_laser).
+    pub laser_electrical_power: Milliwatts,
+    /// Wall-plug efficiency of the laser at this operating point.
+    pub laser_efficiency: f64,
+}
+
+/// Solves laser operating points over an [`MwsrChannel`].
+#[derive(Debug, Clone)]
+pub struct LaserPowerSolver {
+    channel: MwsrChannel,
+    receiver: ReceiverModel,
+}
+
+impl LaserPowerSolver {
+    /// Creates a solver for the given channel.
+    #[must_use]
+    pub fn new(channel: MwsrChannel) -> Self {
+        let receiver = channel.photodetector().to_receiver_model();
+        Self { channel, receiver }
+    }
+
+    /// The channel being solved over.
+    #[must_use]
+    pub fn channel(&self) -> &MwsrChannel {
+        &self.channel
+    }
+
+    /// Index of the wavelength with the worst (largest) crosstalk, used as
+    /// the sizing case for the whole channel.
+    #[must_use]
+    pub fn worst_case_wavelength(&self) -> usize {
+        let count = self.channel.geometry().wavelength_count();
+        (0..count)
+            .max_by(|&a, &b| {
+                self.channel
+                    .worst_case_crosstalk(a)
+                    .value()
+                    .partial_cmp(&self.channel.worst_case_crosstalk(b).value())
+                    .expect("crosstalk powers are finite")
+            })
+            .expect("grid has at least one wavelength")
+    }
+
+    /// Solves the operating point of `scheme` for `target_ber` on the
+    /// worst-case wavelength of the channel.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InvalidTarget`] if `target_ber` is outside `(0, 0.5)`.
+    /// * [`SolveError::LaserPowerExceeded`] if the laser cannot deliver the
+    ///   required optical power (this is how the solver reports that a BER
+    ///   target such as 10⁻¹² is unreachable without coding).
+    pub fn solve(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+    ) -> Result<LaserOperatingPoint, SolveError> {
+        self.solve_on_wavelength(scheme, target_ber, self.worst_case_wavelength())
+    }
+
+    /// Solves the operating point on a specific wavelength index.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaserPowerSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelength` is outside the channel's grid.
+    pub fn solve_on_wavelength(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+        wavelength: usize,
+    ) -> Result<LaserOperatingPoint, SolveError> {
+        if !(target_ber > 0.0 && target_ber < 0.5) {
+            return Err(SolveError::InvalidTarget { target_ber });
+        }
+        let raw_ber = raw_ber_for_target(scheme, target_ber);
+        let snr = onoc_ber::snr::snr_from_ber_uncoded(raw_ber);
+        let crosstalk = self.channel.worst_case_crosstalk(wavelength);
+        let required_swing = self.receiver.required_signal_power(snr, crosstalk);
+        let laser_output = self.channel.required_laser_output(required_swing, wavelength);
+
+        let laser = self.channel.laser();
+        if !laser.can_emit(laser_output) {
+            return Err(SolveError::LaserPowerExceeded {
+                scheme,
+                target_ber,
+                required_microwatts: laser_output.value(),
+                maximum_microwatts: laser.max_output().value(),
+            });
+        }
+        let activity = self.channel.geometry().chip_activity;
+        let electrical = laser.electrical_power(laser_output, activity);
+        Ok(LaserOperatingPoint {
+            scheme,
+            target_ber,
+            raw_ber,
+            snr,
+            crosstalk,
+            required_swing,
+            laser_output_power: laser_output,
+            laser_electrical_power: electrical,
+            laser_efficiency: laser.efficiency(laser_output, activity),
+        })
+    }
+
+    /// Achievable decoded BER when the laser runs at `laser_output` with the
+    /// given `scheme` (the forward direction, used by the NoC simulator to
+    /// derive error-injection probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelength` is outside the channel's grid.
+    #[must_use]
+    pub fn achievable_ber(
+        &self,
+        scheme: EccScheme,
+        laser_output: Microwatts,
+        wavelength: usize,
+    ) -> f64 {
+        let crosstalk = self.channel.worst_case_crosstalk(wavelength);
+        let swing = self.channel.signal_swing(laser_output, wavelength);
+        let snr = self.receiver.snr(swing, crosstalk);
+        let raw = if snr <= 0.0 { 0.5 } else { ber_from_snr(snr) };
+        onoc_ecc_codes::ber::coded_ber(scheme, raw.min(0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PaperCalibration;
+
+    fn solver() -> LaserPowerSolver {
+        LaserPowerSolver::new(PaperCalibration::dac17().into_channel())
+    }
+
+    #[test]
+    fn uncoded_1e11_is_feasible_and_expensive() {
+        let s = solver();
+        let point = s.solve(EccScheme::Uncoded, 1e-11).expect("feasible per the paper");
+        assert!(
+            point.laser_electrical_power.value() > 10.0
+                && point.laser_electrical_power.value() < 18.0,
+            "P_laser = {}",
+            point.laser_electrical_power
+        );
+        assert!(point.laser_output_power.value() < 700.0);
+    }
+
+    #[test]
+    fn uncoded_1e12_is_infeasible_but_coded_is_feasible() {
+        let s = solver();
+        assert!(matches!(
+            s.solve(EccScheme::Uncoded, 1e-12),
+            Err(SolveError::LaserPowerExceeded { .. })
+        ));
+        assert!(s.solve(EccScheme::Hamming74, 1e-12).is_ok());
+        assert!(s.solve(EccScheme::Hamming7164, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn coding_halves_the_laser_power_at_1e11() {
+        let s = solver();
+        let uncoded = s.solve(EccScheme::Uncoded, 1e-11).unwrap();
+        let h74 = s.solve(EccScheme::Hamming74, 1e-11).unwrap();
+        let h7164 = s.solve(EccScheme::Hamming7164, 1e-11).unwrap();
+        let ratio74 = uncoded.laser_electrical_power.value() / h74.laser_electrical_power.value();
+        let ratio7164 =
+            uncoded.laser_electrical_power.value() / h7164.laser_electrical_power.value();
+        assert!(ratio74 > 1.7 && ratio74 < 3.0, "H(7,4) ratio = {ratio74}");
+        assert!(ratio7164 > 1.6 && ratio7164 < 2.8, "H(71,64) ratio = {ratio7164}");
+        // H(7,4) tolerates the noisiest channel, so it needs the least power.
+        assert!(
+            h74.laser_electrical_power.value() <= h7164.laser_electrical_power.value() + 1e-9
+        );
+    }
+
+    #[test]
+    fn laser_power_is_monotone_in_ber_strictness() {
+        let s = solver();
+        for scheme in EccScheme::paper_schemes() {
+            let mut last = 0.0;
+            for exp in 3..=11 {
+                let target = 10f64.powi(-exp);
+                if let Ok(point) = s.solve(scheme, target) {
+                    assert!(
+                        point.laser_electrical_power.value() >= last,
+                        "{scheme} at 1e-{exp}"
+                    );
+                    last = point.laser_electrical_power.value();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operating_point_fields_are_consistent() {
+        let s = solver();
+        let p = s.solve(EccScheme::Hamming7164, 1e-9).unwrap();
+        assert!(p.raw_ber > p.target_ber);
+        assert!(p.required_swing.value() > p.crosstalk.value());
+        assert!(p.laser_efficiency > 0.0 && p.laser_efficiency < 0.06);
+        let swing = s
+            .channel()
+            .signal_swing(p.laser_output_power, s.worst_case_wavelength());
+        assert!((swing.value() - p.required_swing.value()).abs() / p.required_swing.value() < 1e-6);
+    }
+
+    #[test]
+    fn achievable_ber_inverts_the_solver() {
+        let s = solver();
+        let wavelength = s.worst_case_wavelength();
+        let p = s.solve(EccScheme::Hamming74, 1e-9).unwrap();
+        let ber = s.achievable_ber(EccScheme::Hamming74, p.laser_output_power, wavelength);
+        assert!(ber < 1.5e-9, "achievable BER {ber} misses the target");
+        assert!(ber > 1e-12, "achievable BER {ber} suspiciously optimistic");
+    }
+
+    #[test]
+    fn achievable_ber_degrades_gracefully_at_low_power() {
+        let s = solver();
+        let ber = s.achievable_ber(EccScheme::Uncoded, Microwatts::new(1.0), 0);
+        assert!(ber > 0.01, "almost no light should mean a terrible BER");
+    }
+
+    #[test]
+    fn invalid_target_is_rejected() {
+        let s = solver();
+        assert!(matches!(
+            s.solve(EccScheme::Uncoded, 0.0),
+            Err(SolveError::InvalidTarget { .. })
+        ));
+        assert!(matches!(
+            s.solve(EccScheme::Uncoded, 0.7),
+            Err(SolveError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let s = solver();
+        let err = s.solve(EccScheme::Uncoded, 1e-12).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("uW"));
+        assert!(text.contains("w/o ECC"));
+    }
+}

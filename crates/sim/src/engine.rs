@@ -1,0 +1,506 @@
+//! The event-driven simulation engine.
+//!
+//! The engine models one MWSR interconnect: every destination ONI owns a
+//! channel guarded by a [`TokenArbiter`]; messages request the destination
+//! channel, transmit for `codec latency + words × serialization time`
+//! nanoseconds at the operating point chosen by the link manager, and are
+//! delivered with stochastic residual errors derived from the operating
+//! point's decoded BER.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use onoc_ecc_codes::EccScheme;
+use onoc_link::{LinkManager, ManagerDecision, NanophotonicLink, TrafficClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::TokenArbiter;
+use crate::packet::{Message, MessageId};
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use crate::traffic::{TrafficGenerator, TrafficPattern};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of ONIs in the interconnect.
+    pub oni_count: usize,
+    /// Spatial/temporal traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Traffic class of every message (drives the manager's scheme choice).
+    pub class: TrafficClass,
+    /// Number of 64-bit words per message.
+    pub words_per_message: u64,
+    /// Mean inter-arrival time at each source, in nanoseconds.
+    pub mean_inter_arrival_ns: f64,
+    /// Deadline slack granted to each message, in nanoseconds (`None` = no
+    /// deadlines).
+    pub deadline_slack_ns: Option<f64>,
+    /// Nominal BER target the platform guarantees.
+    pub nominal_ber: f64,
+    /// RNG seed (traffic and error injection are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            oni_count: 12,
+            pattern: TrafficPattern::UniformRandom { messages_per_node: 10 },
+            class: TrafficClass::Bulk,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 5.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 1,
+        }
+    }
+}
+
+/// Errors raised when setting up a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimulationError {
+    /// The configuration is structurally invalid.
+    InvalidConfiguration {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The link manager found no operating point for the requested class.
+    NoFeasibleConfiguration {
+        /// The class that could not be served.
+        class: TrafficClass,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfiguration { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::NoFeasibleConfiguration { class } => {
+                write!(f, "no feasible link configuration for {class:?} traffic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// The configuration that was simulated.
+    pub config: SimulationConfig,
+    /// The scheme the manager selected for this run's traffic class.
+    pub scheme: EccScheme,
+    /// Per-waveguide channel power of the selected operating point, in mW.
+    pub channel_power_mw: f64,
+    /// Decoded BER of the selected operating point.
+    pub decoded_ber: f64,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Inject,
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    sequence: u64,
+    kind: EventKind,
+    message: MessageId,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.sequence).cmp(&(other.time, other.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An event-driven simulation of the optical NoC.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimulationConfig,
+    decision: ManagerDecision,
+    messages: HashMap<MessageId, Message>,
+    injection_order: Vec<MessageId>,
+    rng: StdRng,
+}
+
+impl Simulation {
+    /// Prepares a simulation: generates the traffic and asks the link
+    /// manager for the operating point of the configured traffic class.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::InvalidConfiguration`] for structurally invalid
+    ///   configurations (fewer than 2 ONIs, zero-sized messages, bad BER);
+    /// * [`SimulationError::NoFeasibleConfiguration`] when the manager cannot
+    ///   serve the requested class at the nominal BER.
+    pub fn new(config: SimulationConfig) -> Result<Self, SimulationError> {
+        if config.oni_count < 2 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "at least two ONIs are required".into(),
+            });
+        }
+        if config.words_per_message == 0 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "messages must carry at least one word".into(),
+            });
+        }
+        if !(config.nominal_ber > 0.0 && config.nominal_ber < 0.5) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "nominal BER must be in (0, 0.5)".into(),
+            });
+        }
+        let manager = LinkManager::new(
+            NanophotonicLink::paper_link(),
+            EccScheme::paper_schemes().to_vec(),
+            config.nominal_ber,
+        );
+        let decision = manager
+            .configure(config.class)
+            .ok_or(SimulationError::NoFeasibleConfiguration { class: config.class })?;
+
+        let generated = TrafficGenerator::new(
+            config.pattern,
+            config.oni_count,
+            config.words_per_message,
+            config.class,
+            config.mean_inter_arrival_ns,
+            config.deadline_slack_ns,
+            config.seed,
+        )
+        .generate();
+        let injection_order = generated.iter().map(|m| m.id).collect();
+        let messages = generated.into_iter().map(|m| (m.id, m)).collect();
+
+        Ok(Self {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
+            config,
+            decision,
+            messages,
+            injection_order,
+        })
+    }
+
+    /// The operating point selected by the manager for this run.
+    #[must_use]
+    pub fn decision(&self) -> &ManagerDecision {
+        &self.decision
+    }
+
+    /// Number of messages that will be injected.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    #[must_use]
+    pub fn run(mut self) -> SimulationReport {
+        let point = self.decision.point;
+        let scheme = point.scheme();
+        let decoded_ber = point.target_ber();
+        let word_duration = point.timing.serialization_time;
+        let codec_latency = point.timing.codec_latency;
+        let channel_power_mw = point.channel_power.value();
+
+        // Residual-error probability per delivered 64-bit word, and the
+        // probability that the decoder had to correct something in a word.
+        let word_error_probability = 1.0 - (1.0 - decoded_ber).powi(64);
+        let encoded_bits = scheme.encoded_bits_per_word(64) as i32;
+        let corrected_probability = 1.0 - (1.0 - point.laser.raw_ber).powi(encoded_bits);
+
+        let mut stats = SimStats {
+            injected_messages: self.messages.len() as u64,
+            ..SimStats::default()
+        };
+        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut sequence = 0u64;
+
+        for &id in &self.injection_order {
+            let message = self.messages[&id];
+            queue.push(Reverse(Event {
+                time: message.injected_at,
+                sequence,
+                kind: EventKind::Inject,
+                message: id,
+            }));
+            sequence += 1;
+        }
+
+        let mut busy: HashMap<usize, bool> = HashMap::new();
+        let mut makespan = SimTime::ZERO;
+
+        while let Some(Reverse(event)) = queue.pop() {
+            makespan = makespan.max_time(event.time);
+            let message = self.messages[&event.message];
+            match event.kind {
+                EventKind::Inject => {
+                    let arbiter = arbiters.entry(message.destination).or_default();
+                    arbiter.request(message.source, message.id);
+                    Self::try_start(
+                        message.destination,
+                        event.time,
+                        &mut arbiters,
+                        &mut busy,
+                        &mut queue,
+                        &mut sequence,
+                        &self.messages,
+                        word_duration,
+                        codec_latency,
+                    );
+                }
+                EventKind::Complete => {
+                    let duration_ns =
+                        codec_latency.value() + word_duration.value() * message.words as f64;
+                    stats.delivered_messages += 1;
+                    stats.delivered_bits += message.payload_bits();
+                    stats.channel_busy_ns += duration_ns;
+                    stats.energy_pj += channel_power_mw * duration_ns;
+                    let latency = event.time.since(message.injected_at).value();
+                    stats.total_latency_ns += latency;
+                    stats.max_latency_ns = stats.max_latency_ns.max(latency);
+                    if message.misses_deadline(event.time) {
+                        stats.deadline_misses += 1;
+                    }
+                    for _ in 0..message.words {
+                        if self.rng.gen_bool(word_error_probability.clamp(0.0, 1.0)) {
+                            stats.corrupted_bits += 1;
+                        }
+                        if self.rng.gen_bool(corrected_probability.clamp(0.0, 1.0)) {
+                            stats.corrected_words += 1;
+                        }
+                    }
+                    let arbiter = arbiters
+                        .get_mut(&message.destination)
+                        .expect("completion implies a prior grant");
+                    arbiter.release(message.id);
+                    busy.insert(message.destination, false);
+                    Self::try_start(
+                        message.destination,
+                        event.time,
+                        &mut arbiters,
+                        &mut busy,
+                        &mut queue,
+                        &mut sequence,
+                        &self.messages,
+                        word_duration,
+                        codec_latency,
+                    );
+                }
+            }
+        }
+
+        stats.makespan_ns = makespan.as_nanos();
+        SimulationReport {
+            config: self.config,
+            scheme,
+            channel_power_mw,
+            decoded_ber,
+            stats,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_start(
+        destination: usize,
+        now: SimTime,
+        arbiters: &mut HashMap<usize, TokenArbiter>,
+        busy: &mut HashMap<usize, bool>,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        sequence: &mut u64,
+        messages: &HashMap<MessageId, Message>,
+        word_duration: onoc_units::Nanoseconds,
+        codec_latency: onoc_units::Nanoseconds,
+    ) {
+        if *busy.get(&destination).unwrap_or(&false) {
+            return;
+        }
+        let arbiter = arbiters.entry(destination).or_default();
+        if let Some((_, id)) = arbiter.grant() {
+            let message = messages[&id];
+            let duration = onoc_units::Nanoseconds::new(
+                codec_latency.value() + word_duration.value() * message.words as f64,
+            );
+            busy.insert(destination, true);
+            queue.push(Reverse(Event {
+                time: now.advanced_by(duration),
+                sequence: *sequence,
+                kind: EventKind::Complete,
+                message: id,
+            }));
+            *sequence += 1;
+        }
+    }
+}
+
+impl SimTime {
+    /// Maximum of two timestamps (small helper local to the engine).
+    #[must_use]
+    fn max_time(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SimulationConfig {
+        SimulationConfig {
+            oni_count: 6,
+            pattern: TrafficPattern::UniformRandom { messages_per_node: 15 },
+            class: TrafficClass::Bulk,
+            words_per_message: 8,
+            mean_inter_arrival_ns: 2.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 3,
+            ..SimulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_injected_messages_are_delivered() {
+        let sim = Simulation::new(quick_config()).unwrap();
+        let injected = sim.message_count() as u64;
+        let report = sim.run();
+        assert_eq!(report.stats.injected_messages, injected);
+        assert_eq!(report.stats.delivered_messages, injected);
+        assert_eq!(report.stats.delivered_bits, injected * 8 * 64);
+        assert!(report.stats.makespan_ns > 0.0);
+        assert!(report.stats.mean_latency_ns() > 0.0);
+    }
+
+    #[test]
+    fn bulk_traffic_runs_on_h7164() {
+        let report = Simulation::new(quick_config()).unwrap().run();
+        assert_eq!(report.scheme, EccScheme::Hamming7164);
+        assert!(report.channel_power_mw > 50.0 && report.channel_power_mw < 300.0);
+    }
+
+    #[test]
+    fn real_time_traffic_is_faster_but_hungrier() {
+        let bulk = Simulation::new(quick_config()).unwrap().run();
+        let rt = Simulation::new(SimulationConfig {
+            class: TrafficClass::RealTime,
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(rt.scheme, EccScheme::Uncoded);
+        assert!(rt.stats.mean_latency_ns() < bulk.stats.mean_latency_ns());
+        assert!(rt.channel_power_mw > bulk.channel_power_mw);
+        assert!(rt.stats.energy_per_bit_pj() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_congestion_increases_latency() {
+        let uniform = Simulation::new(quick_config()).unwrap().run();
+        let hotspot = Simulation::new(SimulationConfig {
+            pattern: TrafficPattern::Hotspot { destination: 0, messages_per_node: 15 },
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        assert!(hotspot.stats.mean_latency_ns() > uniform.stats.mean_latency_ns());
+    }
+
+    #[test]
+    fn deadlines_are_tracked() {
+        let report = Simulation::new(SimulationConfig {
+            class: TrafficClass::RealTime,
+            pattern: TrafficPattern::Hotspot { destination: 1, messages_per_node: 30 },
+            deadline_slack_ns: Some(10.0),
+            mean_inter_arrival_ns: 0.5,
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        // A congested hotspot with tight deadlines must miss some of them.
+        assert!(report.stats.deadline_misses > 0);
+        assert!(report.stats.deadline_miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = Simulation::new(quick_config()).unwrap().run();
+        let b = Simulation::new(quick_config()).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn residual_errors_are_rare_at_strict_ber() {
+        let report = Simulation::new(quick_config()).unwrap().run();
+        // At BER 1e-11 the expected number of corrupted words over this run
+        // is far below one.
+        assert_eq!(report.stats.corrupted_bits, 0);
+        assert!((report.stats.observed_ber() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_ber_multimedia_run_still_delivers_everything() {
+        let report = Simulation::new(SimulationConfig {
+            class: TrafficClass::Multimedia,
+            nominal_ber: 1e-6,
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(report.stats.delivered_messages, report.stats.injected_messages);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            Simulation::new(SimulationConfig { oni_count: 1, ..quick_config() }),
+            Err(SimulationError::InvalidConfiguration { .. })
+        ));
+        assert!(matches!(
+            Simulation::new(SimulationConfig { words_per_message: 0, ..quick_config() }),
+            Err(SimulationError::InvalidConfiguration { .. })
+        ));
+        assert!(matches!(
+            Simulation::new(SimulationConfig { nominal_ber: 0.7, ..quick_config() }),
+            Err(SimulationError::InvalidConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_class_is_reported() {
+        // Real-time traffic (CT = 1.0 → uncoded only) at an unreachable BER.
+        let err = Simulation::new(SimulationConfig {
+            class: TrafficClass::RealTime,
+            nominal_ber: 1e-12,
+            ..quick_config()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimulationError::NoFeasibleConfiguration { .. }));
+        assert!(err.to_string().contains("RealTime"));
+    }
+
+    #[test]
+    fn energy_scales_with_channel_occupancy() {
+        let report = Simulation::new(quick_config()).unwrap().run();
+        let expected = report.channel_power_mw * report.stats.channel_busy_ns;
+        assert!((report.stats.energy_pj - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! Discrete-event optical NoC simulator.
+//!
+//! The paper's future work is to "simulate the execution of standard
+//! benchmark applications on nanophotonic interconnects"; its Section III-C
+//! describes the run-time manager that selects the communication scheme per
+//! transfer.  This crate provides the missing substrate: an event-driven
+//! simulator of an MWSR-based optical NoC whose channels are backed by the
+//! photonic link budget of `onoc-photonics`, whose interfaces use the coding
+//! and cost models of `onoc-ecc-codes`/`onoc-interface`, and whose link
+//! manager is the policy of `onoc-link`.
+//!
+//! The simulator is deliberately message-level (one event per word burst, not
+//! per bit): error injection uses the analytic decoded-BER of the configured
+//! operating point, which the `onoc-ecc-codes` Monte-Carlo tests validate
+//! against bit-true decoding.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_sim::{Simulation, SimulationConfig, traffic::TrafficPattern};
+//! use onoc_link::TrafficClass;
+//!
+//! let config = SimulationConfig {
+//!     oni_count: 4,
+//!     pattern: TrafficPattern::UniformRandom { messages_per_node: 20 },
+//!     class: TrafficClass::Bulk,
+//!     words_per_message: 8,
+//!     seed: 7,
+//!     ..SimulationConfig::default()
+//! };
+//! let report = Simulation::new(config)?.run();
+//! assert_eq!(report.stats.delivered_messages, 4 * 20);
+//! # Ok::<(), onoc_sim::SimulationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod engine;
+pub mod packet;
+pub mod stats;
+pub mod time;
+pub mod traffic;
+
+pub use engine::{Simulation, SimulationConfig, SimulationError, SimulationReport};
+pub use packet::{Message, MessageId};
+pub use stats::SimStats;
+pub use time::SimTime;

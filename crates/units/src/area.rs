@@ -1,0 +1,42 @@
+//! Silicon area quantities for the synthesized interface blocks.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Area in square micrometres (the unit of Table I of the paper).
+    ///
+    /// ```
+    /// use onoc_units::SquareMicrometers;
+    /// let transmitter = SquareMicrometers::new(2013.0);
+    /// let receiver = SquareMicrometers::new(3050.0);
+    /// assert!((transmitter + receiver).value() > 5000.0);
+    /// ```
+    SquareMicrometers,
+    "um^2"
+);
+
+impl SquareMicrometers {
+    /// Converts to square millimetres.
+    #[must_use]
+    pub fn to_square_millimeters(self) -> f64 {
+        self.value() * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_area_is_small_in_mm2() {
+        let total = SquareMicrometers::new(2013.0) + SquareMicrometers::new(3050.0);
+        assert!(total.to_square_millimeters() < 0.01);
+    }
+
+    #[test]
+    fn area_scaling() {
+        // 16 parallel H(7,4) coders.
+        let one = SquareMicrometers::new(551.0 / 16.0);
+        assert!(((one * 16.0).value() - 551.0).abs() < 1e-9);
+    }
+}

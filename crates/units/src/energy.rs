@@ -1,0 +1,151 @@
+//! Energy and energy-per-bit quantities (pJ, fJ, pJ/bit).
+
+use crate::frequency::GigabitsPerSecond;
+use crate::power::Milliwatts;
+use crate::quantity::quantity;
+use crate::time::Nanoseconds;
+
+quantity!(
+    /// Energy expressed in picojoules.
+    ///
+    /// ```
+    /// use onoc_units::{Picojoules, Milliwatts, Nanoseconds};
+    /// let e = Picojoules::from_power_and_time(Milliwatts::new(251.0), Nanoseconds::new(1.0));
+    /// assert!((e.value() - 251.0).abs() < 1e-9);
+    /// ```
+    Picojoules,
+    "pJ"
+);
+
+quantity!(
+    /// Energy expressed in femtojoules.
+    Femtojoules,
+    "fJ"
+);
+
+quantity!(
+    /// Energy efficiency expressed in picojoules per transmitted bit.
+    ///
+    /// The headline figures of the paper are 3.92 pJ/bit for an uncoded
+    /// transmission and 3.76 pJ/bit for H(71,64) at BER = 10⁻¹¹.
+    ///
+    /// ```
+    /// use onoc_units::{PicojoulesPerBit, Milliwatts, GigabitsPerSecond};
+    /// let e = PicojoulesPerBit::from_power_and_rate(
+    ///     Milliwatts::new(251.0),
+    ///     GigabitsPerSecond::new(64.0),
+    /// );
+    /// assert!((e.value() - 3.92).abs() < 0.01);
+    /// ```
+    PicojoulesPerBit,
+    "pJ/bit"
+);
+
+impl Picojoules {
+    /// Energy dissipated by `power` over `time`.
+    #[must_use]
+    pub fn from_power_and_time(power: Milliwatts, time: Nanoseconds) -> Self {
+        // mW × ns = pJ exactly.
+        Self::new(power.value() * time.value())
+    }
+
+    /// Converts to femtojoules.
+    #[must_use]
+    pub fn to_femtojoules(self) -> Femtojoules {
+        Femtojoules::new(self.value() * 1e3)
+    }
+
+    /// Divides by a number of bits to obtain a per-bit figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn per_bits(self, bits: u64) -> PicojoulesPerBit {
+        assert!(bits > 0, "cannot divide energy by zero bits");
+        PicojoulesPerBit::new(self.value() / bits as f64)
+    }
+}
+
+impl Femtojoules {
+    /// Converts to picojoules.
+    #[must_use]
+    pub fn to_picojoules(self) -> Picojoules {
+        Picojoules::new(self.value() * 1e-3)
+    }
+}
+
+impl PicojoulesPerBit {
+    /// Energy per bit of a transmitter dissipating `power` while delivering
+    /// payload at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[must_use]
+    pub fn from_power_and_rate(power: Milliwatts, rate: GigabitsPerSecond) -> Self {
+        assert!(rate.value() > 0.0, "data rate must be positive");
+        // mW / (Gb/s) = pJ/bit exactly.
+        Self::new(power.value() / rate.value())
+    }
+}
+
+impl From<Femtojoules> for Picojoules {
+    fn from(value: Femtojoules) -> Self {
+        value.to_picojoules()
+    }
+}
+
+impl From<Picojoules> for Femtojoules {
+    fn from(value: Picojoules) -> Self {
+        value.to_femtojoules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_yields_picojoules() {
+        let e = Picojoules::from_power_and_time(Milliwatts::new(15.7), Nanoseconds::new(1.75));
+        assert!((e.value() - 27.475).abs() < 1e-9);
+    }
+
+    #[test]
+    fn femto_pico_round_trip() {
+        let e = Picojoules::new(3.92);
+        assert!((Picojoules::from(Femtojoules::from(e)).value() - 3.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_bits_division() {
+        let word_energy = Picojoules::from_power_and_time(Milliwatts::new(251.0), Nanoseconds::new(1.0));
+        let per_bit = word_energy.per_bits(64);
+        assert!((per_bit.value() - 3.921_875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_uncoded_energy_per_bit_matches() {
+        let e = PicojoulesPerBit::from_power_and_rate(
+            Milliwatts::new(251.0),
+            GigabitsPerSecond::new(64.0),
+        );
+        assert!((e.value() - 3.92).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bits")]
+    fn per_zero_bits_panics() {
+        let _ = Picojoules::new(1.0).per_bits(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PicojoulesPerBit::from_power_and_rate(
+            Milliwatts::new(1.0),
+            GigabitsPerSecond::new(0.0),
+        );
+    }
+}

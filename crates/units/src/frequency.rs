@@ -1,0 +1,134 @@
+//! Frequency and data-rate quantities (Hz, GHz, Gb/s).
+
+use crate::quantity::quantity;
+use crate::time::Nanoseconds;
+
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+quantity!(
+    /// Frequency in gigahertz.
+    ///
+    /// The IP cores of the paper are clocked at F_IP = 1 GHz and the optical
+    /// modulation speed is F_mod = 10 GHz.
+    ///
+    /// ```
+    /// use onoc_units::Gigahertz;
+    /// let f_ip = Gigahertz::new(1.0);
+    /// assert!((f_ip.period().value() - 1.0).abs() < 1e-12);
+    /// ```
+    Gigahertz,
+    "GHz"
+);
+
+quantity!(
+    /// Serial data rate in gigabits per second.
+    ///
+    /// With on-off-keying modulation, a modulation frequency of 10 GHz carries
+    /// 10 Gb/s on a single wavelength.
+    ///
+    /// ```
+    /// use onoc_units::GigabitsPerSecond;
+    /// let per_wavelength = GigabitsPerSecond::new(10.0);
+    /// let channel = per_wavelength * 16.0;
+    /// assert!((channel.value() - 160.0).abs() < 1e-12);
+    /// ```
+    GigabitsPerSecond,
+    "Gb/s"
+);
+
+impl Hertz {
+    /// Converts to gigahertz.
+    #[must_use]
+    pub fn to_gigahertz(self) -> Gigahertz {
+        Gigahertz::new(self.value() * 1e-9)
+    }
+}
+
+impl Gigahertz {
+    /// Converts to hertz.
+    #[must_use]
+    pub fn to_hertz(self) -> Hertz {
+        Hertz::new(self.value() * 1e9)
+    }
+
+    /// Clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Nanoseconds {
+        assert!(self.value() > 0.0, "cannot take the period of a zero frequency");
+        Nanoseconds::new(1.0 / self.value())
+    }
+
+    /// OOK data rate obtained by modulating at this frequency (1 bit/cycle).
+    #[must_use]
+    pub fn to_ook_rate(self) -> GigabitsPerSecond {
+        GigabitsPerSecond::new(self.value())
+    }
+}
+
+impl GigabitsPerSecond {
+    /// Time needed to serially transmit `bits` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[must_use]
+    pub fn transmission_time(self, bits: u64) -> Nanoseconds {
+        assert!(self.value() > 0.0, "data rate must be positive");
+        Nanoseconds::new(bits as f64 / self.value())
+    }
+}
+
+impl From<Gigahertz> for Hertz {
+    fn from(value: Gigahertz) -> Self {
+        value.to_hertz()
+    }
+}
+
+impl From<Hertz> for Gigahertz {
+    fn from(value: Hertz) -> Self {
+        value.to_gigahertz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_gigahertz_round_trip() {
+        let f = Gigahertz::new(10.0);
+        assert!((Gigahertz::from(Hertz::from(f)).value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_of_one_gigahertz_is_one_nanosecond() {
+        assert!((Gigahertz::new(1.0).period().value() - 1.0).abs() < 1e-12);
+        assert!((Gigahertz::new(10.0).period().value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ook_rate_equals_modulation_frequency() {
+        assert!((Gigahertz::new(10.0).to_ook_rate().value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmission_time_for_hamming_block() {
+        // 112 bits (16 × H(7,4) codewords) at 10 Gb/s take 11.2 ns.
+        let t = GigabitsPerSecond::new(10.0).transmission_time(112);
+        assert!((t.value() - 11.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn period_of_zero_panics() {
+        let _ = Gigahertz::new(0.0).period();
+    }
+}

@@ -1,0 +1,129 @@
+//! Length quantities: waveguide lengths (cm), device footprints (µm) and
+//! optical wavelengths (nm).
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Length in centimetres.
+    ///
+    /// The MWSR waveguide of the paper is 6 cm long.
+    Centimeters,
+    "cm"
+);
+
+quantity!(
+    /// Length in micrometres.
+    Micrometers,
+    "um"
+);
+
+quantity!(
+    /// Length in nanometres; used for optical wavelengths around 1520–1560 nm
+    /// and for micro-ring resonance shifts of a few tens of picometres.
+    ///
+    /// ```
+    /// use onoc_units::Nanometers;
+    /// let lambda_0 = Nanometers::new(1520.25);
+    /// let shift = Nanometers::new(0.02);
+    /// assert!(((lambda_0 + shift).value() - 1520.27).abs() < 1e-9);
+    /// ```
+    Nanometers,
+    "nm"
+);
+
+impl Centimeters {
+    /// Converts to micrometres.
+    #[must_use]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers::new(self.value() * 1e4)
+    }
+}
+
+impl Micrometers {
+    /// Converts to centimetres.
+    #[must_use]
+    pub fn to_centimeters(self) -> Centimeters {
+        Centimeters::new(self.value() * 1e-4)
+    }
+
+    /// Converts to nanometres.
+    #[must_use]
+    pub fn to_nanometers(self) -> Nanometers {
+        Nanometers::new(self.value() * 1e3)
+    }
+}
+
+impl Nanometers {
+    /// Converts to micrometres.
+    #[must_use]
+    pub fn to_micrometers(self) -> Micrometers {
+        Micrometers::new(self.value() * 1e-3)
+    }
+
+    /// Optical frequency (in GHz) of light at this vacuum wavelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wavelength is zero.
+    #[must_use]
+    pub fn to_optical_frequency_ghz(self) -> crate::Gigahertz {
+        assert!(self.value() > 0.0, "wavelength must be positive");
+        const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+        let lambda_m = self.value() * 1e-9;
+        crate::Gigahertz::new(SPEED_OF_LIGHT_M_PER_S / lambda_m / 1e9)
+    }
+}
+
+impl From<Centimeters> for Micrometers {
+    fn from(value: Centimeters) -> Self {
+        value.to_micrometers()
+    }
+}
+
+impl From<Micrometers> for Centimeters {
+    fn from(value: Micrometers) -> Self {
+        value.to_centimeters()
+    }
+}
+
+impl From<Micrometers> for Nanometers {
+    fn from(value: Micrometers) -> Self {
+        value.to_nanometers()
+    }
+}
+
+impl From<Nanometers> for Micrometers {
+    fn from(value: Nanometers) -> Self {
+        value.to_micrometers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centimeter_micrometer_round_trip() {
+        let l = Centimeters::new(6.0);
+        assert!((Centimeters::from(Micrometers::from(l)).value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanometer_micrometer_round_trip() {
+        let l = Nanometers::new(1520.25);
+        assert!((Nanometers::from(Micrometers::from(l)).value() - 1520.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_band_wavelength_frequency() {
+        // 1550 nm is roughly 193.4 THz.
+        let f = Nanometers::new(1550.0).to_optical_frequency_ghz();
+        assert!((f.value() - 193_414.0).abs() < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_wavelength_frequency_panics() {
+        let _ = Nanometers::new(0.0).to_optical_frequency_ghz();
+    }
+}

@@ -1,0 +1,282 @@
+//! Electrical and optical power quantities (W, mW, µW, nW).
+//!
+//! Laser electrical power budgets are naturally expressed in milliwatts, while
+//! on-chip optical signal levels at the photodetector are in the microwatt
+//! range and leakage of the 28 nm interface blocks is reported in nanowatts.
+//! Keeping them as distinct types prevents the classic thousand-fold mistakes.
+
+use crate::quantity::quantity;
+use crate::ratio::{Decibels, LinearRatio};
+
+quantity!(
+    /// Power expressed in watts.
+    ///
+    /// ```
+    /// use onoc_units::{Watts, Milliwatts};
+    /// let total = Watts::from(Milliwatts::new(251.0) * 12.0);
+    /// assert!((total.value() - 3.012).abs() < 1e-12);
+    /// ```
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Power expressed in milliwatts.
+    ///
+    /// This is the natural unit for per-wavelength channel power in the paper
+    /// (e.g. P_laser = 14.3 mW for an uncoded transmission at BER = 10⁻¹¹).
+    ///
+    /// ```
+    /// use onoc_units::Milliwatts;
+    /// let laser = Milliwatts::new(14.35);
+    /// let ring = Milliwatts::new(1.36);
+    /// assert!(((laser + ring).value() - 15.71).abs() < 1e-9);
+    /// ```
+    Milliwatts,
+    "mW"
+);
+
+quantity!(
+    /// Power expressed in microwatts.
+    ///
+    /// Optical signal levels at the photodetector and the laser optical output
+    /// power (OP_laser, capped at 700 µW in the paper) live in this range.
+    ///
+    /// ```
+    /// use onoc_units::{Microwatts, Decibels};
+    /// let emitted = Microwatts::new(700.0);
+    /// let received = emitted.attenuated_by(Decibels::new(3.0));
+    /// assert!((received.value() - 350.7).abs() < 1.0);
+    /// ```
+    Microwatts,
+    "uW"
+);
+
+quantity!(
+    /// Power expressed in nanowatts.
+    ///
+    /// Static (leakage) power of the synthesized interface blocks is reported
+    /// in nanowatts in Table I of the paper.
+    ///
+    /// ```
+    /// use onoc_units::{Nanowatts, Microwatts};
+    /// let leakage = Nanowatts::new(17.7);
+    /// assert!((Microwatts::from(leakage).value() - 0.0177).abs() < 1e-12);
+    /// ```
+    Nanowatts,
+    "nW"
+);
+
+impl Watts {
+    /// Converts to milliwatts.
+    #[must_use]
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts::new(self.value() * 1e3)
+    }
+}
+
+impl Milliwatts {
+    /// Converts to watts.
+    #[must_use]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(self.value() * 1e-3)
+    }
+
+    /// Converts to microwatts.
+    #[must_use]
+    pub fn to_microwatts(self) -> Microwatts {
+        Microwatts::new(self.value() * 1e3)
+    }
+
+    /// Expresses this power in dBm (decibels referenced to 1 mW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is zero (−∞ dBm is not representable).
+    #[must_use]
+    pub fn to_dbm(self) -> Decibels {
+        assert!(self.value() > 0.0, "cannot express zero power in dBm");
+        Decibels::new(10.0 * self.value().log10())
+    }
+
+    /// Builds a power value from a dBm figure.
+    #[must_use]
+    pub fn from_dbm(dbm: Decibels) -> Self {
+        Self::new(10f64.powf(dbm.value() / 10.0))
+    }
+
+    /// Applies a loss (positive dB value attenuates).
+    #[must_use]
+    pub fn attenuated_by(self, loss: Decibels) -> Self {
+        Self::new(self.value() * loss.to_attenuation().value())
+    }
+
+    /// Applies a gain expressed as a linear ratio.
+    #[must_use]
+    pub fn scaled_by(self, ratio: LinearRatio) -> Self {
+        Self::new(self.value() * ratio.value())
+    }
+}
+
+impl Microwatts {
+    /// Converts to milliwatts.
+    #[must_use]
+    pub fn to_milliwatts(self) -> Milliwatts {
+        Milliwatts::new(self.value() * 1e-3)
+    }
+
+    /// Expresses this power in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is zero.
+    #[must_use]
+    pub fn to_dbm(self) -> Decibels {
+        self.to_milliwatts().to_dbm()
+    }
+
+    /// Builds a power value from a dBm figure.
+    #[must_use]
+    pub fn from_dbm(dbm: Decibels) -> Self {
+        Milliwatts::from_dbm(dbm).to_microwatts()
+    }
+
+    /// Applies a loss (positive dB value attenuates).
+    #[must_use]
+    pub fn attenuated_by(self, loss: Decibels) -> Self {
+        Self::new(self.value() * loss.to_attenuation().value())
+    }
+
+    /// Applies a gain expressed as a linear ratio.
+    #[must_use]
+    pub fn scaled_by(self, ratio: LinearRatio) -> Self {
+        Self::new(self.value() * ratio.value())
+    }
+}
+
+impl Nanowatts {
+    /// Converts to microwatts.
+    #[must_use]
+    pub fn to_microwatts(self) -> Microwatts {
+        Microwatts::new(self.value() * 1e-3)
+    }
+}
+
+impl From<Milliwatts> for Watts {
+    fn from(value: Milliwatts) -> Self {
+        value.to_watts()
+    }
+}
+
+impl From<Watts> for Milliwatts {
+    fn from(value: Watts) -> Self {
+        value.to_milliwatts()
+    }
+}
+
+impl From<Milliwatts> for Microwatts {
+    fn from(value: Milliwatts) -> Self {
+        value.to_microwatts()
+    }
+}
+
+impl From<Microwatts> for Milliwatts {
+    fn from(value: Microwatts) -> Self {
+        value.to_milliwatts()
+    }
+}
+
+impl From<Nanowatts> for Microwatts {
+    fn from(value: Nanowatts) -> Self {
+        value.to_microwatts()
+    }
+}
+
+impl From<Nanowatts> for Milliwatts {
+    fn from(value: Nanowatts) -> Self {
+        value.to_microwatts().to_milliwatts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milliwatt_microwatt_round_trip() {
+        let p = Milliwatts::new(14.3);
+        let back = Milliwatts::from(Microwatts::from(p));
+        assert!((back.value() - 14.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_round_trip() {
+        let p = Watts::new(0.251);
+        assert!((Watts::from(Milliwatts::from(p)).value() - 0.251).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbm_conversion_matches_reference_points() {
+        assert!((Milliwatts::new(1.0).to_dbm().value()).abs() < 1e-12);
+        assert!((Milliwatts::new(10.0).to_dbm().value() - 10.0).abs() < 1e-12);
+        let p = Microwatts::new(700.0);
+        // 0.7 mW ≈ -1.549 dBm
+        assert!((p.to_dbm().value() + 1.549).abs() < 1e-2);
+    }
+
+    #[test]
+    fn from_dbm_inverts_to_dbm() {
+        let p = Microwatts::new(91.0);
+        let round = Microwatts::from_dbm(p.to_dbm());
+        assert!((round.value() - 91.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attenuation_by_3db_roughly_halves() {
+        let p = Microwatts::new(100.0).attenuated_by(Decibels::new(3.0));
+        assert!((p.value() - 50.12).abs() < 0.05);
+    }
+
+    #[test]
+    fn attenuation_by_zero_db_is_identity() {
+        let p = Microwatts::new(123.4).attenuated_by(Decibels::new(0.0));
+        assert!((p.value() - 123.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Milliwatts = [1.36, 14.35, 0.0096]
+            .iter()
+            .map(|&v| Milliwatts::new(v))
+            .sum();
+        assert!((total.value() - 15.7196).abs() < 1e-9);
+        assert!((total * 16.0).value() > 251.0);
+    }
+
+    #[test]
+    fn min_max_zero() {
+        let a = Milliwatts::new(1.0);
+        let b = Milliwatts::new(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(Milliwatts::zero().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = Milliwatts::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero power")]
+    fn zero_dbm_conversion_panics() {
+        let _ = Milliwatts::zero().to_dbm();
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Milliwatts::new(1.5).to_string(), "1.5 mW");
+        assert_eq!(format!("{:.2}", Microwatts::new(91.456)), "91.46 uW");
+    }
+}

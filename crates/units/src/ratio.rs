@@ -1,0 +1,182 @@
+//! Dimensionless ratios: decibels, linear ratios and per-length attenuation.
+
+use crate::length::Centimeters;
+use crate::quantity::quantity;
+
+quantity!(
+    /// A dimensionless ratio in linear scale (power ratio, not amplitude).
+    ///
+    /// ```
+    /// use onoc_units::{LinearRatio, Decibels};
+    /// let half = LinearRatio::new(0.5);
+    /// assert!((half.to_decibels().value() + 3.0103).abs() < 1e-3);
+    /// ```
+    LinearRatio,
+    "x"
+);
+
+quantity!(
+    /// A ratio expressed in decibels (10·log₁₀ of a power ratio).
+    ///
+    /// Positive values denote losses when passed to
+    /// [`Microwatts::attenuated_by`](crate::Microwatts::attenuated_by) and
+    /// gains when used via [`Decibels::to_gain`].
+    ///
+    /// ```
+    /// use onoc_units::Decibels;
+    /// let extinction_ratio = Decibels::new(6.9);
+    /// assert!((extinction_ratio.to_attenuation().value() - 0.2042).abs() < 1e-3);
+    /// ```
+    Decibels,
+    "dB",
+    allow_negative
+);
+
+quantity!(
+    /// Propagation loss per unit length, in dB/cm.
+    ///
+    /// The paper assumes 0.274 dB/cm silicon waveguide loss (ref. [17]).
+    ///
+    /// ```
+    /// use onoc_units::{DecibelsPerCentimeter, Centimeters};
+    /// let loss = DecibelsPerCentimeter::new(0.274);
+    /// let total = loss.over(Centimeters::new(6.0));
+    /// assert!((total.value() - 1.644).abs() < 1e-9);
+    /// ```
+    DecibelsPerCentimeter,
+    "dB/cm"
+);
+
+impl LinearRatio {
+    /// Identity ratio (1.0, i.e. 0 dB).
+    #[must_use]
+    pub fn unity() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Converts this linear power ratio to decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is zero.
+    #[must_use]
+    pub fn to_decibels(self) -> Decibels {
+        assert!(self.value() > 0.0, "cannot express a zero ratio in dB");
+        Decibels::new(10.0 * self.value().log10())
+    }
+}
+
+impl std::ops::Mul for LinearRatio {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(self.value() * rhs.value())
+    }
+}
+
+impl std::iter::Product for LinearRatio {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::unity(), |acc, r| acc * r)
+    }
+}
+
+impl Decibels {
+    /// Interprets the dB value as an attenuation and returns the resulting
+    /// linear transmission factor `10^(-dB/10)` (≤ 1 for positive dB).
+    #[must_use]
+    pub fn to_attenuation(self) -> LinearRatio {
+        LinearRatio::new(10f64.powf(-self.value() / 10.0))
+    }
+
+    /// Interprets the dB value as a gain and returns `10^(dB/10)`.
+    #[must_use]
+    pub fn to_gain(self) -> LinearRatio {
+        LinearRatio::new(10f64.powf(self.value() / 10.0))
+    }
+
+    /// Builds a dB figure from a linear power ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    #[must_use]
+    pub fn from_ratio(ratio: LinearRatio) -> Self {
+        ratio.to_decibels()
+    }
+}
+
+impl DecibelsPerCentimeter {
+    /// Total loss accumulated over a propagation `length`.
+    #[must_use]
+    pub fn over(self, length: Centimeters) -> Decibels {
+        Decibels::new(self.value() * length.value())
+    }
+}
+
+impl From<LinearRatio> for Decibels {
+    fn from(value: LinearRatio) -> Self {
+        value.to_decibels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_attenuation_reference_points() {
+        assert!((Decibels::new(0.0).to_attenuation().value() - 1.0).abs() < 1e-12);
+        assert!((Decibels::new(10.0).to_attenuation().value() - 0.1).abs() < 1e-12);
+        assert!((Decibels::new(3.0).to_attenuation().value() - 0.5012).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gain_is_reciprocal_of_attenuation() {
+        let db = Decibels::new(6.9);
+        let product = db.to_gain().value() * db.to_attenuation().value();
+        assert!((product - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_db_is_a_gain_when_attenuating() {
+        let amplified = Decibels::new(-3.0).to_attenuation();
+        assert!(amplified.value() > 1.0);
+    }
+
+    #[test]
+    fn ratio_db_round_trip() {
+        let r = LinearRatio::new(0.2042);
+        let back = Decibels::from(r).to_attenuation();
+        // to_attenuation inverts the sign, so compose with from_ratio instead.
+        assert!((back.value() - 1.0 / 0.2042).abs() / (1.0 / 0.2042) < 1e-9);
+        let direct = Decibels::from_ratio(r).to_gain();
+        assert!((direct.value() - 0.2042).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_product() {
+        let total: LinearRatio = [0.5, 0.5, 2.0].iter().map(|&v| LinearRatio::new(v)).product();
+        assert!((total.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveguide_loss_of_the_paper() {
+        let per_cm = DecibelsPerCentimeter::new(0.274);
+        let loss = per_cm.over(Centimeters::new(6.0));
+        assert!((loss.value() - 1.644).abs() < 1e-9);
+        // 1.644 dB ≈ 68.5 % transmission
+        assert!((loss.to_attenuation().value() - 0.6853).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ratio")]
+    fn zero_ratio_to_db_panics() {
+        let _ = LinearRatio::new(0.0).to_decibels();
+    }
+
+    #[test]
+    fn db_sum_behaves_like_cascade() {
+        let cascade = Decibels::new(1.644) + Decibels::new(6.9);
+        let direct = Decibels::new(1.644).to_attenuation() * Decibels::new(6.9).to_attenuation();
+        assert!((cascade.to_attenuation().value() - direct.value()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Temperature quantities used by the VCSEL thermal-efficiency model.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Temperature in degrees Celsius.
+    ///
+    /// ```
+    /// use onoc_units::Celsius;
+    /// let ambient = Celsius::new(25.0);
+    /// let self_heating = Celsius::new(40.0);
+    /// assert!((ambient + self_heating).value() > 60.0);
+    /// ```
+    Celsius,
+    "degC",
+    allow_negative
+);
+
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+
+impl Celsius {
+    /// Converts to kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature is below absolute zero.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        let k = self.value() + 273.15;
+        assert!(k >= 0.0, "temperature below absolute zero");
+        Kelvin::new(k)
+    }
+}
+
+impl Kelvin {
+    /// Converts to degrees Celsius.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.value() - 273.15)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(value: Celsius) -> Self {
+        value.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(value: Kelvin) -> Self {
+        value.to_celsius()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Celsius::new(85.0);
+        assert!((Celsius::from(Kelvin::from(t)).value() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_celsius_is_273_kelvin() {
+        assert!((Celsius::new(0.0).to_kelvin().value() - 273.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_celsius_allowed() {
+        assert!((Celsius::new(-40.0).to_kelvin().value() - 233.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute zero")]
+    fn below_absolute_zero_rejected() {
+        let _ = Celsius::new(-300.0).to_kelvin();
+    }
+}

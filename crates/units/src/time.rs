@@ -1,0 +1,126 @@
+//! Time quantities: clock periods and serialisation delays.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+
+quantity!(
+    /// Time in nanoseconds (the IP-level clock period is 1 ns in the paper).
+    ///
+    /// ```
+    /// use onoc_units::Nanoseconds;
+    /// let uncoded = Nanoseconds::new(6.4);
+    /// let hamming74 = uncoded * 1.75;
+    /// assert!((hamming74.value() - 11.2).abs() < 1e-9);
+    /// ```
+    Nanoseconds,
+    "ns"
+);
+
+quantity!(
+    /// Time in picoseconds (critical-path figures of Table I).
+    Picoseconds,
+    "ps"
+);
+
+impl Seconds {
+    /// Converts to nanoseconds.
+    #[must_use]
+    pub fn to_nanoseconds(self) -> Nanoseconds {
+        Nanoseconds::new(self.value() * 1e9)
+    }
+}
+
+impl Nanoseconds {
+    /// Converts to seconds.
+    #[must_use]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.value() * 1e-9)
+    }
+
+    /// Converts to picoseconds.
+    #[must_use]
+    pub fn to_picoseconds(self) -> Picoseconds {
+        Picoseconds::new(self.value() * 1e3)
+    }
+}
+
+impl Picoseconds {
+    /// Converts to nanoseconds.
+    #[must_use]
+    pub fn to_nanoseconds(self) -> Nanoseconds {
+        Nanoseconds::new(self.value() * 1e-3)
+    }
+
+    /// Maximum clock frequency that meets this critical path, in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is zero.
+    #[must_use]
+    pub fn max_frequency(self) -> crate::Gigahertz {
+        assert!(self.value() > 0.0, "critical path must be positive");
+        crate::Gigahertz::new(1e3 / self.value())
+    }
+}
+
+impl From<Nanoseconds> for Seconds {
+    fn from(value: Nanoseconds) -> Self {
+        value.to_seconds()
+    }
+}
+
+impl From<Seconds> for Nanoseconds {
+    fn from(value: Seconds) -> Self {
+        value.to_nanoseconds()
+    }
+}
+
+impl From<Picoseconds> for Nanoseconds {
+    fn from(value: Picoseconds) -> Self {
+        value.to_nanoseconds()
+    }
+}
+
+impl From<Nanoseconds> for Picoseconds {
+    fn from(value: Nanoseconds) -> Self {
+        value.to_picoseconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_nanoseconds_round_trip() {
+        let t = Nanoseconds::new(11.2);
+        assert!((Nanoseconds::from(Seconds::from(t)).value() - 11.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picoseconds_round_trip() {
+        let t = Picoseconds::new(210.0);
+        assert!((Picoseconds::from(Nanoseconds::from(t)).value() - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_frequency() {
+        // A 70 ps serializer stage supports well above 10 GHz.
+        let f = Picoseconds::new(70.0).max_frequency();
+        assert!(f.value() > 10.0);
+        // A 570 ps decoder path still meets 1 GHz.
+        let f = Picoseconds::new(570.0).max_frequency();
+        assert!(f.value() > 1.0 && f.value() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_critical_path_panics() {
+        let _ = Picoseconds::new(0.0).max_frequency();
+    }
+}

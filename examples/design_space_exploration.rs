@@ -1,0 +1,67 @@
+//! Design-space exploration: sweep every code in the registry across BER
+//! targets, print the Fig. 6b-style Pareto plane and the code-length
+//! ablation, and show how the picture changes on a longer waveguide.
+//!
+//! Run with: `cargo run --example design_space_exploration`
+
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::interface::InterfaceConfig;
+use onoc_ecc::link::explore::{decade_targets, DesignSpace};
+use onoc_ecc::link::report::{format_ber, TextTable};
+use onoc_ecc::link::NanophotonicLink;
+use onoc_ecc::photonics::{PaperCalibration, Waveguide};
+use onoc_ecc::units::{Centimeters, DecibelsPerCentimeter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The paper's own sweep.
+    let sweep = DesignSpace::code_ablation();
+    println!("Code-length ablation on the paper channel (BER = 1e-11):\n");
+    let mut table = TextTable::new(vec!["scheme", "rate", "Plaser (mW)", "Pchannel (mW)", "CT", "pJ/bit", "Pareto"]);
+    for p in sweep.pareto_front(1e-11) {
+        let s = p.point.scheme();
+        table.push_row(vec![
+            s.to_string(),
+            format!("{:.3}", s.rate()),
+            format!("{:.2}", p.point.laser.laser_electrical_power.value()),
+            format!("{:.1}", p.point.channel_power.value()),
+            format!("{:.2}", p.point.communication_time_factor()),
+            format!("{:.2}", p.point.energy_per_bit.value()),
+            if p.on_front { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    println!("{table}");
+
+    // 2. Which BER targets are reachable by which schemes?
+    println!("Feasibility map (rows: schemes, columns: BER targets; x = feasible):\n");
+    let targets = decade_targets(6, 12);
+    let link = sweep.link();
+    let mut header = vec!["scheme".to_owned()];
+    header.extend(targets.iter().map(|&b| format_ber(b)));
+    let mut feasibility = TextTable::new(header);
+    for &scheme in sweep.schemes() {
+        let mut row = vec![scheme.to_string()];
+        for &ber in &targets {
+            row.push(if link.operating_point(scheme, ber).is_ok() { "x" } else { "." }.to_owned());
+        }
+        feasibility.push_row(row);
+    }
+    println!("{feasibility}");
+
+    // 3. A longer, lossier waveguide: coding becomes mandatory earlier.
+    let mut calibration = PaperCalibration::dac17();
+    calibration.geometry.waveguide =
+        Waveguide::new(Centimeters::new(10.0), DecibelsPerCentimeter::new(0.274));
+    let long_link = NanophotonicLink::new(calibration, InterfaceConfig::paper_default());
+    println!("On a 10 cm waveguide at BER = 1e-11:");
+    for scheme in EccScheme::paper_schemes() {
+        match long_link.operating_point(scheme, 1e-11) {
+            Ok(p) => println!(
+                "  {:<9} feasible, P_laser = {}",
+                scheme.to_string(),
+                p.laser.laser_electrical_power
+            ),
+            Err(e) => println!("  {:<9} {e}", scheme.to_string()),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: configure the paper's nanophotonic link, compare the three
+//! coding configurations at a target BER and push a real word through the
+//! encode → corrupt → decode datapath.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use onoc_ecc::ecc::monte_carlo::BinarySymmetricChannel;
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::interface::{InterfaceConfig, Receiver, Transmitter};
+use onoc_ecc::link::report::render_operating_points;
+use onoc_ecc::link::NanophotonicLink;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The link evaluated in the paper: 12 ONIs, 16 wavelengths, 6 cm
+    //    waveguide, 64-bit IP bus at 1 GHz, 10 Gb/s modulation.
+    let link = NanophotonicLink::paper_link();
+
+    // 2. Ask for operating points at the paper's headline BER target.
+    let target_ber = 1e-11;
+    let points = link.feasible_points(&EccScheme::paper_schemes(), target_ber);
+    println!("Operating points at BER = {target_ber:.0e}:\n");
+    println!("{}", render_operating_points(&points));
+
+    let uncoded = link.operating_point(EccScheme::Uncoded, target_ber)?;
+    let h74 = link.operating_point(EccScheme::Hamming74, target_ber)?;
+    println!(
+        "Laser power saving with H(7,4): {:.0}% ({} -> {})\n",
+        100.0 * (1.0 - h74.laser.laser_electrical_power.value()
+            / uncoded.laser.laser_electrical_power.value()),
+        uncoded.laser.laser_electrical_power,
+        h74.laser.laser_electrical_power,
+    );
+
+    // 3. BER = 1e-12 is unreachable without coding but fine with it.
+    match link.operating_point(EccScheme::Uncoded, 1e-12) {
+        Err(e) => println!("Uncoded at 1e-12: {e}"),
+        Ok(_) => println!("Uncoded at 1e-12 unexpectedly feasible"),
+    }
+    let coded = link.operating_point(EccScheme::Hamming7164, 1e-12)?;
+    println!(
+        "H(71,64) at 1e-12: feasible with {} of laser power\n",
+        coded.laser.laser_electrical_power
+    );
+
+    // 4. Push a real 64-bit word through the electrical datapath over a noisy
+    //    channel running at the raw BER tolerated by H(7,4).
+    let config = InterfaceConfig::paper_default();
+    let tx = Transmitter::new(config.clone());
+    let rx = Receiver::new(config);
+    let word = 0xCAFE_F00D_DEAD_BEEFu64;
+    let stream = tx.encode_word(word, EccScheme::Hamming74)?;
+    let mut channel = BinarySymmetricChannel::new(h74.laser.raw_ber * 1e4, 42);
+    let (received, flips) = channel.transmit(&stream);
+    let decoded = rx.decode_stream(&received, EccScheme::Hamming74)?;
+    println!(
+        "Sent 0x{word:016X}, channel flipped {flips} bit(s), decoder corrected {} block(s), received 0x{:016X}",
+        decoded.corrected_blocks, decoded.word
+    );
+    assert_eq!(decoded.word, word, "H(7,4) should have corrected the sparse errors");
+    Ok(())
+}

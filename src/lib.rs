@@ -1,0 +1,46 @@
+//! Umbrella crate for the DAC'17 nanophotonic-interconnect ECC reproduction.
+//!
+//! This crate re-exports the whole workspace under one roof so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`units`] — physical-quantity newtypes,
+//! * [`ecc`] — the Hamming code family and BER transfer functions,
+//! * [`ber`] — erfc math, SNR/BER conversions, the Eq. 4 detection model,
+//! * [`photonics`] — micro-rings, VCSELs, waveguides, the MWSR link budget,
+//! * [`interface`] — the ONI datapaths and the Table I cost database,
+//! * [`link`] — operating points, design-space exploration, the link manager,
+//! * [`sim`] — the event-driven optical NoC simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use onoc_ecc::link::NanophotonicLink;
+//! use onoc_ecc::ecc::EccScheme;
+//!
+//! let link = NanophotonicLink::paper_link();
+//! let coded = link.operating_point(EccScheme::Hamming7164, 1e-11)?;
+//! println!("H(71,64) @ 1e-11 needs {} of laser power", coded.laser.laser_electrical_power);
+//! # Ok::<(), onoc_ecc::link::LinkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use onoc_ber as ber;
+pub use onoc_ecc_codes as ecc;
+pub use onoc_interface as interface;
+pub use onoc_link as link;
+pub use onoc_photonics as photonics;
+pub use onoc_sim as sim;
+pub use onoc_units as units;
+
+/// Version of the reproduction workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

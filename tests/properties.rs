@@ -1,0 +1,87 @@
+//! Property-based tests on the cross-crate invariants.
+
+use onoc_ecc::ber::{erfc, erfc_inv};
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::interface::{InterfaceConfig, Receiver, Transmitter};
+use onoc_ecc::link::NanophotonicLink;
+use onoc_ecc::units::{Decibels, Microwatts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every Hamming-family scheme corrects any single-bit error in any word.
+    #[test]
+    fn any_single_bit_error_is_corrected(word in any::<u64>(), flip in 0usize..71) {
+        let config = InterfaceConfig::paper_default();
+        let tx = Transmitter::new(config.clone());
+        let rx = Receiver::new(config);
+        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164] {
+            let mut stream = tx.encode_word(word, scheme).unwrap();
+            let position = flip % stream.len();
+            stream[position] = !stream[position];
+            let decoded = rx.decode_stream(&stream, scheme).unwrap();
+            prop_assert_eq!(decoded.word, word);
+            prop_assert!(decoded.corrected_blocks >= 1);
+        }
+    }
+
+    /// Encode/decode round-trips for every registered scheme and any word.
+    #[test]
+    fn clean_round_trip_for_every_scheme(word in any::<u64>()) {
+        let config = InterfaceConfig::paper_default();
+        let tx = Transmitter::new(config.clone());
+        let rx = Receiver::new(config);
+        for scheme in EccScheme::all() {
+            let stream = tx.encode_word(word, scheme).unwrap();
+            prop_assert_eq!(stream.len(), scheme.encoded_bits_per_word(64));
+            let decoded = rx.decode_stream(&stream, scheme).unwrap();
+            prop_assert_eq!(decoded.word, word);
+        }
+    }
+
+    /// Block-code geometry invariants hold for every scheme in the registry.
+    #[test]
+    fn scheme_geometry_invariants(index in 0usize..11) {
+        let scheme = EccScheme::all()[index % EccScheme::all().len()];
+        let code = scheme.build().unwrap();
+        prop_assert_eq!(code.block_length(), scheme.block_length());
+        prop_assert_eq!(code.message_length(), scheme.message_length());
+        prop_assert!(code.rate() > 0.0 && code.rate() <= 1.0);
+        prop_assert!(scheme.communication_time_factor() >= 1.0);
+        prop_assert_eq!(code.parity_bits(), scheme.block_length() - scheme.message_length());
+    }
+
+    /// erfc_inv is a right inverse of erfc over the BER-relevant range.
+    #[test]
+    fn erfc_inverse_round_trip(exponent in 1.0f64..14.0) {
+        let y = 10f64.powf(-exponent);
+        let x = erfc_inv(y);
+        let back = erfc(x);
+        prop_assert!((back - y).abs() / y < 1e-4);
+    }
+
+    /// dB attenuation and gain are mutual inverses and monotone.
+    #[test]
+    fn decibel_round_trip(db in 0.0f64..40.0, power in 1.0f64..1000.0) {
+        let p = Microwatts::new(power);
+        let attenuated = p.attenuated_by(Decibels::new(db));
+        prop_assert!(attenuated.value() <= p.value() + 1e-12);
+        let restored = attenuated.scaled_by(Decibels::new(db).to_gain());
+        prop_assert!((restored.value() - p.value()).abs() / p.value() < 1e-9);
+    }
+
+    /// Laser power is monotone in the BER target for every feasible scheme,
+    /// and coding never needs more laser power than the uncoded link.
+    #[test]
+    fn coding_never_increases_laser_power(exponent in 3i32..11) {
+        let link = NanophotonicLink::paper_link();
+        let ber = 10f64.powi(-exponent);
+        let uncoded = link.operating_point(EccScheme::Uncoded, ber).unwrap();
+        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164] {
+            let coded = link.operating_point(scheme, ber).unwrap();
+            prop_assert!(
+                coded.laser.laser_electrical_power.value()
+                    <= uncoded.laser.laser_electrical_power.value() + 1e-9
+            );
+        }
+    }
+}

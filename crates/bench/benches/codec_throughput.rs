@@ -20,14 +20,22 @@ fn bench_block_codecs(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encode", scheme), &message, |b, m| {
             b.iter(|| code.encode(m).expect("valid message"));
         });
-        group.bench_with_input(BenchmarkId::new("decode_clean", scheme), &codeword, |b, cw| {
-            b.iter(|| code.decode(cw).expect("valid codeword"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_clean", scheme),
+            &codeword,
+            |b, cw| {
+                b.iter(|| code.decode(cw).expect("valid codeword"));
+            },
+        );
         let mut corrupted = codeword.clone();
         corrupted[0] = !corrupted[0];
-        group.bench_with_input(BenchmarkId::new("decode_corrupted", scheme), &corrupted, |b, cw| {
-            b.iter(|| code.decode(cw).expect("valid codeword"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_corrupted", scheme),
+            &corrupted,
+            |b, cw| {
+                b.iter(|| code.decode(cw).expect("valid codeword"));
+            },
+        );
     }
     group.finish();
 }
@@ -39,15 +47,26 @@ fn bench_interface_datapath(c: &mut Criterion) {
     let mut group = c.benchmark_group("oni_datapath");
     group.throughput(Throughput::Bytes(8));
     for scheme in EccScheme::paper_schemes() {
-        group.bench_with_input(BenchmarkId::new("tx_encode_word", scheme), &scheme, |b, &s| {
-            b.iter(|| tx.encode_word(0xDEAD_BEEF_CAFE_F00D, s).expect("supported scheme"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tx_encode_word", scheme),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    tx.encode_word(0xDEAD_BEEF_CAFE_F00D, s)
+                        .expect("supported scheme")
+                });
+            },
+        );
         let stream = tx
             .encode_word(0xDEAD_BEEF_CAFE_F00D, scheme)
             .expect("supported scheme");
-        group.bench_with_input(BenchmarkId::new("rx_decode_stream", scheme), &stream, |b, st| {
-            b.iter(|| rx.decode_stream(st, scheme).expect("valid stream"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rx_decode_stream", scheme),
+            &stream,
+            |b, st| {
+                b.iter(|| rx.decode_stream(st, scheme).expect("valid stream"));
+            },
+        );
     }
     group.finish();
 }

@@ -34,5 +34,10 @@ fn bench_design_space(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_math, bench_operating_point, bench_design_space);
+criterion_group!(
+    benches,
+    bench_math,
+    bench_operating_point,
+    bench_design_space
+);
 criterion_main!(benches);

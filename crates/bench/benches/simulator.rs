@@ -10,8 +10,19 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_simulation");
     group.sample_size(20);
     for (name, pattern) in [
-        ("uniform", TrafficPattern::UniformRandom { messages_per_node: 50 }),
-        ("hotspot", TrafficPattern::Hotspot { destination: 0, messages_per_node: 50 }),
+        (
+            "uniform",
+            TrafficPattern::UniformRandom {
+                messages_per_node: 50,
+            },
+        ),
+        (
+            "hotspot",
+            TrafficPattern::Hotspot {
+                destination: 0,
+                messages_per_node: 50,
+            },
+        ),
     ] {
         let config = SimulationConfig {
             oni_count: 12,
@@ -22,6 +33,7 @@ fn bench_simulation(c: &mut Criterion) {
             deadline_slack_ns: None,
             nominal_ber: 1e-11,
             seed: 5,
+            thermal: None,
         };
         let messages = Simulation::new(config.clone())
             .expect("valid config")

@@ -8,7 +8,10 @@ use onoc_link::explore::{mark_pareto, DesignSpace};
 use onoc_link::report::{format_ber, TextTable};
 
 fn main() {
-    banner("Ablation A1", "code-length sweep over the full code registry");
+    banner(
+        "Ablation A1",
+        "code-length sweep over the full code registry",
+    );
 
     let sweep = DesignSpace::code_ablation();
     for &ber in &[1e-9, 1e-11, 1e-12] {

@@ -28,10 +28,8 @@ fn variants() -> Vec<Variant> {
     });
     for &length in &[2.0, 4.0, 8.0] {
         let mut c = base.clone();
-        c.geometry.waveguide = Waveguide::new(
-            Centimeters::new(length),
-            DecibelsPerCentimeter::new(0.274),
-        );
+        c.geometry.waveguide =
+            Waveguide::new(Centimeters::new(length), DecibelsPerCentimeter::new(0.274));
         out.push(Variant {
             name: format!("waveguide length {length} cm"),
             calibration: c,
@@ -72,7 +70,10 @@ fn variants() -> Vec<Variant> {
 }
 
 fn main() {
-    banner("Ablation A2", "sensitivity of the laser power and of the coding gain to the channel geometry");
+    banner(
+        "Ablation A2",
+        "sensitivity of the laser power and of the coding gain to the channel geometry",
+    );
     let target = 1e-11;
     let mut table = TextTable::new(vec![
         "variant",
@@ -90,7 +91,9 @@ fn main() {
         let h7164 = solve(EccScheme::Hamming7164);
         let h74 = solve(EccScheme::Hamming74);
         let saving = match (&uncoded, &h74) {
-            (Some(u), Some(c)) => Some(100.0 * (1.0 - c.channel_power.value() / u.channel_power.value())),
+            (Some(u), Some(c)) => {
+                Some(100.0 * (1.0 - c.channel_power.value() / u.channel_power.value()))
+            }
             _ => None,
         };
         table.push_row(vec![

@@ -7,7 +7,10 @@ use onoc_photonics::devices::{MicroRingResonator, RingState};
 use onoc_units::Nanometers;
 
 fn main() {
-    banner("Fig. 3", "optical signal transmission in the micro-ring modulator (ON vs OFF)");
+    banner(
+        "Fig. 3",
+        "optical signal transmission in the micro-ring modulator (ON vs OFF)",
+    );
 
     let carrier = Nanometers::new(1550.0);
     let ring = MicroRingResonator::paper_modulator(carrier);
@@ -20,7 +23,9 @@ fn main() {
     // Sweep ±0.6 nm around the carrier, 41 samples.
     for step in -20..=20 {
         let wavelength = Nanometers::new(carrier.value() + step as f64 * 0.03);
-        let off = ring.through_transmission(wavelength, RingState::Off).value();
+        let off = ring
+            .through_transmission(wavelength, RingState::Off)
+            .value();
         let on = ring.through_transmission(wavelength, RingState::On).value();
         table.push_row(vec![
             format!("{:.3}", wavelength.value()),

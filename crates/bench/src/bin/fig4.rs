@@ -8,7 +8,10 @@ use onoc_photonics::devices::VcselLaser;
 use onoc_units::Microwatts;
 
 fn main() {
-    banner("Fig. 4", "P_laser vs OP_laser for 25% chip activity (thermally limited VCSEL)");
+    banner(
+        "Fig. 4",
+        "P_laser vs OP_laser for 25% chip activity (thermally limited VCSEL)",
+    );
 
     let laser = VcselLaser::paper_vcsel();
     let mut table = TextTable::new(vec![

@@ -8,7 +8,10 @@ use onoc_link::report::{render_operating_points, TextTable};
 use onoc_link::NanophotonicLink;
 
 fn main() {
-    banner("Fig. 6a", "power contribution in an MWSR channel for BER = 1e-11");
+    banner(
+        "Fig. 6a",
+        "power contribution in an MWSR channel for BER = 1e-11",
+    );
 
     let link = NanophotonicLink::paper_link();
     let points = link.feasible_points(&EccScheme::paper_schemes(), 1e-11);
@@ -54,7 +57,12 @@ fn main() {
         points
             .iter()
             .filter(|p| p.scheme() != EccScheme::Uncoded)
-            .min_by(|a, b| a.channel_power.value().partial_cmp(&b.channel_power.value()).unwrap()),
+            .min_by(|a, b| {
+                a.channel_power
+                    .value()
+                    .partial_cmp(&b.channel_power.value())
+                    .unwrap()
+            }),
     ) {
         let per_waveguide = uncoded.channel_power.value() - best.channel_power.value();
         let total_w = per_waveguide * 12.0 * 16.0 / 1000.0;

@@ -6,7 +6,10 @@ use onoc_link::explore::{decade_targets, DesignSpace};
 use onoc_link::report::{format_ber, TextTable};
 
 fn main() {
-    banner("Fig. 6b", "power and performance trade-off wrt. BER and ECC (Pareto plane)");
+    banner(
+        "Fig. 6b",
+        "power and performance trade-off wrt. BER and ECC (Pareto plane)",
+    );
 
     let sweep = DesignSpace::paper_sweep();
     let mut table = TextTable::new(vec![

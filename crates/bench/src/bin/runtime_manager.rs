@@ -9,7 +9,11 @@ use onoc_link::TrafficClass;
 use onoc_sim::traffic::TrafficPattern;
 use onoc_sim::{Simulation, SimulationConfig};
 
-fn run(class: TrafficClass, pattern: TrafficPattern, deadline: Option<f64>) -> Option<(String, onoc_sim::SimulationReport)> {
+fn run(
+    class: TrafficClass,
+    pattern: TrafficPattern,
+    deadline: Option<f64>,
+) -> Option<(String, onoc_sim::SimulationReport)> {
     let config = SimulationConfig {
         oni_count: 12,
         pattern,
@@ -19,33 +23,49 @@ fn run(class: TrafficClass, pattern: TrafficPattern, deadline: Option<f64>) -> O
         deadline_slack_ns: deadline,
         nominal_ber: 1e-11,
         seed: 2024,
+        thermal: None,
     };
     let label = format!("{class:?} / {pattern:?}");
     Simulation::new(config).ok().map(|s| (label, s.run()))
 }
 
 fn main() {
-    banner("Scenario R1", "run-time manager on the optical NoC simulator (12 ONIs)");
+    banner(
+        "Scenario R1",
+        "run-time manager on the optical NoC simulator (12 ONIs)",
+    );
 
     let scenarios = vec![
         run(
             TrafficClass::RealTime,
-            TrafficPattern::NearestNeighbor { messages_per_node: 40 },
+            TrafficPattern::NearestNeighbor {
+                messages_per_node: 40,
+            },
             Some(60.0),
         ),
         run(
             TrafficClass::Bulk,
-            TrafficPattern::UniformRandom { messages_per_node: 40 },
+            TrafficPattern::UniformRandom {
+                messages_per_node: 40,
+            },
             None,
         ),
         run(
             TrafficClass::Multimedia,
-            TrafficPattern::Streaming { source: 0, destination: 6, bursts: 10, burst_messages: 24 },
+            TrafficPattern::Streaming {
+                source: 0,
+                destination: 6,
+                bursts: 10,
+                burst_messages: 24,
+            },
             None,
         ),
         run(
             TrafficClass::Bulk,
-            TrafficPattern::Hotspot { destination: 3, messages_per_node: 40 },
+            TrafficPattern::Hotspot {
+                destination: 3,
+                messages_per_node: 40,
+            },
             None,
         ),
     ];

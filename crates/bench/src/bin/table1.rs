@@ -43,9 +43,18 @@ fn main() {
     }
     print_table(&table);
 
-    let mut totals = TextTable::new(vec!["side", "mode", "active dynamic power (uW)", "total area (um^2)"]);
+    let mut totals = TextTable::new(vec![
+        "side",
+        "mode",
+        "active dynamic power (uW)",
+        "total area (um^2)",
+    ]);
     for side in [InterfaceSide::Transmitter, InterfaceSide::Receiver] {
-        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164, EccScheme::Uncoded] {
+        for scheme in [
+            EccScheme::Hamming74,
+            EccScheme::Hamming7164,
+            EccScheme::Uncoded,
+        ] {
             totals.push_row(vec![
                 side_name(side).to_owned(),
                 scheme.to_string(),

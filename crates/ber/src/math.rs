@@ -127,7 +127,7 @@ mod tests {
     /// Reference values computed with mpmath (50 digits).
     const ERFC_TABLE: &[(f64, f64)] = &[
         (0.0, 1.0),
-        (0.5, 0.479_500_122_186_953_46),
+        (0.5, 0.479_500_122_186_953_5),
         (1.0, 0.157_299_207_050_285_13),
         (2.0, 0.004_677_734_981_063_127),
         (3.0, 2.209_049_699_858_544e-5),

@@ -150,7 +150,11 @@ mod tests {
 
     #[test]
     fn required_snr_is_monotone_in_target() {
-        for scheme in [EccScheme::Uncoded, EccScheme::Hamming74, EccScheme::Hamming7164] {
+        for scheme in [
+            EccScheme::Uncoded,
+            EccScheme::Hamming74,
+            EccScheme::Hamming7164,
+        ] {
             let strict = required_snr(scheme, 1e-12);
             let loose = required_snr(scheme, 1e-6);
             assert!(strict > loose, "{scheme}");
@@ -161,8 +165,15 @@ mod tests {
     fn coded_schemes_need_less_snr_than_uncoded() {
         for &target in &[1e-6, 1e-9, 1e-11, 1e-12] {
             let uncoded = required_snr(EccScheme::Uncoded, target);
-            for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164, EccScheme::Hamming1511] {
-                assert!(required_snr(scheme, target) < uncoded, "{scheme} at {target}");
+            for scheme in [
+                EccScheme::Hamming74,
+                EccScheme::Hamming7164,
+                EccScheme::Hamming1511,
+            ] {
+                assert!(
+                    required_snr(scheme, target) < uncoded,
+                    "{scheme} at {target}"
+                );
             }
         }
     }

@@ -1,0 +1,236 @@
+//! Offline API stand-in for the subset of `criterion` used by this workspace
+//! (see `crates/compat/README.md`).
+//!
+//! Benchmarks really run and really time their bodies with `std::time`; the
+//! output is a single mean ns/iteration line per benchmark instead of the
+//! real crate's statistical analysis.  The API mirrors criterion 0.5 closely
+//! enough that swapping in the real crate requires no source change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export shim).
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, warming up first and collecting several samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until it runs >= 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let samples = 10;
+        self.samples.clear();
+        self.iters_per_sample = batch;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return 0.0;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total.as_nanos() as f64 / (self.samples.len() as u64 * self.iters_per_sample) as f64
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.mean_ns_per_iter();
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Elements(n) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Throughput::Bytes(n) => {
+            format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+    });
+    println!("bench: {label:<48} {ns:>12.1} ns/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stub uses a
+    /// fixed sampling plan).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark without input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+/// Declares a group function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        let mut group = c.benchmark_group("probe");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("add", 2), &2u64, |b, &x| {
+            b.iter(|| x + 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(probe_group, probe);
+
+    #[test]
+    fn harness_times_something() {
+        probe_group();
+        let mut bencher = Bencher::default();
+        bencher.iter(|| (0..100u64).sum::<u64>());
+        assert!(bencher.mean_ns_per_iter() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("encode", "H(7,4)").label, "encode/H(7,4)");
+        assert_eq!(BenchmarkId::from_parameter("uniform").label, "uniform");
+    }
+}

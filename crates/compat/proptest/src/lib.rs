@@ -1,0 +1,259 @@
+//! Offline API stand-in for the subset of `proptest` used by this workspace
+//! (see `crates/compat/README.md`).
+//!
+//! Supports the `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
+//! macro form with range strategies (`0usize..71`, `1.0f64..14.0`,
+//! `3i32..11`) and `any::<T>()` for unsigned integers, plus `prop_assert!`
+//! and `prop_assert_eq!`.  Each property runs a fixed number of
+//! deterministically seeded cases, so failures are reproducible; the
+//! shrinking machinery of the real crate is intentionally out of scope.
+
+#![forbid(unsafe_code)]
+
+/// Number of cases each property is exercised with.
+pub const CASES: u32 = 48;
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic RNG driving the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategies produce values from the deterministic RNG.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of generated values (stand-in for `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = (self.end - self.start) as u64;
+            self.start + (((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64) as usize
+        }
+    }
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = u128::from(self.end - self.start);
+            self.start + ((u128::from(rng.next_u64()) * span) >> 64) as u64
+        }
+    }
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn sample(&self, rng: &mut TestRng) -> i32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = (self.end - self.start) as u64;
+            self.start + (((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64) as i32
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical "arbitrary" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix raw words with structured edge cases: all-zeros, all-ones
+            // and sparse patterns exercise codec corner cases far more often
+            // than uniform draws would.
+            match rng.next_u64() % 8 {
+                0 => 0,
+                1 => u64::MAX,
+                2 => 1u64 << (rng.next_u64() % 64),
+                _ => rng.next_u64(),
+            }
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u64::arbitrary(rng) as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The canonical strategy for a type (stand-in for `proptest::prelude::any`).
+#[must_use]
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, TestCaseError};
+}
+
+/// Property-test harness macro (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    // The user-side form includes `#[test]` among the attributes; it is
+    // captured by the `$meta` repetition and re-emitted verbatim.
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Seed derived from the property name so distinct properties
+                // explore distinct streams, deterministically.
+                let __proptest_seed: u64 = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+                    });
+                for __proptest_case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::TestRng::new(__proptest_seed ^ u64::from(__proptest_case) << 32);
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut __proptest_rng);)+
+                    let __proptest_outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = __proptest_outcome {
+                        panic!(
+                            "property {} failed at case {}: {}\ninputs: {:?}",
+                            stringify!($name),
+                            __proptest_case,
+                            err,
+                            ($(&$arg,)+)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_respect_bounds(index in 0usize..7, x in 1.0f64..2.0, e in 3i32..11) {
+            prop_assert!(index < 7);
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..11).contains(&e));
+        }
+
+        /// `any::<u64>()` produces edge cases.
+        #[test]
+        fn any_u64_compiles(word in any::<u64>()) {
+            prop_assert_eq!(word, word);
+        }
+    }
+
+    mod failing {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100);
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "property")]
+        fn failing_property_panics_with_context() {
+            always_fails();
+        }
+    }
+}

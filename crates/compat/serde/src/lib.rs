@@ -1,0 +1,36 @@
+//! Offline API stand-in for `serde` (see `crates/compat/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything, so the traits here are empty markers with
+//! blanket implementations and the derive macros are no-ops.  Swapping this
+//! stub for the real crates.io `serde` requires no source change anywhere in
+//! the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Probe {
+        value: f64,
+    }
+
+    fn assert_traits<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket_implemented() {
+        assert_traits::<Probe>();
+        assert_eq!(Probe { value: 1.0 }, Probe { value: 1.0 });
+    }
+}

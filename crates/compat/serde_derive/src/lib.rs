@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! stand-in (see `crates/compat/README.md`).
+//!
+//! The workspace only ever uses the serde derives as marker-trait bounds;
+//! nothing is actually serialized.  The companion `serde` stub provides
+//! blanket implementations of both traits, so these derives can expand to
+//! nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stub `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stub `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,6 +7,7 @@
 //! code-length ablation (`A1` in DESIGN.md) over the full Hamming family.
 
 use onoc_ecc_codes::EccScheme;
+use onoc_units::Celsius;
 use serde::{Deserialize, Serialize};
 
 use crate::link::{NanophotonicLink, OperatingPoint};
@@ -28,6 +29,7 @@ pub struct DesignSpace {
     link: NanophotonicLink,
     schemes: Vec<EccScheme>,
     ber_targets: Vec<f64>,
+    temperature: Option<Celsius>,
 }
 
 impl DesignSpace {
@@ -39,11 +41,38 @@ impl DesignSpace {
     #[must_use]
     pub fn new(link: NanophotonicLink, schemes: Vec<EccScheme>, ber_targets: Vec<f64>) -> Self {
         assert!(!schemes.is_empty(), "at least one scheme is required");
-        assert!(!ber_targets.is_empty(), "at least one BER target is required");
+        assert!(
+            !ber_targets.is_empty(),
+            "at least one BER target is required"
+        );
         Self {
             link,
             schemes,
             ber_targets,
+            temperature: None,
+        }
+    }
+
+    /// Re-anchors the whole exploration at a chip temperature: every
+    /// evaluated point then charges laser + modulation + coding **+ tuning**
+    /// power at that temperature, so the Pareto fronts shift as the chip
+    /// heats.
+    #[must_use]
+    pub fn at_temperature(mut self, temperature: Celsius) -> Self {
+        self.temperature = Some(temperature);
+        self
+    }
+
+    /// Temperature the sweep is anchored at (`None` = calibration ambient).
+    #[must_use]
+    pub fn temperature(&self) -> Option<Celsius> {
+        self.temperature
+    }
+
+    fn point(&self, scheme: EccScheme, ber: f64) -> Option<OperatingPoint> {
+        match self.temperature {
+            Some(t) => self.link.operating_point_at(scheme, ber, t).ok(),
+            None => self.link.operating_point(scheme, ber).ok(),
         }
     }
 
@@ -93,7 +122,7 @@ impl DesignSpace {
         let mut points = Vec::new();
         for &ber in &self.ber_targets {
             for &scheme in &self.schemes {
-                if let Ok(point) = self.link.operating_point(scheme, ber) {
+                if let Some(point) = self.point(scheme, ber) {
                     points.push(point);
                 }
             }
@@ -104,7 +133,10 @@ impl DesignSpace {
     /// Evaluates one BER column of the sweep (one Fig. 6a bar group).
     #[must_use]
     pub fn evaluate_at(&self, target_ber: f64) -> Vec<OperatingPoint> {
-        self.link.feasible_points(&self.schemes, target_ber)
+        self.schemes
+            .iter()
+            .filter_map(|&scheme| self.point(scheme, target_ber))
+            .collect()
     }
 
     /// Laser-power rows of Fig. 5: for every scheme, the laser electrical
@@ -118,9 +150,7 @@ impl DesignSpace {
                     .ber_targets
                     .iter()
                     .map(|&ber| {
-                        self.link
-                            .operating_point(scheme, ber)
-                            .ok()
+                        self.point(scheme, ber)
                             .map(|p| p.laser.laser_electrical_power.value())
                     })
                     .collect();
@@ -147,11 +177,10 @@ pub fn mark_pareto(points: &[OperatingPoint]) -> Vec<ParetoPoint> {
         .map(|candidate| {
             let dominated = points.iter().any(|other| {
                 let better_power = other.channel_power.value() <= candidate.channel_power.value();
-                let better_time = other.communication_time_factor()
-                    <= candidate.communication_time_factor();
+                let better_time =
+                    other.communication_time_factor() <= candidate.communication_time_factor();
                 let strictly = other.channel_power.value() < candidate.channel_power.value()
-                    || other.communication_time_factor()
-                        < candidate.communication_time_factor();
+                    || other.communication_time_factor() < candidate.communication_time_factor();
                 better_power && better_time && strictly
             });
             ParetoPoint {
@@ -206,8 +235,14 @@ mod tests {
         let h7164 = row(EccScheme::Hamming7164);
         for i in 0..uncoded.len() {
             if let (Some(u), Some(a), Some(b)) = (uncoded[i], h7164[i], h74[i]) {
-                assert!(u > a, "uncoded should need the most laser power (column {i})");
-                assert!(a >= b, "H(71,64) should need at least as much as H(7,4) (column {i})");
+                assert!(
+                    u > a,
+                    "uncoded should need the most laser power (column {i})"
+                );
+                assert!(
+                    a >= b,
+                    "H(71,64) should need at least as much as H(7,4) (column {i})"
+                );
             }
         }
         // The last column (1e-12) is infeasible for the uncoded scheme only.
@@ -252,6 +287,28 @@ mod tests {
         let sweep = DesignSpace::paper_sweep();
         assert_eq!(sweep.evaluate_at(1e-9).len(), 3);
         assert_eq!(sweep.evaluate_at(1e-12).len(), 2);
+    }
+
+    #[test]
+    fn temperature_anchored_sweep_loses_the_uncoded_corner() {
+        let ambient = DesignSpace::paper_sweep();
+        let hot = DesignSpace::paper_sweep().at_temperature(Celsius::new(85.0));
+        assert!(hot.temperature().is_some());
+        // At 85 C the uncoded scheme disappears from every strict-BER column
+        // and every surviving point carries a tuning-power term.
+        let hot_points = hot.evaluate_at(1e-11);
+        assert!(hot_points.iter().all(|p| p.scheme() != EccScheme::Uncoded));
+        assert!(hot_points.iter().all(|p| p.power.tuning.value() > 0.0));
+        assert_eq!(hot_points.len(), 2);
+        // And the surviving schemes cost strictly more than at the ambient.
+        for p in &hot_points {
+            let cool = ambient
+                .evaluate_at(1e-11)
+                .into_iter()
+                .find(|c| c.scheme() == p.scheme())
+                .unwrap();
+            assert!(p.channel_power.value() > cool.channel_power.value());
+        }
     }
 
     #[test]

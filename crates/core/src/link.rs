@@ -1,10 +1,14 @@
 //! The configured nanophotonic link and its operating points.
 
 use onoc_ecc_codes::EccScheme;
-use onoc_interface::{ChannelPowerBreakdown, ChannelPowerModel, CommunicationTiming, EnergyAccounting, InterfaceConfig};
+use onoc_interface::{
+    ChannelPowerBreakdown, ChannelPowerModel, CommunicationTiming, EnergyAccounting,
+    InterfaceConfig,
+};
 use onoc_photonics::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
+use onoc_photonics::thermal::{ThermalLinkStack, ThermalSolver, ThermalSummary};
 use onoc_photonics::{MwsrChannel, PaperCalibration};
-use onoc_units::{Milliwatts, PicojoulesPerBit};
+use onoc_units::{Celsius, Milliwatts, PicojoulesPerBit};
 use serde::{Deserialize, Serialize};
 
 /// Errors returned by link-level queries.
@@ -39,6 +43,18 @@ impl From<SolveError> for LinkError {
     }
 }
 
+/// What the manager optimises for among the feasible operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SelectionObjective {
+    /// Lowest total channel power (the paper's default).
+    #[default]
+    MinPower,
+    /// Lowest communication-time factor, ties broken by power.  This is what
+    /// makes a latency-sensitive class *switch* from the uncoded path to a
+    /// Hamming code when temperature renders the uncoded path infeasible.
+    MinLatency,
+}
+
 /// A request against the link manager: what the communication needs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkRequest {
@@ -49,26 +65,42 @@ pub struct LinkRequest {
     pub max_communication_time_factor: Option<f64>,
     /// Maximum acceptable per-waveguide channel power; `None` means no cap.
     pub max_channel_power: Option<Milliwatts>,
+    /// Chip temperature to serve the request at; `None` means the link's
+    /// calibration ambient (the paper's 25 °C).
+    pub temperature: Option<Celsius>,
+    /// Selection objective among the feasible points.
+    pub objective: SelectionObjective,
 }
 
 impl LinkRequest {
-    /// A latency-insensitive request at the given BER.
+    /// A latency-insensitive request at the given BER, at the calibration
+    /// ambient.
     #[must_use]
     pub fn best_effort(target_ber: f64) -> Self {
         Self {
             target_ber,
             max_communication_time_factor: None,
             max_channel_power: None,
+            temperature: None,
+            objective: SelectionObjective::MinPower,
         }
+    }
+
+    /// The same request served at `temperature`.
+    #[must_use]
+    pub fn at_temperature(mut self, temperature: Celsius) -> Self {
+        self.temperature = Some(temperature);
+        self
     }
 }
 
-/// A fully-evaluated operating point of the link for one (scheme, BER) pair.
+/// A fully-evaluated operating point of the link for one (scheme, BER,
+/// temperature) triple.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OperatingPoint {
     /// The laser-side solution (OP_laser, P_laser, SNR, crosstalk…).
     pub laser: LaserOperatingPoint,
-    /// Per-wavelength power breakdown (Fig. 6a bars).
+    /// Per-wavelength power breakdown (Fig. 6a bars, plus P_tune).
     pub power: ChannelPowerBreakdown,
     /// Channel power for the full set of wavelength lanes.
     pub channel_power: Milliwatts,
@@ -76,6 +108,8 @@ pub struct OperatingPoint {
     pub timing: CommunicationTiming,
     /// Energy per payload bit under the primary accounting.
     pub energy_per_bit: PicojoulesPerBit,
+    /// Thermal side of the point: temperature, drift and tuning power.
+    pub thermal: ThermalSummary,
 }
 
 impl OperatingPoint {
@@ -96,6 +130,12 @@ impl OperatingPoint {
     pub fn communication_time_factor(&self) -> f64 {
         self.timing.communication_time_factor
     }
+
+    /// Chip temperature this point was solved at.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.thermal.temperature
+    }
 }
 
 /// A nanophotonic MWSR link with ECC-capable interfaces and a tunable laser.
@@ -104,22 +144,31 @@ impl OperatingPoint {
 /// simulator) interacts with.
 #[derive(Debug, Clone)]
 pub struct NanophotonicLink {
-    solver: LaserPowerSolver,
+    solver: ThermalSolver,
     power_model: ChannelPowerModel,
     accounting: EnergyAccounting,
+    ambient: Celsius,
 }
 
 impl NanophotonicLink {
     /// Builds a link from a photonic calibration and an interface
-    /// configuration.
+    /// configuration, with the default thermal stack (silicon ring drift,
+    /// paper heater, adaptive tune-vs-tolerate policy).  The ring bank is
+    /// assumed aligned to the grid at the calibration's ambient, so the
+    /// stack's drift model is re-anchored there: at that temperature the
+    /// thermal machinery is a no-op whatever ambient the calibration uses.
     #[must_use]
     pub fn new(calibration: PaperCalibration, interface: InterfaceConfig) -> Self {
         let modulation_power = calibration.modulation_power;
+        let ambient = calibration.ambient;
         let channel = calibration.into_channel();
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.rings.calibration = ambient;
         Self {
-            solver: LaserPowerSolver::new(channel),
+            solver: ThermalSolver::new(channel, stack),
             power_model: ChannelPowerModel::new(interface, modulation_power),
             accounting: EnergyAccounting::ActiveTransfersOnly,
+            ambient,
         }
     }
 
@@ -137,10 +186,24 @@ impl NanophotonicLink {
         self
     }
 
+    /// Replaces the thermal stack (ring drift model, heater, policy).
+    ///
+    /// The stack's ring drift model is re-anchored at this link's
+    /// calibration ambient, preserving the invariant that the thermal
+    /// machinery is a no-op at [`NanophotonicLink::ambient`].  To study a
+    /// deliberately mis-calibrated ring bank, use
+    /// [`onoc_photonics::thermal::ThermalSolver`] directly.
+    #[must_use]
+    pub fn with_thermal_stack(mut self, mut stack: ThermalLinkStack) -> Self {
+        stack.rings.calibration = self.ambient;
+        self.solver = ThermalSolver::new(self.solver.base().channel().clone(), stack);
+        self
+    }
+
     /// The underlying MWSR channel model.
     #[must_use]
     pub fn channel(&self) -> &MwsrChannel {
-        self.solver.channel()
+        self.solver.base().channel()
     }
 
     /// The interface/power model.
@@ -149,13 +212,26 @@ impl NanophotonicLink {
         &self.power_model
     }
 
-    /// The laser power solver.
+    /// The laser power solver (at the calibration temperature).
     #[must_use]
     pub fn solver(&self) -> &LaserPowerSolver {
+        self.solver.base()
+    }
+
+    /// The temperature-aware solver.
+    #[must_use]
+    pub fn thermal_solver(&self) -> &ThermalSolver {
         &self.solver
     }
 
-    /// Evaluates the complete operating point of `scheme` at `target_ber`.
+    /// The calibration ambient temperature of this link.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Evaluates the complete operating point of `scheme` at `target_ber`,
+    /// at the calibration ambient temperature (the paper's evaluation).
     ///
     /// # Errors
     ///
@@ -168,13 +244,38 @@ impl NanophotonicLink {
         scheme: EccScheme,
         target_ber: f64,
     ) -> Result<OperatingPoint, LinkError> {
+        self.operating_point_at(scheme, target_ber, self.ambient)
+    }
+
+    /// Evaluates the complete operating point of `scheme` at `target_ber`
+    /// with the chip at `temperature`.
+    ///
+    /// Away from the calibration ambient the rings drift, the configured
+    /// tune-vs-tolerate policy decides how much heater power to spend, the
+    /// laser runs at the new ambient, and the channel power gains the P_tune
+    /// term.  At exactly the calibration ambient this reproduces the paper's
+    /// numbers bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NanophotonicLink::operating_point`]; additionally, a scheme
+    /// feasible at the ambient may be [`LinkError::Infeasible`] at a higher
+    /// temperature (the uncoded link at BER 10⁻¹¹ dies above ≈ 50 °C).
+    pub fn operating_point_at(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+        temperature: Celsius,
+    ) -> Result<OperatingPoint, LinkError> {
         if !self.power_model.config().supports(scheme) {
             return Err(LinkError::SchemeNotSustainable { scheme });
         }
-        let laser = self.solver.solve(scheme, target_ber)?;
-        let power = self
-            .power_model
-            .breakdown(scheme, laser.laser_electrical_power);
+        let (laser, thermal) = self.solver.solve_at(scheme, target_ber, temperature)?;
+        let power = self.power_model.breakdown_with_tuning(
+            scheme,
+            laser.laser_electrical_power,
+            thermal.tuning_power_per_lane,
+        );
         let lanes = self.power_model.config().wavelength_lanes;
         let timing = self.power_model.timing(scheme);
         let energy_per_bit = self.power_model.energy_per_bit(&power, self.accounting);
@@ -184,45 +285,65 @@ impl NanophotonicLink {
             channel_power: power.channel_total(lanes),
             timing,
             energy_per_bit,
+            thermal,
         })
     }
 
-    /// Evaluates every scheme in `candidates` at `target_ber`, silently
-    /// dropping infeasible ones.
+    /// Evaluates every scheme in `candidates` at `target_ber` and the
+    /// calibration ambient, silently dropping infeasible ones.
     #[must_use]
     pub fn feasible_points(
         &self,
         candidates: &[EccScheme],
         target_ber: f64,
     ) -> Vec<OperatingPoint> {
+        self.feasible_points_at(candidates, target_ber, self.ambient)
+    }
+
+    /// Evaluates every scheme in `candidates` at `target_ber` and
+    /// `temperature`, silently dropping infeasible ones.
+    #[must_use]
+    pub fn feasible_points_at(
+        &self,
+        candidates: &[EccScheme],
+        target_ber: f64,
+        temperature: Celsius,
+    ) -> Vec<OperatingPoint> {
         candidates
             .iter()
-            .filter_map(|&scheme| self.operating_point(scheme, target_ber).ok())
+            .filter_map(|&scheme| {
+                self.operating_point_at(scheme, target_ber, temperature)
+                    .ok()
+            })
             .collect()
     }
 
-    /// Serves a [`LinkRequest`]: among all feasible schemes, returns the one
-    /// with the lowest channel power that satisfies the request constraints,
-    /// or `None` when no scheme qualifies.
+    /// Serves a [`LinkRequest`]: among all feasible schemes at the request's
+    /// temperature, returns the best one under the request's objective that
+    /// satisfies the constraints, or `None` when no scheme qualifies.
     #[must_use]
     pub fn serve(&self, request: &LinkRequest, candidates: &[EccScheme]) -> Option<OperatingPoint> {
-        self.feasible_points(candidates, request.target_ber)
+        let temperature = request.temperature.unwrap_or(self.ambient);
+        self.feasible_points_at(candidates, request.target_ber, temperature)
             .into_iter()
             .filter(|p| {
                 request
                     .max_communication_time_factor
-                    .map_or(true, |ct| p.communication_time_factor() <= ct + 1e-12)
+                    .is_none_or(|ct| p.communication_time_factor() <= ct + 1e-12)
             })
             .filter(|p| {
                 request
                     .max_channel_power
-                    .map_or(true, |cap| p.channel_power.value() <= cap.value() + 1e-12)
+                    .is_none_or(|cap| p.channel_power.value() <= cap.value() + 1e-12)
             })
             .min_by(|a, b| {
-                a.channel_power
-                    .value()
-                    .partial_cmp(&b.channel_power.value())
-                    .expect("powers are finite")
+                let key = |p: &OperatingPoint| match request.objective {
+                    SelectionObjective::MinPower => (p.channel_power.value(), 0.0),
+                    SelectionObjective::MinLatency => {
+                        (p.communication_time_factor(), p.channel_power.value())
+                    }
+                };
+                key(a).partial_cmp(&key(b)).expect("finite selection keys")
             })
     }
 }
@@ -250,8 +371,14 @@ mod tests {
         // Roughly −45% / −49% channel power as in Fig. 6a.
         let saving74 = 1.0 - h74.channel_power.value() / uncoded.channel_power.value();
         let saving7164 = 1.0 - h7164.channel_power.value() / uncoded.channel_power.value();
-        assert!(saving74 > 0.40 && saving74 < 0.60, "H(7,4) saving = {saving74}");
-        assert!(saving7164 > 0.35 && saving7164 < 0.55, "H(71,64) saving = {saving7164}");
+        assert!(
+            saving74 > 0.40 && saving74 < 0.60,
+            "H(7,4) saving = {saving74}"
+        );
+        assert!(
+            saving7164 > 0.35 && saving7164 < 0.55,
+            "H(71,64) saving = {saving7164}"
+        );
     }
 
     #[test]
@@ -289,7 +416,10 @@ mod tests {
         let l = link();
         // Latency-insensitive: a Hamming code wins on power.
         let relaxed = l
-            .serve(&LinkRequest::best_effort(1e-11), &EccScheme::paper_schemes())
+            .serve(
+                &LinkRequest::best_effort(1e-11),
+                &EccScheme::paper_schemes(),
+            )
             .unwrap();
         assert_ne!(relaxed.scheme(), EccScheme::Uncoded);
 
@@ -297,9 +427,8 @@ mod tests {
         let tight = l
             .serve(
                 &LinkRequest {
-                    target_ber: 1e-11,
                     max_communication_time_factor: Some(1.0),
-                    max_channel_power: None,
+                    ..LinkRequest::best_effort(1e-11)
                 },
                 &EccScheme::paper_schemes(),
             )
@@ -310,9 +439,8 @@ mod tests {
         assert!(l
             .serve(
                 &LinkRequest {
-                    target_ber: 1e-12,
                     max_communication_time_factor: Some(1.0),
-                    max_channel_power: None,
+                    ..LinkRequest::best_effort(1e-12)
                 },
                 &EccScheme::paper_schemes(),
             )
@@ -324,14 +452,16 @@ mod tests {
         let l = link();
         let capped = l.serve(
             &LinkRequest {
-                target_ber: 1e-11,
-                max_communication_time_factor: None,
                 max_channel_power: Some(Milliwatts::new(150.0)),
+                ..LinkRequest::best_effort(1e-11)
             },
             &EccScheme::paper_schemes(),
         );
         let uncapped = l
-            .serve(&LinkRequest::best_effort(1e-11), &EccScheme::paper_schemes())
+            .serve(
+                &LinkRequest::best_effort(1e-11),
+                &EccScheme::paper_schemes(),
+            )
             .unwrap();
         assert!(capped.is_some());
         assert!(capped.unwrap().channel_power.value() <= 150.0);
@@ -355,5 +485,90 @@ mod tests {
         let l = link();
         let err = l.operating_point(EccScheme::Uncoded, 1e-12).unwrap_err();
         assert!(err.to_string().contains("no feasible operating point"));
+    }
+
+    #[test]
+    fn ambient_operating_point_carries_no_thermal_cost() {
+        let l = link();
+        assert!((l.ambient().value() - 25.0).abs() < 1e-12);
+        let p = l.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
+        assert!(p.thermal.free_drift.is_zero());
+        assert!(p.power.tuning.is_zero());
+        assert!((p.temperature().value() - 25.0).abs() < 1e-12);
+        // operating_point_at at the ambient is the identical computation.
+        let q = l
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, Celsius::new(25.0))
+            .unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn hot_operating_point_charges_laser_and_tuning() {
+        let l = link();
+        let cool = l.operating_point(EccScheme::Hamming74, 1e-11).unwrap();
+        let hot = l
+            .operating_point_at(EccScheme::Hamming74, 1e-11, Celsius::new(85.0))
+            .unwrap();
+        assert!(hot.power.laser.value() > cool.power.laser.value());
+        assert!(hot.power.tuning.value() > 0.0);
+        assert!(hot.channel_power.value() > cool.channel_power.value());
+        assert!(hot.energy_per_bit.value() > cool.energy_per_bit.value());
+        assert!((hot.thermal.free_drift.nanometers() - 6.0).abs() < 1e-9);
+        assert!(hot.thermal.residual_drift.abs().nanometers() < 0.05);
+    }
+
+    #[test]
+    fn uncoded_feasibility_is_temperature_dependent() {
+        let l = link();
+        assert!(l
+            .operating_point_at(EccScheme::Uncoded, 1e-11, Celsius::new(45.0))
+            .is_ok());
+        assert!(matches!(
+            l.operating_point_at(EccScheme::Uncoded, 1e-11, Celsius::new(85.0)),
+            Err(LinkError::Infeasible(_))
+        ));
+        let points = l.feasible_points_at(&EccScheme::paper_schemes(), 1e-11, Celsius::new(85.0));
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.scheme() != EccScheme::Uncoded));
+    }
+
+    #[test]
+    fn serve_honours_the_request_temperature_and_objective() {
+        let l = link();
+        // MinLatency at the ambient: the fastest feasible scheme is uncoded.
+        let request = LinkRequest {
+            objective: SelectionObjective::MinLatency,
+            ..LinkRequest::best_effort(1e-11)
+        };
+        let cool = l.serve(&request, &EccScheme::paper_schemes()).unwrap();
+        assert_eq!(cool.scheme(), EccScheme::Uncoded);
+        // The same request at 85 C lands on H(71,64): fastest survivor.
+        let hot = l
+            .serve(
+                &request.at_temperature(Celsius::new(85.0)),
+                &EccScheme::paper_schemes(),
+            )
+            .unwrap();
+        assert_eq!(hot.scheme(), EccScheme::Hamming7164);
+        assert!(hot.power.tuning.value() > 0.0);
+    }
+
+    #[test]
+    fn thermal_stack_is_anchored_at_the_calibration_ambient() {
+        // A link calibrated at a non-paper ambient must still see zero drift
+        // and zero tuning power *at that ambient* — the ring bank is aligned
+        // wherever it was calibrated.
+        let mut calibration = PaperCalibration::dac17();
+        calibration.ambient = Celsius::new(40.0);
+        let l = NanophotonicLink::new(calibration, InterfaceConfig::paper_default());
+        assert!((l.ambient().value() - 40.0).abs() < 1e-12);
+        let p = l.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
+        assert!(p.thermal.free_drift.is_zero());
+        assert!(p.power.tuning.is_zero());
+        // And excursions are measured from 40 °C, not 25 °C.
+        let hot = l
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, Celsius::new(50.0))
+            .unwrap();
+        assert!((hot.thermal.free_drift.nanometers() - 1.0).abs() < 1e-9);
     }
 }

@@ -9,16 +9,21 @@
 //! lower-power path, possibly with a degraded BER.
 
 use onoc_ecc_codes::EccScheme;
-use onoc_units::Milliwatts;
+use onoc_thermal::ThermalEnvironment;
+use onoc_units::{Celsius, Milliwatts};
 use serde::{Deserialize, Serialize};
 
-use crate::link::{LinkRequest, NanophotonicLink, OperatingPoint};
+use crate::link::{LinkRequest, NanophotonicLink, OperatingPoint, SelectionObjective};
 
 /// Coarse application classes distinguished by the manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TrafficClass {
     /// Hard-deadline traffic: communication time must not stretch.
     RealTime,
+    /// Latency-sensitive traffic that prefers the fastest feasible path but
+    /// accepts a moderately coded fallback when the fast path is infeasible
+    /// (e.g. when temperature kills the uncoded link).
+    LatencyFirst,
     /// Throughput traffic: moderate latency slack, strict BER.
     Bulk,
     /// Multimedia-like traffic: large latency slack, BER may be degraded to
@@ -27,12 +32,23 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
+    /// Every class, in decreasing latency sensitivity.
+    #[must_use]
+    pub fn all() -> [Self; 4] {
+        [
+            Self::RealTime,
+            Self::LatencyFirst,
+            Self::Bulk,
+            Self::Multimedia,
+        ]
+    }
+
     /// Latency slack (maximum CT factor) granted to this class.
     #[must_use]
     pub fn max_communication_time_factor(self) -> f64 {
         match self {
             Self::RealTime => 1.0,
-            Self::Bulk => 1.5,
+            Self::LatencyFirst | Self::Bulk => 1.5,
             Self::Multimedia => 2.0,
         }
     }
@@ -42,8 +58,17 @@ impl TrafficClass {
     #[must_use]
     pub fn ber_relaxation(self) -> f64 {
         match self {
-            Self::RealTime | Self::Bulk => 1.0,
+            Self::RealTime | Self::LatencyFirst | Self::Bulk => 1.0,
             Self::Multimedia => 100.0,
+        }
+    }
+
+    /// What the manager optimises for within this class's constraints.
+    #[must_use]
+    pub fn objective(self) -> SelectionObjective {
+        match self {
+            Self::LatencyFirst => SelectionObjective::MinLatency,
+            Self::RealTime | Self::Bulk | Self::Multimedia => SelectionObjective::MinPower,
         }
     }
 }
@@ -75,7 +100,10 @@ impl LinkManager {
     /// Panics if `candidates` is empty or `nominal_ber` is outside (0, 0.5).
     #[must_use]
     pub fn new(link: NanophotonicLink, candidates: Vec<EccScheme>, nominal_ber: f64) -> Self {
-        assert!(!candidates.is_empty(), "at least one candidate scheme is required");
+        assert!(
+            !candidates.is_empty(),
+            "at least one candidate scheme is required"
+        );
         assert!(
             nominal_ber > 0.0 && nominal_ber < 0.5,
             "nominal BER must be in (0, 0.5)"
@@ -118,14 +146,35 @@ impl LinkManager {
         &self.candidates
     }
 
-    /// Configures the link for one request of the given traffic class.
-    /// Returns `None` when no candidate satisfies the constraints.
+    /// Configures the link for one request of the given traffic class, at
+    /// the link's calibration ambient temperature.  Returns `None` when no
+    /// candidate satisfies the constraints.
     #[must_use]
     pub fn configure(&self, class: TrafficClass) -> Option<ManagerDecision> {
+        self.serve(class, None)
+    }
+
+    /// Configures the link for one request of the given traffic class with
+    /// the chip at `temperature`.  As the chip heats, the same class can
+    /// legitimately land on a different scheme: a [`TrafficClass::LatencyFirst`]
+    /// request rides the uncoded path at 25 °C and falls back to
+    /// Hamming(71,64) once drift makes the uncoded path infeasible.
+    #[must_use]
+    pub fn configure_at(
+        &self,
+        class: TrafficClass,
+        temperature: Celsius,
+    ) -> Option<ManagerDecision> {
+        self.serve(class, Some(temperature))
+    }
+
+    fn serve(&self, class: TrafficClass, temperature: Option<Celsius>) -> Option<ManagerDecision> {
         let request = LinkRequest {
             target_ber: (self.nominal_ber * class.ber_relaxation()).min(0.499),
             max_communication_time_factor: Some(class.max_communication_time_factor()),
             max_channel_power: self.power_budget,
+            temperature,
+            objective: class.objective(),
         };
         self.link
             .serve(&request, &self.candidates)
@@ -136,9 +185,101 @@ impl LinkManager {
     /// servable under the current budget.
     #[must_use]
     pub fn configure_all(&self) -> Vec<(TrafficClass, Option<ManagerDecision>)> {
-        [TrafficClass::RealTime, TrafficClass::Bulk, TrafficClass::Multimedia]
+        TrafficClass::all()
             .into_iter()
             .map(|class| (class, self.configure(class)))
+            .collect()
+    }
+
+    /// Configures the link for every class at `temperature`.
+    #[must_use]
+    pub fn configure_all_at(
+        &self,
+        temperature: Celsius,
+    ) -> Vec<(TrafficClass, Option<ManagerDecision>)> {
+        TrafficClass::all()
+            .into_iter()
+            .map(|class| (class, self.configure_at(class, temperature)))
+            .collect()
+    }
+}
+
+/// The thermally-adaptive runtime manager: a [`LinkManager`] bound to a
+/// [`ThermalEnvironment`], answering per-ONI, per-instant configuration
+/// requests.
+///
+/// This is the Section III-C manager upgraded for a chip whose temperature
+/// is neither uniform nor constant: the scheme and laser power it hands out
+/// depend on *where* (which destination ONI's channel) and *when* (transient
+/// traces) the communication happens.
+#[derive(Debug, Clone)]
+pub struct ThermalRuntimeManager {
+    manager: LinkManager,
+    environment: ThermalEnvironment,
+    oni_count: usize,
+}
+
+impl ThermalRuntimeManager {
+    /// Binds `manager` to `environment` over `oni_count` ONIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oni_count` is zero.
+    #[must_use]
+    pub fn new(manager: LinkManager, environment: ThermalEnvironment, oni_count: usize) -> Self {
+        assert!(oni_count > 0, "at least one ONI is required");
+        Self {
+            manager,
+            environment,
+            oni_count,
+        }
+    }
+
+    /// The underlying link manager.
+    #[must_use]
+    pub fn manager(&self) -> &LinkManager {
+        &self.manager
+    }
+
+    /// The thermal environment being tracked.
+    #[must_use]
+    pub fn environment(&self) -> &ThermalEnvironment {
+        &self.environment
+    }
+
+    /// Temperature of the channel read by `oni` at `time_ns`.
+    #[must_use]
+    pub fn temperature_at(&self, oni: usize, time_ns: f64) -> Celsius {
+        self.environment
+            .temperature_at(oni, self.oni_count, time_ns)
+    }
+
+    /// Configures a transfer of `class` towards destination `oni` at
+    /// `time_ns`.
+    #[must_use]
+    pub fn configure(
+        &self,
+        class: TrafficClass,
+        oni: usize,
+        time_ns: f64,
+    ) -> Option<ManagerDecision> {
+        self.manager
+            .configure_at(class, self.temperature_at(oni, time_ns))
+    }
+
+    /// The per-ONI scheme map of `class` at `time_ns`: what every
+    /// destination channel would be configured to.
+    #[must_use]
+    pub fn scheme_map(
+        &self,
+        class: TrafficClass,
+        time_ns: f64,
+    ) -> Vec<(usize, Celsius, Option<ManagerDecision>)> {
+        (0..self.oni_count)
+            .map(|oni| {
+                let t = self.temperature_at(oni, time_ns);
+                (oni, t, self.manager.configure_at(class, t))
+            })
             .collect()
     }
 }
@@ -186,8 +327,74 @@ mod tests {
     fn configure_all_reports_every_class() {
         let manager = LinkManager::paper_manager();
         let all = manager.configure_all();
-        assert_eq!(all.len(), 3);
+        assert_eq!(all.len(), 4);
         assert!(all.iter().all(|(_, d)| d.is_some()));
+    }
+
+    #[test]
+    fn latency_first_rides_uncoded_when_cool() {
+        let manager = LinkManager::paper_manager();
+        let decision = manager.configure(TrafficClass::LatencyFirst).unwrap();
+        assert_eq!(decision.point.scheme(), EccScheme::Uncoded);
+    }
+
+    #[test]
+    fn latency_first_switches_to_hamming_when_hot() {
+        // The thermally-adaptive behaviour the thermal subsystem exists for:
+        // at 25 C the fastest feasible path is uncoded; at 85 C residual ring
+        // drift kills the uncoded link and the manager falls back to the next
+        // fastest feasible scheme, H(71,64).
+        let manager = LinkManager::paper_manager();
+        let cool = manager
+            .configure_at(TrafficClass::LatencyFirst, Celsius::new(25.0))
+            .unwrap();
+        assert_eq!(cool.point.scheme(), EccScheme::Uncoded);
+        let hot = manager
+            .configure_at(TrafficClass::LatencyFirst, Celsius::new(85.0))
+            .unwrap();
+        assert_eq!(hot.point.scheme(), EccScheme::Hamming7164);
+        assert!(hot.point.power.tuning.value() > 0.0);
+        // Hard real-time traffic cannot switch (CT = 1.0 admits only the
+        // uncoded path) and becomes unservable instead.
+        assert!(manager
+            .configure_at(TrafficClass::RealTime, Celsius::new(85.0))
+            .is_none());
+    }
+
+    #[test]
+    fn configure_at_ambient_matches_configure() {
+        let manager = LinkManager::paper_manager();
+        for class in TrafficClass::all() {
+            let a = manager.configure(class);
+            let b = manager.configure_at(class, Celsius::new(25.0));
+            assert_eq!(a, b, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn thermal_runtime_manager_tracks_a_hotspot_per_oni() {
+        let runtime = ThermalRuntimeManager::new(
+            LinkManager::paper_manager(),
+            ThermalEnvironment::Hotspot {
+                base: Celsius::new(30.0),
+                peak: Celsius::new(85.0),
+                center: 0,
+                decay_per_hop: 0.35,
+            },
+            12,
+        );
+        let map = runtime.scheme_map(TrafficClass::LatencyFirst, 0.0);
+        assert_eq!(map.len(), 12);
+        // The hotspot channel is forced onto the coded path…
+        let (_, t0, hot) = &map[0];
+        assert!((t0.value() - 85.0).abs() < 1e-9);
+        assert_eq!(hot.as_ref().unwrap().point.scheme(), EccScheme::Hamming7164);
+        // …while channels far from the hotspot still ride uncoded.
+        let (_, t6, far) = &map[6];
+        assert!(t6.value() < 32.0);
+        assert_eq!(far.as_ref().unwrap().point.scheme(), EccScheme::Uncoded);
+        assert!(runtime.environment() == &runtime.environment().clone());
+        assert_eq!(runtime.manager().candidates().len(), 3);
     }
 
     #[test]

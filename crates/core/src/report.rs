@@ -32,7 +32,11 @@ impl TextTable {
     /// Panics if the row width differs from the header width.
     pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
     }
 
@@ -137,7 +141,10 @@ pub fn render_operating_points(points: &[OperatingPoint]) -> String {
 /// Renders an infeasible cell the way the figure binaries report it.
 #[must_use]
 pub fn infeasible_cell(scheme: EccScheme, ber: f64) -> String {
-    format!("{scheme} @ {}: not reachable (laser power ceiling)", format_ber(ber))
+    format!(
+        "{scheme} @ {}: not reachable (laser power ceiling)",
+        format_ber(ber)
+    )
 }
 
 #[cfg(test)]
@@ -193,6 +200,9 @@ mod tests {
     fn row_and_header_have_matching_widths() {
         let link = NanophotonicLink::paper_link();
         let point = link.operating_point(EccScheme::Hamming74, 1e-9).unwrap();
-        assert_eq!(operating_point_row(&point).len(), operating_point_header().len());
+        assert_eq!(
+            operating_point_row(&point).len(),
+            operating_point_header().len()
+        );
     }
 }

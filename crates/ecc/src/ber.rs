@@ -37,7 +37,10 @@ pub fn hamming_output_ber(p: f64, n: usize) -> f64 {
 #[must_use]
 pub fn repetition_output_ber(p: f64, repetitions: usize) -> f64 {
     assert!((0.0..=0.5).contains(&p), "raw BER must be in [0, 0.5]");
-    assert!(repetitions >= 3 && repetitions % 2 == 1, "repetitions must be odd and >= 3");
+    assert!(
+        repetitions >= 3 && repetitions % 2 == 1,
+        "repetitions must be odd and >= 3"
+    );
     let r = repetitions;
     let mut sum = 0.0;
     for errors in (r / 2 + 1)..=r {

@@ -97,7 +97,11 @@ impl BitBlock {
     /// Panics if `index >= len()`.
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -107,7 +111,11 @@ impl BitBlock {
     ///
     /// Panics if `index >= len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         if value {
@@ -130,7 +138,7 @@ impl BitBlock {
 
     /// Appends a bit at the end of the block.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;
@@ -150,7 +158,10 @@ impl BitBlock {
     /// Panics if the two blocks have different lengths.
     #[must_use]
     pub fn hamming_distance(&self, other: &Self) -> usize {
-        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
         self.words
             .iter()
             .zip(&other.words)

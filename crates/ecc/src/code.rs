@@ -165,11 +165,19 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = CodeError::WrongMessageLength { expected: 4, actual: 7 };
+        let e = CodeError::WrongMessageLength {
+            expected: 4,
+            actual: 7,
+        };
         assert_eq!(e.to_string(), "expected 4 message bits, got 7");
-        let e = CodeError::WrongCodewordLength { expected: 7, actual: 4 };
+        let e = CodeError::WrongCodewordLength {
+            expected: 7,
+            actual: 4,
+        };
         assert!(e.to_string().contains("codeword"));
-        let e = CodeError::InvalidParameters { reason: "m must be >= 2".into() };
+        let e = CodeError::InvalidParameters {
+            reason: "m must be >= 2".into(),
+        };
         assert!(e.to_string().contains("m must be >= 2"));
     }
 

@@ -102,9 +102,9 @@ impl HammingCode {
         let n = self.block_length;
         let mut word = vec![false; n + 1];
         let mut data_iter = data.iter();
-        for position in 1..=n {
+        for (position, slot) in word.iter_mut().enumerate().skip(1) {
             if !Self::is_parity_position(position) {
-                word[position] = *data_iter.next().expect("message length checked");
+                *slot = *data_iter.next().expect("message length checked");
             }
         }
         // Each parity bit at position 2^i covers all positions with bit i set.
@@ -265,8 +265,7 @@ mod tests {
     #[test]
     fn all_codewords_have_min_distance_three_h74() {
         let c = HammingCode::h74();
-        let codewords: Vec<Vec<bool>> =
-            all_messages(4).map(|m| c.encode(&m).unwrap()).collect();
+        let codewords: Vec<Vec<bool>> = all_messages(4).map(|m| c.encode(&m).unwrap()).collect();
         for (i, a) in codewords.iter().enumerate() {
             for b in codewords.iter().skip(i + 1) {
                 let dist = a.iter().zip(b).filter(|(x, y)| x != y).count();
@@ -280,11 +279,17 @@ mod tests {
         let c = HammingCode::h74();
         assert!(matches!(
             c.encode(&[true; 5]),
-            Err(CodeError::WrongMessageLength { expected: 4, actual: 5 })
+            Err(CodeError::WrongMessageLength {
+                expected: 4,
+                actual: 5
+            })
         ));
         assert!(matches!(
             c.decode(&[true; 8]),
-            Err(CodeError::WrongCodewordLength { expected: 7, actual: 8 })
+            Err(CodeError::WrongCodewordLength {
+                expected: 7,
+                actual: 8
+            })
         ));
     }
 

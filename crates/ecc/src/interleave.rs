@@ -147,8 +147,14 @@ mod tests {
 
     #[test]
     fn zero_dimension_rejected() {
-        assert_eq!(BlockInterleaver::new(0, 4), Err(InterleaveError::ZeroDimension));
-        assert_eq!(BlockInterleaver::new(4, 0), Err(InterleaveError::ZeroDimension));
+        assert_eq!(
+            BlockInterleaver::new(0, 4),
+            Err(InterleaveError::ZeroDimension)
+        );
+        assert_eq!(
+            BlockInterleaver::new(4, 0),
+            Err(InterleaveError::ZeroDimension)
+        );
     }
 
     #[test]
@@ -156,7 +162,10 @@ mod tests {
         let il = BlockInterleaver::new(4, 4).unwrap();
         assert!(matches!(
             il.interleave(&[true; 15]),
-            Err(InterleaveError::WrongLength { expected: 16, actual: 15 })
+            Err(InterleaveError::WrongLength {
+                expected: 16,
+                actual: 15
+            })
         ));
         assert!(il.deinterleave(&[true; 17]).is_err());
     }
@@ -181,8 +190,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(InterleaveError::ZeroDimension.to_string().contains("non-zero"));
-        let e = InterleaveError::WrongLength { expected: 8, actual: 9 };
+        assert!(InterleaveError::ZeroDimension
+            .to_string()
+            .contains("non-zero"));
+        let e = InterleaveError::WrongLength {
+            expected: 8,
+            actual: 9,
+        };
         assert!(e.to_string().contains("8"));
     }
 }

@@ -34,7 +34,7 @@ impl RepetitionCode {
     /// Returns [`CodeError::InvalidParameters`] if `repetitions` is even or
     /// smaller than 3, or if `message_length` is zero.
     pub fn new(repetitions: usize, message_length: usize) -> Result<Self, CodeError> {
-        if repetitions < 3 || repetitions % 2 == 0 {
+        if repetitions < 3 || repetitions.is_multiple_of(2) {
             return Err(CodeError::InvalidParameters {
                 reason: format!("repetition factor must be odd and >= 3, got {repetitions}"),
             });
@@ -78,7 +78,7 @@ impl BlockCode for RepetitionCode {
         check_message_len(self.message_length, data.len())?;
         let mut out = Vec::with_capacity(self.block_length());
         for &bit in data {
-            out.extend(std::iter::repeat(bit).take(self.repetitions));
+            out.extend(std::iter::repeat_n(bit, self.repetitions));
         }
         Ok(out)
     }

@@ -30,8 +30,10 @@ pub const IP_WORD_BITS: usize = 64;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum EccScheme {
     /// Direct modulation without coding ("w/o ECC" in the paper).
+    #[default]
     Uncoded,
     /// Hamming(7,4): 16 parallel codecs protect a 64-bit word (paper).
     Hamming74,
@@ -205,12 +207,6 @@ impl EccScheme {
 impl std::fmt::Display for EccScheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
-    }
-}
-
-impl Default for EccScheme {
-    fn default() -> Self {
-        Self::Uncoded
     }
 }
 

@@ -50,7 +50,9 @@ impl ShortenedHammingCode {
         let parity_count = (2..=16)
             .find(|&m| ((1usize << m) - 1 - m) >= message_length)
             .ok_or_else(|| CodeError::InvalidParameters {
-                reason: format!("no Hamming code with <= 16 parity bits hosts {message_length} data bits"),
+                reason: format!(
+                    "no Hamming code with <= 16 parity bits hosts {message_length} data bits"
+                ),
             })?;
         let parent = HammingCode::new(parity_count)?;
         let shortened_by = parent.message_length() - message_length;
@@ -115,7 +117,7 @@ impl BlockCode for ShortenedHammingCode {
         // highest-numbered data positions of the parent), encode with the
         // parent, then drop those positions from the codeword.
         let mut padded = data.to_vec();
-        padded.extend(std::iter::repeat(false).take(self.shortened_by));
+        padded.extend(std::iter::repeat_n(false, self.shortened_by));
         let parent_cw = self.parent.encode(&padded)?;
         // The padded zero data bits occupy the last `shortened_by`
         // non-parity positions of the parent codeword; because data bits are

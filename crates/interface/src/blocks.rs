@@ -136,14 +136,18 @@ impl SynthesisDatabase {
     pub fn active_blocks(&self, side: InterfaceSide, scheme: EccScheme) -> Option<Vec<BlockCost>> {
         use BlockKind as K;
         let kinds: Vec<K> = match (side, scheme) {
-            (InterfaceSide::Transmitter, EccScheme::Uncoded) => vec![K::TxModeMux, K::TxSerializer64],
+            (InterfaceSide::Transmitter, EccScheme::Uncoded) => {
+                vec![K::TxModeMux, K::TxSerializer64]
+            }
             (InterfaceSide::Transmitter, EccScheme::Hamming74) => {
                 vec![K::TxModeMux, K::TxHamming74Coders, K::TxSerializer112]
             }
             (InterfaceSide::Transmitter, EccScheme::Hamming7164) => {
                 vec![K::TxModeMux, K::TxHamming7164Coder, K::TxSerializer71]
             }
-            (InterfaceSide::Receiver, EccScheme::Uncoded) => vec![K::RxModeMux, K::RxDeserializer64],
+            (InterfaceSide::Receiver, EccScheme::Uncoded) => {
+                vec![K::RxModeMux, K::RxDeserializer64]
+            }
             (InterfaceSide::Receiver, EccScheme::Hamming74) => {
                 vec![K::RxModeMux, K::RxHamming74Decoders, K::RxDeserializer112]
             }
@@ -172,7 +176,9 @@ impl SynthesisDatabase {
         // Extrapolated estimate for non-synthesized schemes.
         let word_bits = onoc_ecc_codes::scheme::IP_WORD_BITS;
         let encoded_bits = scheme.encoded_bits_per_word(word_bits) as f64;
-        let parity_bits = (scheme.encoded_bits_per_word(word_bits) - word_bits.min(scheme.encoded_bits_per_word(word_bits))) as f64;
+        let parity_bits = (scheme.encoded_bits_per_word(word_bits)
+            - word_bits.min(scheme.encoded_bits_per_word(word_bits)))
+            as f64;
         let (mux, codec_ref, serdes_ref) = match side {
             InterfaceSide::Transmitter => (
                 self.block(BlockKind::TxModeMux).dynamic_power,
@@ -257,7 +263,10 @@ mod tests {
         let uncoded = db.dynamic_power(InterfaceSide::Transmitter, EccScheme::Uncoded);
         assert!((h74.value() - 9.57).abs() < 0.01, "H(7,4) TX = {h74}");
         assert!((h7164.value() - 5.98).abs() < 0.02, "H(71,64) TX = {h7164}");
-        assert!((uncoded.value() - 3.16).abs() < 0.01, "uncoded TX = {uncoded}");
+        assert!(
+            (uncoded.value() - 3.16).abs() < 0.01,
+            "uncoded TX = {uncoded}"
+        );
     }
 
     #[test]
@@ -268,7 +277,10 @@ mod tests {
         let uncoded = db.dynamic_power(InterfaceSide::Receiver, EccScheme::Uncoded);
         assert!((h74.value() - 10.1).abs() < 0.01, "H(7,4) RX = {h74}");
         assert!((h7164.value() - 7.2).abs() < 0.02, "H(71,64) RX = {h7164}");
-        assert!((uncoded.value() - 4.3).abs() < 0.01, "uncoded RX = {uncoded}");
+        assert!(
+            (uncoded.value() - 4.3).abs() < 0.01,
+            "uncoded RX = {uncoded}"
+        );
     }
 
     #[test]
@@ -291,7 +303,11 @@ mod tests {
     #[test]
     fn h74_is_the_most_power_hungry_synthesized_mode() {
         let db = SynthesisDatabase::table1();
-        let schemes = [EccScheme::Uncoded, EccScheme::Hamming7164, EccScheme::Hamming74];
+        let schemes = [
+            EccScheme::Uncoded,
+            EccScheme::Hamming7164,
+            EccScheme::Hamming74,
+        ];
         let powers: Vec<f64> = schemes
             .iter()
             .map(|&s| db.encoder_decoder_power(s).value())

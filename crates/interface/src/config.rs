@@ -30,7 +30,10 @@ impl std::fmt::Display for InterfaceError {
         match self {
             Self::Code(e) => write!(f, "codec error: {e}"),
             Self::WrongStreamLength { expected, actual } => {
-                write!(f, "expected a {expected}-bit serial stream, got {actual} bits")
+                write!(
+                    f,
+                    "expected a {expected}-bit serial stream, got {actual} bits"
+                )
             }
             Self::InvalidConfiguration { reason } => write!(f, "invalid configuration: {reason}"),
         }
@@ -112,8 +115,7 @@ impl InterfaceConfig {
     /// throttle the IP.
     #[must_use]
     pub fn supports(&self, scheme: EccScheme) -> bool {
-        let encoded_bits_per_second =
-            self.encoded_bits(scheme) as f64 * self.ip_clock.value(); // Gb/s
+        let encoded_bits_per_second = self.encoded_bits(scheme) as f64 * self.ip_clock.value(); // Gb/s
         encoded_bits_per_second <= self.channel_bandwidth().value() + 1e-9
     }
 
@@ -219,7 +221,10 @@ mod tests {
         });
         assert!(err.to_string().contains("codec error"));
         assert!(err.source().is_some());
-        let err = InterfaceError::WrongStreamLength { expected: 112, actual: 64 };
+        let err = InterfaceError::WrongStreamLength {
+            expected: 112,
+            actual: 64,
+        };
         assert!(err.to_string().contains("112"));
     }
 }

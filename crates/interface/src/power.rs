@@ -21,12 +21,13 @@ use crate::config::InterfaceConfig;
 use crate::timing::CommunicationTiming;
 
 /// How the energy-per-bit figure charges the channel power to payload bits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EnergyAccounting {
     /// The channel only burns power while a word is in flight: energy per
     /// payload bit is `P_channel × CT / payload-bit rate`.  This is the
     /// self-consistent accounting used as the primary mode of this
     /// reproduction.
+    #[default]
     ActiveTransfersOnly,
     /// The laser (and modulator bias) stay powered even between transfers;
     /// only a fraction `utilization` of the time carries payload.  This is
@@ -38,14 +39,8 @@ pub enum EnergyAccounting {
     },
 }
 
-impl Default for EnergyAccounting {
-    fn default() -> Self {
-        Self::ActiveTransfersOnly
-    }
-}
-
 /// Per-wavelength power breakdown of one operating point (one bar group of
-/// Fig. 6a).
+/// Fig. 6a, plus the thermal-tuning term).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChannelPowerBreakdown {
     /// Coding scheme of the operating point.
@@ -56,13 +51,16 @@ pub struct ChannelPowerBreakdown {
     pub modulation: Milliwatts,
     /// Laser electrical power (P_laser).
     pub laser: Milliwatts,
+    /// Micro-ring thermal tuning (heater) power attributed to this lane
+    /// (P_tune; zero at the calibration temperature).
+    pub tuning: Milliwatts,
 }
 
 impl ChannelPowerBreakdown {
     /// Total power of one wavelength lane.
     #[must_use]
     pub fn per_wavelength_total(&self) -> Milliwatts {
-        self.encoder_decoder + self.modulation + self.laser
+        self.encoder_decoder + self.modulation + self.laser + self.tuning
     }
 
     /// Total power of a channel with `wavelengths` lanes.
@@ -113,12 +111,26 @@ impl ChannelPowerModel {
     }
 
     /// Per-wavelength power breakdown for `scheme` given the laser electrical
-    /// power of one wavelength.
+    /// power of one wavelength, at the calibration temperature (no thermal
+    /// tuning power).
     #[must_use]
     pub fn breakdown(
         &self,
         scheme: EccScheme,
         laser_per_wavelength: Milliwatts,
+    ) -> ChannelPowerBreakdown {
+        self.breakdown_with_tuning(scheme, laser_per_wavelength, Milliwatts::zero())
+    }
+
+    /// Per-wavelength power breakdown including the micro-ring thermal
+    /// tuning power of one lane (heater power × rings per lane, computed by
+    /// the photonic thermal solver).
+    #[must_use]
+    pub fn breakdown_with_tuning(
+        &self,
+        scheme: EccScheme,
+        laser_per_wavelength: Milliwatts,
+        tuning_per_wavelength: Milliwatts,
     ) -> ChannelPowerBreakdown {
         // Table I characterises the whole 64-bit interface; the paper quotes
         // per-wavelength figures, so the codec power is shared across lanes.
@@ -129,6 +141,7 @@ impl ChannelPowerModel {
             encoder_decoder: per_lane,
             modulation: self.modulation_power,
             laser: laser_per_wavelength,
+            tuning: tuning_per_wavelength,
         }
     }
 
@@ -249,10 +262,8 @@ mod tests {
         let m = model();
         let [uncoded, _, _] = paper_breakdowns(&m);
         let active = m.energy_per_bit(&uncoded, EnergyAccounting::ActiveTransfersOnly);
-        let idle_heavy = m.energy_per_bit(
-            &uncoded,
-            EnergyAccounting::AlwaysOn { utilization: 0.25 },
-        );
+        let idle_heavy =
+            m.energy_per_bit(&uncoded, EnergyAccounting::AlwaysOn { utilization: 0.25 });
         assert!((idle_heavy.value() - active.value() * 4.0).abs() < 1e-9);
     }
 
@@ -264,6 +275,29 @@ mod tests {
         assert!(b.modulation.value() < b.laser.value());
         // Per-lane codec power ≈ 19.67 µW / 16 ≈ 1.2 µW.
         assert!((b.encoder_decoder.value() - 0.00123).abs() < 0.0002);
+    }
+
+    #[test]
+    fn tuning_power_enters_the_lane_total_and_energy() {
+        let m = model();
+        let plain = m.breakdown(EccScheme::Hamming7164, Milliwatts::new(7.12));
+        assert!(plain.tuning.is_zero());
+        let tuned = m.breakdown_with_tuning(
+            EccScheme::Hamming7164,
+            Milliwatts::new(7.12),
+            Milliwatts::new(4.3),
+        );
+        assert!(
+            (tuned.per_wavelength_total().value() - (plain.per_wavelength_total().value() + 4.3))
+                .abs()
+                < 1e-12
+        );
+        // Energy accounting charges the heaters too.
+        let e_plain = m.energy_per_bit(&plain, EnergyAccounting::ActiveTransfersOnly);
+        let e_tuned = m.energy_per_bit(&tuned, EnergyAccounting::ActiveTransfersOnly);
+        assert!(e_tuned.value() > e_plain.value());
+        // And the laser share shrinks accordingly.
+        assert!(tuned.laser_fraction() < plain.laser_fraction());
     }
 
     #[test]

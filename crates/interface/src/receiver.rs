@@ -104,7 +104,8 @@ impl Receiver {
     /// Dynamic power of the receiver datapath in `scheme` mode.
     #[must_use]
     pub fn dynamic_power(&self, scheme: EccScheme) -> Microwatts {
-        self.synthesis.dynamic_power(InterfaceSide::Receiver, scheme)
+        self.synthesis
+            .dynamic_power(InterfaceSide::Receiver, scheme)
     }
 
     /// Total synthesized area of the receiver (all modes instantiated).
@@ -148,7 +149,11 @@ mod tests {
     fn single_bit_errors_are_corrected_by_hamming_modes() {
         let (tx, rx) = pair();
         let word = 0x0123_4567_89AB_CDEFu64;
-        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164, EccScheme::Secded7264] {
+        for scheme in [
+            EccScheme::Hamming74,
+            EccScheme::Hamming7164,
+            EccScheme::Secded7264,
+        ] {
             let clean = tx.encode_word(word, scheme).unwrap();
             for position in [0, clean.len() / 2, clean.len() - 1] {
                 let mut corrupted = clean.clone();
@@ -199,10 +204,15 @@ mod tests {
     #[test]
     fn wrong_stream_length_is_reported() {
         let (_, rx) = pair();
-        let err = rx.decode_stream(&[false; 70], EccScheme::Hamming7164).unwrap_err();
+        let err = rx
+            .decode_stream(&[false; 70], EccScheme::Hamming7164)
+            .unwrap_err();
         assert!(matches!(
             err,
-            InterfaceError::WrongStreamLength { expected: 71, actual: 70 }
+            InterfaceError::WrongStreamLength {
+                expected: 71,
+                actual: 70
+            }
         ));
     }
 

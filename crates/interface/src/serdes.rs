@@ -61,7 +61,11 @@ impl Serializer {
     /// would overwrite in-flight data — a protocol violation we surface
     /// loudly).
     pub fn load(&mut self, word: &[bool]) {
-        assert_eq!(word.len(), self.depth, "word width must match the serializer depth");
+        assert_eq!(
+            word.len(),
+            self.depth,
+            "word width must match the serializer depth"
+        );
         assert!(
             self.is_empty(),
             "serializer reloaded while {} bits are still in flight",
@@ -193,7 +197,11 @@ impl Deserializer {
     ///
     /// Panics if the stream length is not exactly the register depth.
     pub fn deserialize_stream(&mut self, stream: &[bool]) -> Vec<bool> {
-        assert_eq!(stream.len(), self.depth, "stream length must match the deserializer depth");
+        assert_eq!(
+            stream.len(),
+            self.depth,
+            "stream length must match the deserializer depth"
+        );
         for &bit in stream {
             self.shift_in(bit);
         }

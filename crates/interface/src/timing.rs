@@ -38,8 +38,7 @@ impl CommunicationTiming {
     pub fn evaluate(config: &InterfaceConfig, scheme: EccScheme) -> Self {
         let encoded_bits = config.encoded_bits(scheme) as f64;
         let bits_per_lane = encoded_bits / config.wavelength_lanes as f64;
-        let serialization_time =
-            Nanoseconds::new(bits_per_lane / config.modulation_rate.value());
+        let serialization_time = Nanoseconds::new(bits_per_lane / config.modulation_rate.value());
         let codec_latency = if matches!(scheme, EccScheme::Uncoded) {
             Nanoseconds::zero()
         } else {

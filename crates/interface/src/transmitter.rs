@@ -145,7 +145,9 @@ mod tests {
 
     #[test]
     fn h74_stream_has_112_bits() {
-        let stream = tx().encode_word(0xFFFF_0000_FFFF_0000, EccScheme::Hamming74).unwrap();
+        let stream = tx()
+            .encode_word(0xFFFF_0000_FFFF_0000, EccScheme::Hamming74)
+            .unwrap();
         assert_eq!(stream.len(), 112);
     }
 

@@ -192,6 +192,8 @@ mod tests {
         let c = PaperCalibration::dac17();
         let drop = c.drop_filter_prototype();
         let first = c.geometry.grid.wavelength(0);
-        assert!((drop.resonance(crate::devices::RingState::Off).value() - first.value()).abs() < 1e-9);
+        assert!(
+            (drop.resonance(crate::devices::RingState::Off).value() - first.value()).abs() < 1e-9
+        );
     }
 }

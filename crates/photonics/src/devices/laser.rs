@@ -93,7 +93,10 @@ impl VcselLaser {
     /// Panics if the maximum output power is zero.
     #[must_use]
     pub fn new(thermal: LaserThermalModel, ambient: Celsius, max_output: Microwatts) -> Self {
-        assert!(max_output.value() > 0.0, "maximum optical output must be positive");
+        assert!(
+            max_output.value() > 0.0,
+            "maximum optical output must be positive"
+        );
         Self {
             thermal,
             ambient,
@@ -116,6 +119,21 @@ impl VcselLaser {
     #[must_use]
     pub fn max_output(&self) -> Microwatts {
         self.max_output
+    }
+
+    /// Ambient temperature of the optical layer this laser sits in.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Returns a copy of this laser operating at a different ambient
+    /// temperature.  A hotter ambient lowers the wall-plug efficiency, so the
+    /// same optical output costs more electrical power (Fig. 4's curve shifts
+    /// up) — the laser-side half of the thermal model.
+    #[must_use]
+    pub fn with_ambient(&self, ambient: Celsius) -> Self {
+        Self { ambient, ..*self }
     }
 
     /// The thermal/efficiency model.
@@ -181,7 +199,10 @@ impl VcselLaser {
             // Damping keeps the iteration stable close to the runaway region.
             electrical = 0.5 * electrical + 0.5 * next;
         }
-        assert!(converged, "laser electro-thermal fixed point did not converge");
+        assert!(
+            converged,
+            "laser electro-thermal fixed point did not converge"
+        );
         Milliwatts::new(electrical)
     }
 
@@ -258,7 +279,10 @@ mod tests {
     fn fig4_anchor_point_at_the_ceiling() {
         let laser = VcselLaser::paper_vcsel();
         let p = laser.electrical_power(Microwatts::new(700.0), 0.25);
-        assert!(p.value() > 12.0 && p.value() < 17.0, "P_laser(700 uW) = {p}");
+        assert!(
+            p.value() > 12.0 && p.value() < 17.0,
+            "P_laser(700 uW) = {p}"
+        );
     }
 
     #[test]
@@ -288,6 +312,24 @@ mod tests {
     fn over_ceiling_request_panics() {
         let laser = VcselLaser::paper_vcsel();
         let _ = laser.electrical_power(Microwatts::new(900.0), 0.25);
+    }
+
+    #[test]
+    fn hotter_ambient_costs_more_electrical_power() {
+        let laser = VcselLaser::paper_vcsel();
+        assert!((laser.ambient().value() - 25.0).abs() < 1e-12);
+        let hot = laser.with_ambient(Celsius::new(85.0));
+        assert!((hot.ambient().value() - 85.0).abs() < 1e-12);
+        let op = Microwatts::new(400.0);
+        assert!(hot.electrical_power(op, 0.25).value() > laser.electrical_power(op, 0.25).value());
+        // The optical ceiling is a device property, unaffected by ambient.
+        assert_eq!(hot.max_output(), laser.max_output());
+        // Same ambient reproduces the same numbers exactly.
+        let same = laser.with_ambient(Celsius::new(25.0));
+        assert_eq!(
+            same.electrical_power(op, 0.25).value(),
+            laser.electrical_power(op, 0.25).value()
+        );
     }
 
     #[test]

@@ -173,6 +173,20 @@ impl MicroRingResonator {
         }
     }
 
+    /// Returns a copy of this ring with its resonance shifted by `shift_nm`
+    /// (positive = red shift).  This is how thermal drift enters the model:
+    /// a temperature excursion moves the resonance relative to the (fixed)
+    /// carrier grid, and every transmission figure follows from the same
+    /// Lorentzian line shape evaluated at the shifted centre.
+    #[must_use]
+    pub fn detuned_by(&self, shift_nm: f64) -> Self {
+        assert!(shift_nm.is_finite(), "resonance shift must be finite");
+        Self {
+            resonance_off: Nanometers::new(self.resonance_off.value() + shift_nm),
+            ..*self
+        }
+    }
+
     /// Lorentzian weight at `wavelength` for a resonance centred on `center`:
     /// 1 at resonance, 0.5 at ±FWHM/2.
     fn lorentzian(&self, wavelength: Nanometers, center: Nanometers) -> f64 {
@@ -252,10 +266,8 @@ mod tests {
         let res_on = ring.resonance(RingState::On);
         assert!(res_on.value() > res_off.value());
         let at_off_res = ring.through_transmission(res_off, RingState::Off);
-        let away = ring.through_transmission(
-            Nanometers::new(res_off.value() - 1.0),
-            RingState::Off,
-        );
+        let away =
+            ring.through_transmission(Nanometers::new(res_off.value() - 1.0), RingState::Off);
         assert!(at_off_res.value() < 0.3);
         assert!(away.value() > 0.9);
     }
@@ -266,8 +278,14 @@ mod tests {
         let on_res = ring.drop_transmission(carrier(), RingState::Off);
         let neighbour = ring.drop_transmission(Nanometers::new(1550.8), RingState::Off);
         assert!(on_res.value() > 0.6);
-        assert!(neighbour.value() < 0.05, "adjacent-channel crosstalk should be small");
-        assert!(neighbour.value() > 0.0, "Lorentzian tails never vanish completely");
+        assert!(
+            neighbour.value() < 0.05,
+            "adjacent-channel crosstalk should be small"
+        );
+        assert!(
+            neighbour.value() > 0.0,
+            "Lorentzian tails never vanish completely"
+        );
     }
 
     #[test]
@@ -285,6 +303,29 @@ mod tests {
         let peak = ring.drop_transmission(carrier(), RingState::Off).value();
         let at_half = ring.drop_transmission(half, RingState::Off).value();
         assert!((at_half / peak - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detuning_shifts_the_resonance_and_degrades_the_notch() {
+        let ring = MicroRingResonator::paper_drop_filter(carrier());
+        let drifted = ring.detuned_by(0.05);
+        assert!(
+            (drifted.resonance(RingState::Off).value() - (carrier().value() + 0.05)).abs() < 1e-9
+        );
+        // The drifted filter drops less of the carrier power…
+        let aligned = ring.drop_transmission(carrier(), RingState::Off);
+        let off_grid = drifted.drop_transmission(carrier(), RingState::Off);
+        assert!(off_grid.value() < aligned.value());
+        // …and a zero shift is exactly the identity.
+        let same = ring
+            .detuned_by(0.0)
+            .drop_transmission(carrier(), RingState::Off);
+        assert_eq!(same.value(), aligned.value());
+        // Blue shifts are symmetric for the symmetric Lorentzian.
+        let blue = ring
+            .detuned_by(-0.05)
+            .drop_transmission(carrier(), RingState::Off);
+        assert!((blue.value() - off_grid.value()).abs() < 1e-12);
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Waveguide {
     /// Creates a waveguide from its length and per-centimetre loss.
     #[must_use]
     pub fn new(length: Centimeters, loss_per_cm: DecibelsPerCentimeter) -> Self {
-        Self { length, loss_per_cm }
+        Self {
+            length,
+            loss_per_cm,
+        }
     }
 
     /// The 6 cm, 0.274 dB/cm waveguide of the paper.

@@ -44,9 +44,11 @@ pub mod devices;
 pub mod mwsr;
 pub mod power;
 pub mod spectrum;
+pub mod thermal;
 
 pub use calibration::PaperCalibration;
 pub use devices::{MicroRingResonator, Multiplexer, Photodetector, VcselLaser, Waveguide};
 pub use mwsr::{ChannelGeometry, MwsrChannel};
 pub use power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 pub use spectrum::WavelengthGrid;
+pub use thermal::{ThermalLinkStack, ThermalSolver, ThermalSummary};

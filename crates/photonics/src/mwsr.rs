@@ -155,12 +155,43 @@ impl MwsrChannel {
 
     /// The drop-filter prototype re-centred on `carrier`.
     fn drop_filter_at(&self, carrier: Nanometers) -> MicroRingResonator {
-        self.drop_filter.recentered(self.prototype_carrier(), carrier)
+        self.drop_filter
+            .recentered(self.prototype_carrier(), carrier)
     }
 
     /// Both prototypes are constructed for the first grid wavelength.
     fn prototype_carrier(&self) -> Nanometers {
         self.geometry.grid.wavelength(0)
+    }
+
+    /// Number of micro-rings one wavelength lane must keep on grid: one
+    /// modulator per writer plus the reader's drop filter.  This is the ring
+    /// count that thermal tuning power is charged for, per lane.
+    #[must_use]
+    pub fn rings_per_lane(&self) -> usize {
+        self.geometry.writer_count() + 1
+    }
+
+    /// Returns a copy of this channel with every ring resonance shifted by
+    /// `drift` while the laser comb stays fixed (the lasers are assumed
+    /// wavelength-stabilized; the rings are not).  A zero drift reproduces
+    /// the original channel bit-for-bit.
+    #[must_use]
+    pub fn with_resonance_drift(&self, drift: onoc_thermal::ResonanceDrift) -> Self {
+        Self {
+            modulator: self.modulator.detuned_by(drift.nanometers()),
+            drop_filter: self.drop_filter.detuned_by(drift.nanometers()),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of this channel whose laser operates at `ambient`.
+    #[must_use]
+    pub fn with_laser_ambient(&self, ambient: onoc_units::Celsius) -> Self {
+        Self {
+            laser: self.laser.with_ambient(ambient),
+            ..self.clone()
+        }
     }
 
     /// Worst-case path transmission for a '1' bit (modulator OFF) on channel
@@ -186,7 +217,8 @@ impl MwsrChannel {
         let parked_crossings =
             self.geometry.worst_case_intermediate_writers() * self.geometry.wavelength_count();
         let per_crossing = self.modulator.through_insertion_loss().to_attenuation();
-        transmission = transmission * LinearRatio::new(per_crossing.value().powi(parked_crossings as i32));
+        transmission =
+            transmission * LinearRatio::new(per_crossing.value().powi(parked_crossings as i32));
 
         // Granted writer: its own-wavelength ring is in the OFF state for a
         // '1' (this is where the extinction ratio is defined); its other
@@ -201,7 +233,8 @@ impl MwsrChannel {
         // finally dropped by its own filter.
         for other in self.geometry.grid.other_channels(index) {
             let other_filter = self.drop_filter_at(self.geometry.grid.wavelength(other));
-            transmission = transmission * other_filter.through_transmission(carrier, RingState::Off);
+            transmission =
+                transmission * other_filter.through_transmission(carrier, RingState::Off);
         }
         transmission = transmission * own_drop.drop_transmission(carrier, RingState::Off);
 
@@ -241,21 +274,40 @@ impl MwsrChannel {
         total
     }
 
+    /// Fraction of the laser output that ends up as usable swing at the
+    /// photodetector of channel `index`: path transmission × extinction
+    /// factor.  Under heavy thermal drift the modulator's ON/OFF contrast can
+    /// invert, making this factor zero or negative — the channel then carries
+    /// no usable signal at any laser power.
+    #[must_use]
+    pub fn swing_factor(&self, index: usize) -> f64 {
+        self.path_transmission(index).value() * self.extinction_factor(index)
+    }
+
     /// Signal swing at the photodetector of channel `index` when the laser
-    /// emits `laser_output`.
+    /// emits `laser_output`.  Clamped at zero when drift has inverted the
+    /// modulation contrast (no usable signal).
     #[must_use]
     pub fn signal_swing(&self, laser_output: Microwatts, index: usize) -> Microwatts {
-        laser_output
-            .scaled_by(self.path_transmission(index))
-            .scaled_by(LinearRatio::new(self.extinction_factor(index)))
+        Microwatts::new((laser_output.value() * self.swing_factor(index)).max(0.0))
     }
 
     /// Laser output power required to produce `swing` at the photodetector of
     /// channel `index`.  The result is *not* clamped to the laser's
     /// capability; use [`VcselLaser::can_emit`] to check feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the swing factor is not positive (check
+    /// [`MwsrChannel::swing_factor`] first): no finite laser power can
+    /// produce a swing through a collapsed channel.
     #[must_use]
     pub fn required_laser_output(&self, swing: Microwatts, index: usize) -> Microwatts {
-        let factor = self.path_transmission(index).value() * self.extinction_factor(index);
+        let factor = self.swing_factor(index);
+        assert!(
+            factor > 0.0,
+            "channel {index} carries no usable swing (factor = {factor})"
+        );
         Microwatts::new(swing.value() / factor)
     }
 }
@@ -339,5 +391,55 @@ mod tests {
     #[test]
     fn modulation_power_matches_the_paper() {
         assert!((channel().modulation_power().value() - 1.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rings_per_lane_counts_writers_plus_the_drop_filter() {
+        assert_eq!(channel().rings_per_lane(), 12);
+    }
+
+    #[test]
+    fn zero_drift_reproduces_the_channel_exactly() {
+        let ch = channel();
+        let drifted = ch.with_resonance_drift(onoc_thermal::ResonanceDrift::zero());
+        for index in [0, 8, 15] {
+            assert_eq!(
+                ch.path_transmission(index).value(),
+                drifted.path_transmission(index).value()
+            );
+            assert_eq!(
+                ch.worst_case_crosstalk(index).value(),
+                drifted.worst_case_crosstalk(index).value()
+            );
+        }
+    }
+
+    #[test]
+    fn residual_drift_shrinks_the_swing_monotonically() {
+        let ch = channel();
+        let baseline = ch.signal_swing(Microwatts::new(500.0), 8).value();
+        let mut last = baseline;
+        for step in 1..=8 {
+            let drift = onoc_thermal::ResonanceDrift::new(f64::from(step) * 0.01);
+            let swing = ch
+                .with_resonance_drift(drift)
+                .signal_swing(Microwatts::new(500.0), 8)
+                .value();
+            assert!(swing < last, "swing should fall at drift {drift}");
+            last = swing;
+        }
+        // Even half a linewidth of drift must not drive the swing negative.
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn laser_ambient_propagates_to_the_laser_model() {
+        let ch = channel().with_laser_ambient(onoc_units::Celsius::new(85.0));
+        assert!((ch.laser().ambient().value() - 85.0).abs() < 1e-12);
+        // The optical path itself is unaffected by the laser ambient.
+        assert_eq!(
+            ch.path_transmission(0).value(),
+            channel().path_transmission(0).value()
+        );
     }
 }

@@ -1,0 +1,336 @@
+//! Temperature-aware link budget: ring drift penalty, tune-vs-tolerate and
+//! tuning power.
+//!
+//! This module connects the temperature-domain models of `onoc-thermal` to
+//! the photonic link budget:
+//!
+//! 1. the chip temperature and the [`RingThermalModel`] give the
+//!    free-running resonance drift of every ring;
+//! 2. the [`ThermalTuner`] (under the configured [`TuningPolicy`]) decides
+//!    how much of that drift the heaters cancel, at what per-ring power;
+//! 3. the *residual* drift detunes the Lorentzian rings of the
+//!    [`MwsrChannel`](crate::MwsrChannel), shrinking the received swing and
+//!    raising the required laser output power;
+//! 4. the laser itself runs hotter, so its wall-plug efficiency drops and the
+//!    same optical output costs more electrical power.
+//!
+//! The solver returns both the laser operating point on the detuned channel
+//! and a [`ThermalSummary`] carrying the tuning-power term that the channel
+//! power report must now include:
+//!
+//! ```text
+//! P_channel = P_ENC+DEC + P_MR + P_laser + P_tune
+//! ```
+
+use onoc_ecc_codes::EccScheme;
+use onoc_thermal::{ResonanceDrift, RingThermalModel, ThermalTuner, TuningPolicy};
+use onoc_units::{Celsius, Microwatts, Milliwatts};
+use serde::{Deserialize, Serialize};
+
+use crate::mwsr::MwsrChannel;
+use crate::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
+
+/// The thermal configuration of a link: ring drift, heaters and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalLinkStack {
+    /// Resonance drift model of the ring banks.
+    pub rings: RingThermalModel,
+    /// Heater/controller model of each ring.
+    pub tuner: ThermalTuner,
+    /// Tune-vs-tolerate policy.
+    pub policy: TuningPolicy,
+}
+
+impl ThermalLinkStack {
+    /// The reproduction's default stack: silicon drift (0.1 nm/K, 25 °C
+    /// calibration), the paper heater and the adaptive policy.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            rings: RingThermalModel::paper_silicon(),
+            tuner: ThermalTuner::paper_heater(),
+            policy: TuningPolicy::Adaptive,
+        }
+    }
+}
+
+impl Default for ThermalLinkStack {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Thermal side of an operating point: what the temperature did to the link
+/// and what keeping the rings on grid costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSummary {
+    /// Chip temperature this point was solved at.
+    pub temperature: Celsius,
+    /// Free-running ring drift at that temperature.
+    pub free_drift: ResonanceDrift,
+    /// Residual drift after the selected tuning action.
+    pub residual_drift: ResonanceDrift,
+    /// Heater power per ring.
+    pub tuning_power_per_ring: Microwatts,
+    /// Rings one wavelength lane keeps on grid.
+    pub rings_per_lane: usize,
+    /// Heater power charged to one wavelength lane
+    /// (`tuning_power_per_ring × rings_per_lane`).
+    pub tuning_power_per_lane: Milliwatts,
+}
+
+impl ThermalSummary {
+    /// The summary of a perfectly calibrated link: no drift, no tuning power.
+    #[must_use]
+    pub fn calibrated(temperature: Celsius, rings_per_lane: usize) -> Self {
+        Self {
+            temperature,
+            free_drift: ResonanceDrift::zero(),
+            residual_drift: ResonanceDrift::zero(),
+            tuning_power_per_ring: Microwatts::zero(),
+            rings_per_lane,
+            tuning_power_per_lane: Milliwatts::zero(),
+        }
+    }
+}
+
+/// A laser power solver that understands temperature.
+///
+/// ```
+/// use onoc_photonics::calibration::PaperCalibration;
+/// use onoc_photonics::thermal::{ThermalLinkStack, ThermalSolver};
+/// use onoc_ecc_codes::EccScheme;
+/// use onoc_units::Celsius;
+///
+/// let solver = ThermalSolver::new(
+///     PaperCalibration::dac17().into_channel(),
+///     ThermalLinkStack::paper_default(),
+/// );
+/// let cool = solver.solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(25.0))?;
+/// let hot = solver.solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(85.0))?;
+/// // Heat costs laser power *and* tuning power.
+/// assert!(hot.0.laser_electrical_power.value() > cool.0.laser_electrical_power.value());
+/// assert!(hot.1.tuning_power_per_lane.value() > 0.0);
+/// # Ok::<(), onoc_photonics::power::SolveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalSolver {
+    base: LaserPowerSolver,
+    stack: ThermalLinkStack,
+}
+
+impl ThermalSolver {
+    /// Creates a thermal solver over `channel` with the given stack.
+    #[must_use]
+    pub fn new(channel: MwsrChannel, stack: ThermalLinkStack) -> Self {
+        Self {
+            base: LaserPowerSolver::new(channel),
+            stack,
+        }
+    }
+
+    /// The underlying (calibration-temperature) solver.
+    #[must_use]
+    pub fn base(&self) -> &LaserPowerSolver {
+        &self.base
+    }
+
+    /// The thermal stack in use.
+    #[must_use]
+    pub fn stack(&self) -> &ThermalLinkStack {
+        &self.stack
+    }
+
+    /// Solves `scheme` at `target_ber` with the chip at `temperature`.
+    ///
+    /// Every tuning action allowed by the policy is evaluated on the
+    /// correspondingly detuned channel; the feasible candidate with the
+    /// lowest *total* per-lane power (laser electrical + heater) wins.  At
+    /// the calibration temperature this reproduces the paper's numbers
+    /// bit-for-bit: the drift is zero, tolerating is free, and the channel is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the laser-side [`SolveError`] of the best-tuned candidate when
+    /// no action yields a feasible operating point (e.g. the uncoded link at
+    /// 85 °C, where even the tuned residual drift pushes the required laser
+    /// output past its ceiling).
+    pub fn solve_at(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+        temperature: Celsius,
+    ) -> Result<(LaserOperatingPoint, ThermalSummary), SolveError> {
+        let delta = self.stack.rings.delta_at(temperature);
+        let free_drift = self.stack.rings.drift_for(delta);
+        let rings_per_lane = self.base.channel().rings_per_lane();
+
+        // Distinct compensations the policy can produce; at zero excursion
+        // every action degenerates to "heaters off", so the dedup collapses
+        // the adaptive policy to a single solve on the hot path every
+        // calibration-ambient query takes.
+        let mut compensations: Vec<onoc_thermal::ThermalCompensation> = Vec::new();
+        for &action in self.stack.policy.candidates() {
+            let compensation = self.stack.tuner.apply(action, delta);
+            if !compensations.iter().any(|c| {
+                c.residual == compensation.residual
+                    && c.heater_power_per_ring == compensation.heater_power_per_ring
+            }) {
+                compensations.push(compensation);
+            }
+        }
+
+        let mut best: Option<(LaserOperatingPoint, ThermalSummary, f64)> = None;
+        let mut last_error: Option<SolveError> = None;
+        for compensation in compensations {
+            let residual = self.stack.rings.drift_for(compensation.residual);
+            // An undrifted channel at the base laser ambient is the base
+            // solver itself — reuse it instead of cloning the channel.
+            let reuse_base =
+                residual.is_zero() && temperature == self.base.channel().laser().ambient();
+            let detuned;
+            let solver = if reuse_base {
+                &self.base
+            } else {
+                detuned = LaserPowerSolver::new(
+                    self.base
+                        .channel()
+                        .with_resonance_drift(residual)
+                        .with_laser_ambient(temperature),
+                );
+                &detuned
+            };
+            match solver.solve(scheme, target_ber) {
+                Ok(point) => {
+                    let per_lane = Milliwatts::new(
+                        compensation.heater_power_per_ring.value() * rings_per_lane as f64 * 1e-3,
+                    );
+                    let total = point.laser_electrical_power.value() + per_lane.value();
+                    let summary = ThermalSummary {
+                        temperature,
+                        free_drift,
+                        residual_drift: residual,
+                        tuning_power_per_ring: compensation.heater_power_per_ring,
+                        rings_per_lane,
+                        tuning_power_per_lane: per_lane,
+                    };
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(_, _, best_total)| total < *best_total);
+                    if better {
+                        best = Some((point, summary, total));
+                    }
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        match best {
+            Some((point, summary, _)) => Ok((point, summary)),
+            None => Err(last_error.expect("policy always has at least one candidate")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::PaperCalibration;
+
+    fn solver() -> ThermalSolver {
+        ThermalSolver::new(
+            PaperCalibration::dac17().into_channel(),
+            ThermalLinkStack::paper_default(),
+        )
+    }
+
+    #[test]
+    fn calibration_temperature_reproduces_the_baseline_exactly() {
+        let thermal = solver();
+        let (point, summary) = thermal
+            .solve_at(EccScheme::Uncoded, 1e-11, Celsius::new(25.0))
+            .unwrap();
+        let baseline = thermal.base().solve(EccScheme::Uncoded, 1e-11).unwrap();
+        assert_eq!(point, baseline);
+        assert!(summary.free_drift.is_zero());
+        assert!(summary.residual_drift.is_zero());
+        assert!(summary.tuning_power_per_lane.is_zero());
+        assert_eq!(summary.rings_per_lane, 12);
+    }
+
+    #[test]
+    fn laser_power_is_monotone_in_temperature_for_coded_schemes() {
+        let thermal = solver();
+        for scheme in [EccScheme::Hamming74, EccScheme::Hamming7164] {
+            let mut last_total = 0.0;
+            for t in (25..=85).step_by(10) {
+                let (point, summary) = thermal
+                    .solve_at(scheme, 1e-11, Celsius::new(f64::from(t)))
+                    .unwrap_or_else(|e| panic!("{scheme} at {t} C: {e}"));
+                let total =
+                    point.laser_electrical_power.value() + summary.tuning_power_per_lane.value();
+                assert!(total >= last_total, "{scheme} not monotone at {t} C");
+                last_total = total;
+            }
+        }
+    }
+
+    #[test]
+    fn uncoded_link_dies_at_high_temperature_but_hamming_survives() {
+        let thermal = solver();
+        assert!(thermal
+            .solve_at(EccScheme::Uncoded, 1e-11, Celsius::new(25.0))
+            .is_ok());
+        let hot = Celsius::new(85.0);
+        assert!(matches!(
+            thermal.solve_at(EccScheme::Uncoded, 1e-11, hot),
+            Err(SolveError::LaserPowerExceeded { .. })
+        ));
+        assert!(thermal.solve_at(EccScheme::Hamming74, 1e-11, hot).is_ok());
+        assert!(thermal.solve_at(EccScheme::Hamming7164, 1e-11, hot).is_ok());
+    }
+
+    #[test]
+    fn tolerating_wins_only_for_tiny_excursions() {
+        let thermal = solver();
+        // 0.02 K is below the control loop's lock floor: the heaters cannot
+        // improve on tolerating, so the policy reports zero tuning power.
+        let (_, tiny) = thermal
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(25.02))
+            .unwrap();
+        assert!(tiny.tuning_power_per_lane.is_zero());
+        assert!((tiny.residual_drift.nanometers() - 0.002).abs() < 1e-12);
+        // 10 K of drift (1 nm, ~6 linewidths) would kill the link: it tunes.
+        let (_, big) = thermal
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(35.0))
+            .unwrap();
+        assert!(big.tuning_power_per_lane.value() > 0.0);
+        assert!(big.residual_drift.abs().nanometers() < 0.05);
+    }
+
+    #[test]
+    fn tolerate_policy_fails_where_adaptive_succeeds() {
+        let channel = PaperCalibration::dac17().into_channel();
+        let stubborn = ThermalSolver::new(
+            channel.clone(),
+            ThermalLinkStack {
+                policy: TuningPolicy::Tolerate,
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        let hot = Celsius::new(55.0);
+        assert!(stubborn.solve_at(EccScheme::Hamming74, 1e-11, hot).is_err());
+        let adaptive = ThermalSolver::new(channel, ThermalLinkStack::paper_default());
+        assert!(adaptive.solve_at(EccScheme::Hamming74, 1e-11, hot).is_ok());
+    }
+
+    #[test]
+    fn cooling_below_calibration_also_costs_tuning_power() {
+        let thermal = solver();
+        let (_, summary) = thermal
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(5.0))
+            .unwrap();
+        assert!(summary.free_drift.nanometers() < 0.0);
+        assert!(summary.tuning_power_per_lane.value() > 0.0);
+    }
+}

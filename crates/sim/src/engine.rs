@@ -8,10 +8,11 @@
 //! point's decoded BER.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use onoc_ecc_codes::EccScheme;
 use onoc_link::{LinkManager, ManagerDecision, NanophotonicLink, TrafficClass};
+use onoc_units::Celsius;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::arbiter::TokenArbiter;
 use crate::packet::{Message, MessageId};
 use crate::stats::SimStats;
+use crate::thermal::{OniThermalReport, ThermalRunReport, ThermalScenario};
 use crate::time::SimTime;
 use crate::traffic::{TrafficGenerator, TrafficPattern};
 
@@ -42,19 +44,26 @@ pub struct SimulationConfig {
     pub nominal_ber: f64,
     /// RNG seed (traffic and error injection are fully reproducible).
     pub seed: u64,
+    /// Thermal scenario the run plays back; `None` = the paper's fixed
+    /// 25 °C ambient.  With a scenario, every message is configured at the
+    /// temperature of its destination channel at injection time.
+    pub thermal: Option<ThermalScenario>,
 }
 
 impl Default for SimulationConfig {
     fn default() -> Self {
         Self {
             oni_count: 12,
-            pattern: TrafficPattern::UniformRandom { messages_per_node: 10 },
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 10,
+            },
             class: TrafficClass::Bulk,
             words_per_message: 16,
             mean_inter_arrival_ns: 5.0,
             deadline_slack_ns: None,
             nominal_ber: 1e-11,
             seed: 1,
+            thermal: None,
         }
     }
 }
@@ -92,14 +101,18 @@ impl std::error::Error for SimulationError {}
 pub struct SimulationReport {
     /// The configuration that was simulated.
     pub config: SimulationConfig,
-    /// The scheme the manager selected for this run's traffic class.
+    /// The scheme the manager selected for this run's traffic class at the
+    /// calibration ambient (the baseline; thermal scenarios may override it
+    /// per destination).
     pub scheme: EccScheme,
-    /// Per-waveguide channel power of the selected operating point, in mW.
+    /// Per-waveguide channel power of the baseline operating point, in mW.
     pub channel_power_mw: f64,
-    /// Decoded BER of the selected operating point.
+    /// Decoded BER of the baseline operating point.
     pub decoded_ber: f64,
     /// Aggregate statistics.
     pub stats: SimStats,
+    /// Per-ONI thermal decisions (present when a thermal scenario ran).
+    pub thermal: Option<ThermalRunReport>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,11 +141,53 @@ impl PartialOrd for Event {
     }
 }
 
+/// Pre-derived per-decision transmission parameters.
+#[derive(Debug, Clone, Copy)]
+struct DecisionParams {
+    scheme: EccScheme,
+    channel_power_mw: f64,
+    tuning_power_mw: f64,
+    temperature_c: f64,
+    word_duration: onoc_units::Nanoseconds,
+    codec_latency: onoc_units::Nanoseconds,
+    word_error_probability: f64,
+    corrected_probability: f64,
+}
+
+impl DecisionParams {
+    fn from_decision(decision: &ManagerDecision) -> Self {
+        let point = decision.point;
+        let decoded_ber = point.target_ber();
+        let word_error_probability = 1.0 - (1.0 - decoded_ber).powi(64);
+        let encoded_bits = point.scheme().encoded_bits_per_word(64) as i32;
+        let corrected_probability = 1.0 - (1.0 - point.laser.raw_ber).powi(encoded_bits);
+        Self {
+            scheme: point.scheme(),
+            channel_power_mw: point.channel_power.value(),
+            tuning_power_mw: point.power.tuning.value(),
+            temperature_c: point.temperature().value(),
+            word_duration: point.timing.serialization_time,
+            codec_latency: point.timing.codec_latency,
+            word_error_probability,
+            corrected_probability,
+        }
+    }
+
+    fn transfer_duration(&self, words: u64) -> onoc_units::Nanoseconds {
+        onoc_units::Nanoseconds::new(
+            self.codec_latency.value() + self.word_duration.value() * words as f64,
+        )
+    }
+}
+
 /// An event-driven simulation of the optical NoC.
 #[derive(Debug)]
 pub struct Simulation {
     config: SimulationConfig,
-    decision: ManagerDecision,
+    /// Baseline decision at the calibration ambient (index 0 of `decisions`).
+    decisions: Vec<ManagerDecision>,
+    /// Decision index per message; messages not present use the baseline.
+    assignment: HashMap<MessageId, usize>,
     messages: HashMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
@@ -164,14 +219,22 @@ impl Simulation {
                 reason: "nominal BER must be in (0, 0.5)".into(),
             });
         }
+        if let Some(scenario) = &config.thermal {
+            scenario
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
         let manager = LinkManager::new(
             NanophotonicLink::paper_link(),
             EccScheme::paper_schemes().to_vec(),
             config.nominal_ber,
         );
-        let decision = manager
-            .configure(config.class)
-            .ok_or(SimulationError::NoFeasibleConfiguration { class: config.class })?;
+        let baseline =
+            manager
+                .configure(config.class)
+                .ok_or(SimulationError::NoFeasibleConfiguration {
+                    class: config.class,
+                })?;
 
         let generated = TrafficGenerator::new(
             config.pattern,
@@ -183,22 +246,66 @@ impl Simulation {
             config.seed,
         )
         .generate();
+
+        // With a thermal scenario, every message is configured at the
+        // (quantized) temperature of its destination channel at injection
+        // time; identical buckets share one operating point.
+        let mut decisions = vec![baseline];
+        let mut assignment: HashMap<MessageId, usize> = HashMap::new();
+        if let Some(scenario) = config.thermal {
+            // The decision depends only on the (quantized) temperature, so
+            // the cache is keyed by bucket alone: a uniform environment
+            // solves the link once, not once per destination.
+            let mut cache: HashMap<i64, usize> = HashMap::new();
+            for message in &generated {
+                let temperature = scenario.environment.temperature_at(
+                    message.destination,
+                    config.oni_count,
+                    message.injected_at.as_nanos(),
+                );
+                let bucket = scenario.bucket(temperature.value());
+                let index = match cache.get(&bucket) {
+                    Some(&index) => index,
+                    None => {
+                        let bucket_temperature = Celsius::new(scenario.bucket_temperature(bucket));
+                        let decision = manager
+                            .configure_at(config.class, bucket_temperature)
+                            .ok_or(SimulationError::NoFeasibleConfiguration {
+                                class: config.class,
+                            })?;
+                        decisions.push(decision);
+                        cache.insert(bucket, decisions.len() - 1);
+                        decisions.len() - 1
+                    }
+                };
+                assignment.insert(message.id, index);
+            }
+        }
+
         let injection_order = generated.iter().map(|m| m.id).collect();
         let messages = generated.into_iter().map(|m| (m.id, m)).collect();
 
         Ok(Self {
             rng: StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
             config,
-            decision,
+            decisions,
+            assignment,
             messages,
             injection_order,
         })
     }
 
-    /// The operating point selected by the manager for this run.
+    /// The baseline operating point (calibration ambient) selected by the
+    /// manager for this run's traffic class.
     #[must_use]
     pub fn decision(&self) -> &ManagerDecision {
-        &self.decision
+        &self.decisions[0]
+    }
+
+    /// All distinct operating points in use (baseline first).
+    #[must_use]
+    pub fn decisions(&self) -> &[ManagerDecision] {
+        &self.decisions
     }
 
     /// Number of messages that will be injected.
@@ -207,21 +314,20 @@ impl Simulation {
         self.messages.len()
     }
 
+    /// Decision-parameter index of a message (baseline when unassigned).
+    fn params_index(&self, id: MessageId) -> usize {
+        self.assignment.get(&id).copied().unwrap_or(0)
+    }
+
     /// Runs the simulation to completion and returns the report.
     #[must_use]
     pub fn run(mut self) -> SimulationReport {
-        let point = self.decision.point;
-        let scheme = point.scheme();
-        let decoded_ber = point.target_ber();
-        let word_duration = point.timing.serialization_time;
-        let codec_latency = point.timing.codec_latency;
-        let channel_power_mw = point.channel_power.value();
-
-        // Residual-error probability per delivered 64-bit word, and the
-        // probability that the decoder had to correct something in a word.
-        let word_error_probability = 1.0 - (1.0 - decoded_ber).powi(64);
-        let encoded_bits = scheme.encoded_bits_per_word(64) as i32;
-        let corrected_probability = 1.0 - (1.0 - point.laser.raw_ber).powi(encoded_bits);
+        let params: Vec<DecisionParams> = self
+            .decisions
+            .iter()
+            .map(DecisionParams::from_decision)
+            .collect();
+        let baseline = params[0];
 
         let mut stats = SimStats {
             injected_messages: self.messages.len() as u64,
@@ -244,10 +350,15 @@ impl Simulation {
 
         let mut busy: HashMap<usize, bool> = HashMap::new();
         let mut makespan = SimTime::ZERO;
+        // Thermal bookkeeping: last decision per destination, and how many
+        // messages ran on a non-baseline scheme.
+        let mut last_per_oni: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut reconfigured_messages = 0u64;
 
         while let Some(Reverse(event)) = queue.pop() {
             makespan = makespan.max_time(event.time);
             let message = self.messages[&event.message];
+            let point = params[self.params_index(event.message)];
             match event.kind {
                 EventKind::Inject => {
                     let arbiter = arbiters.entry(message.destination).or_default();
@@ -260,17 +371,16 @@ impl Simulation {
                         &mut queue,
                         &mut sequence,
                         &self.messages,
-                        word_duration,
-                        codec_latency,
+                        &params,
+                        &self.assignment,
                     );
                 }
                 EventKind::Complete => {
-                    let duration_ns =
-                        codec_latency.value() + word_duration.value() * message.words as f64;
+                    let duration_ns = point.transfer_duration(message.words).value();
                     stats.delivered_messages += 1;
                     stats.delivered_bits += message.payload_bits();
                     stats.channel_busy_ns += duration_ns;
-                    stats.energy_pj += channel_power_mw * duration_ns;
+                    stats.energy_pj += point.channel_power_mw * duration_ns;
                     let latency = event.time.since(message.injected_at).value();
                     stats.total_latency_ns += latency;
                     stats.max_latency_ns = stats.max_latency_ns.max(latency);
@@ -278,12 +388,22 @@ impl Simulation {
                         stats.deadline_misses += 1;
                     }
                     for _ in 0..message.words {
-                        if self.rng.gen_bool(word_error_probability.clamp(0.0, 1.0)) {
+                        if self
+                            .rng
+                            .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
+                        {
                             stats.corrupted_bits += 1;
                         }
-                        if self.rng.gen_bool(corrected_probability.clamp(0.0, 1.0)) {
+                        if self
+                            .rng
+                            .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
+                        {
                             stats.corrected_words += 1;
                         }
+                    }
+                    last_per_oni.insert(message.destination, self.params_index(event.message));
+                    if point.scheme != baseline.scheme {
+                        reconfigured_messages += 1;
                     }
                     let arbiter = arbiters
                         .get_mut(&message.destination)
@@ -298,20 +418,37 @@ impl Simulation {
                         &mut queue,
                         &mut sequence,
                         &self.messages,
-                        word_duration,
-                        codec_latency,
+                        &params,
+                        &self.assignment,
                     );
                 }
             }
         }
 
         stats.makespan_ns = makespan.as_nanos();
+        let thermal = self.config.thermal.map(|_| ThermalRunReport {
+            per_oni: last_per_oni
+                .iter()
+                .map(|(&oni, &index)| {
+                    let p = params[index];
+                    OniThermalReport {
+                        oni,
+                        temperature_c: p.temperature_c,
+                        scheme: p.scheme,
+                        channel_power_mw: p.channel_power_mw,
+                        tuning_power_mw_per_lane: p.tuning_power_mw,
+                    }
+                })
+                .collect(),
+            reconfigured_messages,
+        });
         SimulationReport {
             config: self.config,
-            scheme,
-            channel_power_mw,
-            decoded_ber,
+            scheme: baseline.scheme,
+            channel_power_mw: baseline.channel_power_mw,
+            decoded_ber: self.decisions[0].point.target_ber(),
             stats,
+            thermal,
         }
     }
 
@@ -324,8 +461,8 @@ impl Simulation {
         queue: &mut BinaryHeap<Reverse<Event>>,
         sequence: &mut u64,
         messages: &HashMap<MessageId, Message>,
-        word_duration: onoc_units::Nanoseconds,
-        codec_latency: onoc_units::Nanoseconds,
+        params: &[DecisionParams],
+        assignment: &HashMap<MessageId, usize>,
     ) {
         if *busy.get(&destination).unwrap_or(&false) {
             return;
@@ -333,9 +470,8 @@ impl Simulation {
         let arbiter = arbiters.entry(destination).or_default();
         if let Some((_, id)) = arbiter.grant() {
             let message = messages[&id];
-            let duration = onoc_units::Nanoseconds::new(
-                codec_latency.value() + word_duration.value() * message.words as f64,
-            );
+            let point = params[assignment.get(&id).copied().unwrap_or(0)];
+            let duration = point.transfer_duration(message.words);
             busy.insert(destination, true);
             queue.push(Reverse(Event {
                 time: now.advanced_by(duration),
@@ -367,7 +503,9 @@ mod tests {
     fn quick_config() -> SimulationConfig {
         SimulationConfig {
             oni_count: 6,
-            pattern: TrafficPattern::UniformRandom { messages_per_node: 15 },
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 15,
+            },
             class: TrafficClass::Bulk,
             words_per_message: 8,
             mean_inter_arrival_ns: 2.0,
@@ -416,7 +554,10 @@ mod tests {
     fn hotspot_congestion_increases_latency() {
         let uniform = Simulation::new(quick_config()).unwrap().run();
         let hotspot = Simulation::new(SimulationConfig {
-            pattern: TrafficPattern::Hotspot { destination: 0, messages_per_node: 15 },
+            pattern: TrafficPattern::Hotspot {
+                destination: 0,
+                messages_per_node: 15,
+            },
             ..quick_config()
         })
         .unwrap()
@@ -428,7 +569,10 @@ mod tests {
     fn deadlines_are_tracked() {
         let report = Simulation::new(SimulationConfig {
             class: TrafficClass::RealTime,
-            pattern: TrafficPattern::Hotspot { destination: 1, messages_per_node: 30 },
+            pattern: TrafficPattern::Hotspot {
+                destination: 1,
+                messages_per_node: 30,
+            },
             deadline_slack_ns: Some(10.0),
             mean_inter_arrival_ns: 0.5,
             ..quick_config()
@@ -465,21 +609,33 @@ mod tests {
         })
         .unwrap()
         .run();
-        assert_eq!(report.stats.delivered_messages, report.stats.injected_messages);
+        assert_eq!(
+            report.stats.delivered_messages,
+            report.stats.injected_messages
+        );
     }
 
     #[test]
     fn invalid_configurations_are_rejected() {
         assert!(matches!(
-            Simulation::new(SimulationConfig { oni_count: 1, ..quick_config() }),
+            Simulation::new(SimulationConfig {
+                oni_count: 1,
+                ..quick_config()
+            }),
             Err(SimulationError::InvalidConfiguration { .. })
         ));
         assert!(matches!(
-            Simulation::new(SimulationConfig { words_per_message: 0, ..quick_config() }),
+            Simulation::new(SimulationConfig {
+                words_per_message: 0,
+                ..quick_config()
+            }),
             Err(SimulationError::InvalidConfiguration { .. })
         ));
         assert!(matches!(
-            Simulation::new(SimulationConfig { nominal_ber: 0.7, ..quick_config() }),
+            Simulation::new(SimulationConfig {
+                nominal_ber: 0.7,
+                ..quick_config()
+            }),
             Err(SimulationError::InvalidConfiguration { .. })
         ));
     }
@@ -493,7 +649,10 @@ mod tests {
             ..quick_config()
         })
         .unwrap_err();
-        assert!(matches!(err, SimulationError::NoFeasibleConfiguration { .. }));
+        assert!(matches!(
+            err,
+            SimulationError::NoFeasibleConfiguration { .. }
+        ));
         assert!(err.to_string().contains("RealTime"));
     }
 
@@ -502,5 +661,148 @@ mod tests {
         let report = Simulation::new(quick_config()).unwrap().run();
         let expected = report.channel_power_mw * report.stats.channel_busy_ns;
         assert!((report.stats.energy_pj - expected).abs() / expected < 1e-9);
+    }
+
+    fn thermal_config(environment: onoc_thermal::ThermalEnvironment) -> SimulationConfig {
+        SimulationConfig {
+            oni_count: 12,
+            class: TrafficClass::LatencyFirst,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 8,
+            },
+            thermal: Some(crate::thermal::ThermalScenario::new(environment)),
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn ambient_thermal_scenario_matches_the_baseline_run() {
+        let plain = Simulation::new(SimulationConfig {
+            oni_count: 12,
+            class: TrafficClass::LatencyFirst,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 8,
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        let thermal = Simulation::new(thermal_config(
+            onoc_thermal::ThermalEnvironment::paper_ambient(),
+        ))
+        .unwrap()
+        .run();
+        assert_eq!(plain.stats, thermal.stats);
+        let summary = thermal.thermal.unwrap();
+        assert_eq!(summary.reconfigured_messages, 0);
+        assert!(summary
+            .per_oni
+            .iter()
+            .all(|o| o.scheme == EccScheme::Uncoded));
+    }
+
+    #[test]
+    fn hotspot_scenario_splits_the_interconnect_between_schemes() {
+        let report = Simulation::new(thermal_config(onoc_thermal::ThermalEnvironment::Hotspot {
+            base: onoc_units::Celsius::new(30.0),
+            peak: onoc_units::Celsius::new(85.0),
+            center: 0,
+            decay_per_hop: 0.35,
+        }))
+        .unwrap()
+        .run();
+        assert_eq!(report.scheme, EccScheme::Uncoded, "baseline stays uncoded");
+        let summary = report.thermal.unwrap();
+        assert_eq!(summary.distinct_schemes(), 2);
+        assert!(summary.reconfigured_messages > 0);
+        let hot = summary.per_oni.iter().find(|o| o.oni == 0).unwrap();
+        assert_eq!(hot.scheme, EccScheme::Hamming7164);
+        assert!(hot.tuning_power_mw_per_lane > 0.0);
+        let far = summary.per_oni.iter().find(|o| o.oni == 6).unwrap();
+        assert_eq!(far.scheme, EccScheme::Uncoded);
+        assert!(far.temperature_c < hot.temperature_c);
+    }
+
+    #[test]
+    fn transient_heating_reconfigures_mid_run() {
+        // A long uniform-random run under a fast heating transient: early
+        // messages ride uncoded, late messages must switch to H(71,64).
+        let report = Simulation::new(SimulationConfig {
+            mean_inter_arrival_ns: 20.0,
+            ..thermal_config(onoc_thermal::ThermalEnvironment::Transient {
+                start: onoc_units::Celsius::new(25.0),
+                target: onoc_units::Celsius::new(85.0),
+                time_constant_ns: 200.0,
+            })
+        })
+        .unwrap()
+        .run();
+        let summary = report.thermal.unwrap();
+        assert!(summary.reconfigured_messages > 0);
+        assert!(
+            summary.reconfigured_messages < report.stats.delivered_messages,
+            "some early messages should still ride the uncoded path"
+        );
+        // By the end of the run every channel sits hot and coded.
+        assert!(summary
+            .per_oni
+            .iter()
+            .all(|o| o.scheme == EccScheme::Hamming7164));
+    }
+
+    #[test]
+    fn invalid_thermal_scenarios_are_rejected_at_construction() {
+        let err = Simulation::new(thermal_config(onoc_thermal::ThermalEnvironment::Hotspot {
+            base: onoc_units::Celsius::new(30.0),
+            peak: onoc_units::Celsius::new(85.0),
+            center: 0,
+            decay_per_hop: 1.0,
+        }))
+        .unwrap_err();
+        assert!(matches!(err, SimulationError::InvalidConfiguration { .. }));
+        assert!(err.to_string().contains("decay"));
+
+        let err = Simulation::new(thermal_config(
+            onoc_thermal::ThermalEnvironment::Transient {
+                start: onoc_units::Celsius::new(25.0),
+                target: onoc_units::Celsius::new(85.0),
+                time_constant_ns: 0.0,
+            },
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("time constant"));
+
+        let mut config = thermal_config(onoc_thermal::ThermalEnvironment::paper_ambient());
+        config.thermal.as_mut().unwrap().quantization_k = 0.0;
+        let err = Simulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("quantization"));
+    }
+
+    #[test]
+    fn hot_uniform_scenario_for_realtime_is_infeasible() {
+        let err = Simulation::new(SimulationConfig {
+            class: TrafficClass::RealTime,
+            ..thermal_config(onoc_thermal::ThermalEnvironment::Uniform {
+                temperature: onoc_units::Celsius::new(85.0),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::NoFeasibleConfiguration { .. }
+        ));
+    }
+
+    #[test]
+    fn thermal_runs_are_reproducible() {
+        let config = thermal_config(onoc_thermal::ThermalEnvironment::Hotspot {
+            base: onoc_units::Celsius::new(30.0),
+            peak: onoc_units::Celsius::new(85.0),
+            center: 3,
+            decay_per_hop: 0.5,
+        });
+        let a = Simulation::new(config.clone()).unwrap().run();
+        let b = Simulation::new(config).unwrap().run();
+        assert_eq!(a, b);
     }
 }

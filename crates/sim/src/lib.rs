@@ -40,10 +40,12 @@ pub mod arbiter;
 pub mod engine;
 pub mod packet;
 pub mod stats;
+pub mod thermal;
 pub mod time;
 pub mod traffic;
 
 pub use engine::{Simulation, SimulationConfig, SimulationError, SimulationReport};
 pub use packet::{Message, MessageId};
 pub use stats::SimStats;
+pub use thermal::{OniThermalReport, ThermalRunReport, ThermalScenario};
 pub use time::SimTime;

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::time::SimTime;
 
 /// Unique message identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
 
 impl std::fmt::Display for MessageId {

@@ -1,0 +1,176 @@
+//! Thermal scenario playback for the NoC simulator.
+//!
+//! A [`ThermalScenario`] attaches a [`ThermalEnvironment`] to a simulation
+//! run: before a message is injected, the engine samples the temperature of
+//! its *destination* channel (the MWSR channel it will be delivered on) at
+//! the injection instant and asks the thermally-aware link manager for the
+//! operating point at that temperature.  Decisions are cached on a
+//! configurable temperature quantization so that static scenarios resolve
+//! each ONI exactly once and transient traces do not re-solve the link for
+//! every microkelvin of drift.
+
+use onoc_thermal::ThermalEnvironment;
+use serde::{Deserialize, Serialize};
+
+/// A thermal environment plus the sampling granularity the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalScenario {
+    /// The temperature field over the ONIs.
+    pub environment: ThermalEnvironment,
+    /// Temperature quantization step for decision caching, in kelvin.
+    /// Temperatures within the same step share one operating point.
+    pub quantization_k: f64,
+}
+
+impl ThermalScenario {
+    /// Wraps `environment` with the default 0.5 K decision quantization.
+    #[must_use]
+    pub fn new(environment: ThermalEnvironment) -> Self {
+        Self {
+            environment,
+            quantization_k: 0.5,
+        }
+    }
+
+    /// The paper's fixed 25 °C ambient (useful as an explicit no-op).
+    #[must_use]
+    pub fn paper_ambient() -> Self {
+        Self::new(ThermalEnvironment::paper_ambient())
+    }
+
+    /// Checks the scenario's parameters (quantization step and environment).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the quantization step is not
+    /// positive and finite or the environment parameters are invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.quantization_k > 0.0 && self.quantization_k.is_finite()) {
+            return Err(format!(
+                "thermal quantization step must be positive and finite, got {}",
+                self.quantization_k
+            ));
+        }
+        self.environment.validate()
+    }
+
+    /// Quantized temperature bucket for decision caching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantization step is not positive.
+    #[must_use]
+    pub fn bucket(&self, temperature_c: f64) -> i64 {
+        assert!(
+            self.quantization_k > 0.0,
+            "quantization step must be positive"
+        );
+        #[allow(clippy::cast_possible_truncation)]
+        let bucket = (temperature_c / self.quantization_k).round() as i64;
+        bucket
+    }
+
+    /// Representative temperature of a cache `bucket`.
+    #[must_use]
+    pub fn bucket_temperature(&self, bucket: i64) -> f64 {
+        bucket as f64 * self.quantization_k
+    }
+}
+
+impl Default for ThermalScenario {
+    fn default() -> Self {
+        Self::paper_ambient()
+    }
+}
+
+/// Per-destination summary of what the thermal manager did during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OniThermalReport {
+    /// Destination ONI index.
+    pub oni: usize,
+    /// Temperature of that ONI's channel at the *last* decision taken for
+    /// it, in °C.
+    pub temperature_c: f64,
+    /// Scheme selected for that channel at that temperature.
+    pub scheme: onoc_ecc_codes::EccScheme,
+    /// Channel power of the selected operating point, in mW.
+    pub channel_power_mw: f64,
+    /// Thermal-tuning share of the per-lane power, in mW.
+    pub tuning_power_mw_per_lane: f64,
+}
+
+/// Run-level thermal summary attached to the simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalRunReport {
+    /// One entry per destination ONI that received traffic, sorted by index.
+    pub per_oni: Vec<OniThermalReport>,
+    /// Number of times the selected scheme for some destination differed
+    /// from the ambient-temperature baseline scheme.
+    pub reconfigured_messages: u64,
+}
+
+impl ThermalRunReport {
+    /// Number of distinct schemes in use across the interconnect.
+    #[must_use]
+    pub fn distinct_schemes(&self) -> usize {
+        self.per_oni
+            .iter()
+            .map(|o| o.scheme)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::Celsius;
+
+    #[test]
+    fn buckets_quantize_and_round_trip() {
+        let scenario = ThermalScenario::new(ThermalEnvironment::Uniform {
+            temperature: Celsius::new(55.0),
+        });
+        assert_eq!(scenario.bucket(55.0), 110);
+        assert_eq!(scenario.bucket(55.2), 110);
+        assert_eq!(scenario.bucket(55.3), 111);
+        assert!((scenario.bucket_temperature(110) - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_scenario_is_the_paper_ambient() {
+        let scenario = ThermalScenario::default();
+        assert!((scenario.environment.temperature_at(0, 12, 0.0).value() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_schemes_deduplicates() {
+        let report = ThermalRunReport {
+            per_oni: vec![
+                OniThermalReport {
+                    oni: 0,
+                    temperature_c: 85.0,
+                    scheme: onoc_ecc_codes::EccScheme::Hamming7164,
+                    channel_power_mw: 200.0,
+                    tuning_power_mw_per_lane: 8.0,
+                },
+                OniThermalReport {
+                    oni: 1,
+                    temperature_c: 30.0,
+                    scheme: onoc_ecc_codes::EccScheme::Uncoded,
+                    channel_power_mw: 250.0,
+                    tuning_power_mw_per_lane: 0.5,
+                },
+                OniThermalReport {
+                    oni: 2,
+                    temperature_c: 30.0,
+                    scheme: onoc_ecc_codes::EccScheme::Uncoded,
+                    channel_power_mw: 250.0,
+                    tuning_power_mw_per_lane: 0.5,
+                },
+            ],
+            reconfigured_messages: 3,
+        };
+        assert_eq!(report.distinct_schemes(), 2);
+    }
+}

@@ -30,7 +30,10 @@ impl SimTime {
     /// Panics if `ns` is negative or not finite.
     #[must_use]
     pub fn from_nanos(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "time must be finite and non-negative"
+        );
         Self((ns * 1e3).round() as u64)
     }
 

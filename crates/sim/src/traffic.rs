@@ -90,7 +90,10 @@ impl TrafficGenerator {
         seed: u64,
     ) -> Self {
         assert!(oni_count >= 2, "traffic needs at least two ONIs");
-        assert!(words_per_message > 0, "messages must carry at least one word");
+        assert!(
+            words_per_message > 0,
+            "messages must carry at least one word"
+        );
         Self {
             pattern,
             oni_count,
@@ -126,18 +129,20 @@ impl TrafficGenerator {
             } => (0..self.oni_count)
                 .filter(|&s| s != destination % self.oni_count)
                 .flat_map(|s| {
-                    std::iter::repeat((s, destination % self.oni_count, 1))
-                        .take(messages_per_node as usize)
+                    std::iter::repeat_n(
+                        (s, destination % self.oni_count, 1),
+                        messages_per_node as usize,
+                    )
                 })
                 .collect(),
             TrafficPattern::Transpose { messages_per_node } => (0..self.oni_count)
                 .map(|s| (s, (s + self.oni_count / 2) % self.oni_count))
                 .filter(|(s, d)| s != d)
-                .flat_map(|(s, d)| std::iter::repeat((s, d, 1)).take(messages_per_node as usize))
+                .flat_map(|(s, d)| std::iter::repeat_n((s, d, 1), messages_per_node as usize))
                 .collect(),
             TrafficPattern::NearestNeighbor { messages_per_node } => (0..self.oni_count)
                 .map(|s| (s, (s + 1) % self.oni_count))
-                .flat_map(|(s, d)| std::iter::repeat((s, d, 1)).take(messages_per_node as usize))
+                .flat_map(|(s, d)| std::iter::repeat_n((s, d, 1), messages_per_node as usize))
                 .collect(),
             TrafficPattern::Streaming {
                 source,
@@ -146,12 +151,14 @@ impl TrafficGenerator {
                 burst_messages,
             } => (0..bursts)
                 .flat_map(|burst| {
-                    std::iter::repeat((
-                        source % self.oni_count,
-                        destination % self.oni_count,
-                        burst + 1,
-                    ))
-                    .take(burst_messages as usize)
+                    std::iter::repeat_n(
+                        (
+                            source % self.oni_count,
+                            destination % self.oni_count,
+                            burst + 1,
+                        ),
+                        burst_messages as usize,
+                    )
                 })
                 .collect(),
         };
@@ -202,7 +209,12 @@ mod tests {
 
     #[test]
     fn uniform_random_never_sends_to_self_and_covers_all_sources() {
-        let messages = generate(TrafficPattern::UniformRandom { messages_per_node: 10 }, 8);
+        let messages = generate(
+            TrafficPattern::UniformRandom {
+                messages_per_node: 10,
+            },
+            8,
+        );
         assert_eq!(messages.len(), 80);
         assert!(messages.iter().all(|m| m.source != m.destination));
         for source in 0..8 {
@@ -213,7 +225,10 @@ mod tests {
     #[test]
     fn hotspot_targets_a_single_destination() {
         let messages = generate(
-            TrafficPattern::Hotspot { destination: 2, messages_per_node: 5 },
+            TrafficPattern::Hotspot {
+                destination: 2,
+                messages_per_node: 5,
+            },
             6,
         );
         assert_eq!(messages.len(), 25);
@@ -223,7 +238,12 @@ mod tests {
 
     #[test]
     fn transpose_is_a_permutation() {
-        let messages = generate(TrafficPattern::Transpose { messages_per_node: 1 }, 8);
+        let messages = generate(
+            TrafficPattern::Transpose {
+                messages_per_node: 1,
+            },
+            8,
+        );
         assert_eq!(messages.len(), 8);
         let mut destinations: Vec<usize> = messages.iter().map(|m| m.destination).collect();
         destinations.sort_unstable();
@@ -233,14 +253,24 @@ mod tests {
 
     #[test]
     fn nearest_neighbor_wraps_around() {
-        let messages = generate(TrafficPattern::NearestNeighbor { messages_per_node: 1 }, 4);
+        let messages = generate(
+            TrafficPattern::NearestNeighbor {
+                messages_per_node: 1,
+            },
+            4,
+        );
         assert!(messages.iter().any(|m| m.source == 3 && m.destination == 0));
     }
 
     #[test]
     fn streaming_is_point_to_point_and_bursty() {
         let messages = generate(
-            TrafficPattern::Streaming { source: 1, destination: 5, bursts: 3, burst_messages: 4 },
+            TrafficPattern::Streaming {
+                source: 1,
+                destination: 5,
+                bursts: 3,
+                burst_messages: 4,
+            },
             8,
         );
         assert_eq!(messages.len(), 12);
@@ -254,7 +284,9 @@ mod tests {
     #[test]
     fn injection_times_are_sorted_and_deadlines_applied() {
         let messages = TrafficGenerator::new(
-            TrafficPattern::UniformRandom { messages_per_node: 5 },
+            TrafficPattern::UniformRandom {
+                messages_per_node: 5,
+            },
             4,
             2,
             TrafficClass::RealTime,
@@ -274,8 +306,18 @@ mod tests {
 
     #[test]
     fn generation_is_reproducible_for_a_fixed_seed() {
-        let a = generate(TrafficPattern::UniformRandom { messages_per_node: 7 }, 6);
-        let b = generate(TrafficPattern::UniformRandom { messages_per_node: 7 }, 6);
+        let a = generate(
+            TrafficPattern::UniformRandom {
+                messages_per_node: 7,
+            },
+            6,
+        );
+        let b = generate(
+            TrafficPattern::UniformRandom {
+                messages_per_node: 7,
+            },
+            6,
+        );
         assert_eq!(a, b);
     }
 
@@ -283,7 +325,9 @@ mod tests {
     #[should_panic(expected = "at least two ONIs")]
     fn single_node_traffic_panics() {
         let _ = TrafficGenerator::new(
-            TrafficPattern::UniformRandom { messages_per_node: 1 },
+            TrafficPattern::UniformRandom {
+                messages_per_node: 1,
+            },
             1,
             1,
             TrafficClass::Bulk,

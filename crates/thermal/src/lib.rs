@@ -1,0 +1,63 @@
+//! Temperature effects in the nanophotonic interconnect: micro-ring
+//! resonance drift, heater-based thermal tuning and chip thermal
+//! environments.
+//!
+//! The DAC'17 paper evaluates its coding/laser-power trade-off at a fixed
+//! ambient temperature, but micro-ring resonators are the most
+//! temperature-sensitive device in the link: silicon's thermo-optic
+//! coefficient shifts a ring's resonance by roughly **0.1 nm/K**, while the
+//! ring linewidth of the evaluated channel is only 0.17 nm.  A couple of
+//! kelvin of uncompensated drift therefore destroys the link budget, and the
+//! power spent *keeping the rings on grid* becomes a first-class term of the
+//! channel power — alongside the laser and modulation terms the paper
+//! accounts for.
+//!
+//! This crate provides the temperature-domain models, deliberately free of
+//! any photonic-device dependency so that every layer of the workspace can
+//! use them:
+//!
+//! * [`RingThermalModel`] — resonance drift vs. temperature relative to the
+//!   calibration point (dλ/dT ≈ 0.1 nm/K for silicon rings);
+//! * [`ThermalTuner`] — closed-loop heater tuning: per-ring tuning power in
+//!   µW/K of compensated drift, heater saturation, and the residual lock
+//!   error of a real control loop;
+//! * [`TuningPolicy`] — tolerate the drift, always tune, or adaptively pick
+//!   whichever costs less total power;
+//! * [`ThermalEnvironment`] — uniform ambient, static hotspot gradients
+//!   across the ONIs, and a first-order transient trace the NoC simulator
+//!   samples over time.
+//!
+//! The photonic consequences (how many dB of penalty a nanometre of residual
+//! drift costs) are computed by `onoc-photonics` from its Lorentzian ring
+//! model; the runtime consequences (re-selecting the ECC scheme as the chip
+//! heats) live in `onoc-link`; scenario playback lives in `onoc-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_thermal::{RingThermalModel, ThermalTuner};
+//! use onoc_units::Celsius;
+//!
+//! let rings = RingThermalModel::paper_silicon();
+//! let tuner = ThermalTuner::paper_heater();
+//!
+//! // 60 K above calibration the free-running drift is ~6 nm — 35 linewidths.
+//! let drift = rings.drift_at(Celsius::new(85.0));
+//! assert!((drift.nanometers() - 6.0).abs() < 1e-9);
+//!
+//! // The closed loop pulls that back to a small residual, for a price.
+//! let compensation = tuner.compensate(rings.delta_at(Celsius::new(85.0)));
+//! assert!(rings.drift_for(compensation.residual).nanometers().abs() < 0.05);
+//! assert!(compensation.heater_power_per_ring.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod environment;
+pub mod tuning;
+
+pub use drift::{ResonanceDrift, RingThermalModel};
+pub use environment::ThermalEnvironment;
+pub use tuning::{ThermalCompensation, ThermalTuner, TuningPolicy};

@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn per_bits_division() {
-        let word_energy = Picojoules::from_power_and_time(Milliwatts::new(251.0), Nanoseconds::new(1.0));
+        let word_energy =
+            Picojoules::from_power_and_time(Milliwatts::new(251.0), Nanoseconds::new(1.0));
         let per_bit = word_energy.per_bits(64);
         assert!((per_bit.value() - 3.921_875).abs() < 1e-6);
     }

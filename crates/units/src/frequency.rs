@@ -62,7 +62,10 @@ impl Gigahertz {
     /// Panics if the frequency is zero.
     #[must_use]
     pub fn period(self) -> Nanoseconds {
-        assert!(self.value() > 0.0, "cannot take the period of a zero frequency");
+        assert!(
+            self.value() > 0.0,
+            "cannot take the period of a zero frequency"
+        );
         Nanoseconds::new(1.0 / self.value())
     }
 

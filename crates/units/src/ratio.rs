@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn ratio_product() {
-        let total: LinearRatio = [0.5, 0.5, 2.0].iter().map(|&v| LinearRatio::new(v)).product();
+        let total: LinearRatio = [0.5, 0.5, 2.0]
+            .iter()
+            .map(|&v| LinearRatio::new(v))
+            .product();
         assert!((total.value() - 0.5).abs() < 1e-12);
     }
 

@@ -1,4 +1,21 @@
-//! Temperature quantities used by the VCSEL thermal-efficiency model.
+//! Temperature quantities used by the VCSEL thermal-efficiency model and the
+//! micro-ring thermal-drift model.
+//!
+//! # Absolute vs. relative temperatures
+//!
+//! [`Celsius`] and [`Kelvin`] are *absolute* temperatures; [`KelvinDelta`] is
+//! a *temperature difference*.  Drift math (resonance shift per kelvin,
+//! heater compensation) must operate on differences, so the convention is:
+//!
+//! * subtract two absolute temperatures with [`Celsius::delta_to`] /
+//!   [`Kelvin::delta_to`], which yield a [`KelvinDelta`];
+//! * move an absolute temperature by a difference with
+//!   [`Celsius::offset_by`] or the `Celsius + KelvinDelta` operator.
+//!
+//! A 1 °C step equals a 1 K step, so the same delta type serves both scales.
+//! (The legacy `Celsius + Celsius` operator from the quantity macro is kept
+//! for the VCSEL self-heating model, which composes heating *contributions*
+//! expressed in °C.)
 
 use crate::quantity::quantity;
 
@@ -21,6 +38,83 @@ quantity!(
     Kelvin,
     "K"
 );
+
+quantity!(
+    /// A temperature *difference* in kelvin (equivalently, in °C steps).
+    ///
+    /// ```
+    /// use onoc_units::{Celsius, KelvinDelta};
+    /// let ambient = Celsius::new(25.0);
+    /// let hotspot = Celsius::new(85.0);
+    /// let rise = hotspot.delta_to(ambient);
+    /// assert!((rise.value() - 60.0).abs() < 1e-12);
+    /// assert!((ambient.offset_by(rise).value() - 85.0).abs() < 1e-12);
+    /// ```
+    KelvinDelta,
+    "K",
+    allow_negative
+);
+
+impl KelvinDelta {
+    /// Magnitude of the difference.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self::new(self.value().abs())
+    }
+}
+
+impl Celsius {
+    /// Difference `self − reference` as a [`KelvinDelta`].
+    #[must_use]
+    pub fn delta_to(self, reference: Celsius) -> KelvinDelta {
+        KelvinDelta::new(self.value() - reference.value())
+    }
+
+    /// This temperature moved by `delta`.
+    #[must_use]
+    pub fn offset_by(self, delta: KelvinDelta) -> Celsius {
+        Celsius::new(self.value() + delta.value())
+    }
+}
+
+impl std::ops::Add<KelvinDelta> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: KelvinDelta) -> Celsius {
+        self.offset_by(rhs)
+    }
+}
+
+impl std::ops::Sub<KelvinDelta> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: KelvinDelta) -> Celsius {
+        Celsius::new(self.value() - rhs.value())
+    }
+}
+
+impl Kelvin {
+    /// Difference `self − reference` as a [`KelvinDelta`].
+    #[must_use]
+    pub fn delta_to(self, reference: Kelvin) -> KelvinDelta {
+        KelvinDelta::new(self.value() - reference.value())
+    }
+
+    /// This temperature moved by `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be below absolute zero.
+    #[must_use]
+    pub fn offset_by(self, delta: KelvinDelta) -> Kelvin {
+        Kelvin::new(self.value() + delta.value())
+    }
+}
+
+impl std::ops::Add<KelvinDelta> for Kelvin {
+    type Output = Kelvin;
+    fn add(self, rhs: KelvinDelta) -> Kelvin {
+        self.offset_by(rhs)
+    }
+}
 
 impl Celsius {
     /// Converts to kelvin.
@@ -80,5 +174,27 @@ mod tests {
     #[should_panic(expected = "absolute zero")]
     fn below_absolute_zero_rejected() {
         let _ = Celsius::new(-300.0).to_kelvin();
+    }
+
+    #[test]
+    fn deltas_are_signed_and_consistent_across_scales() {
+        let cool = Celsius::new(25.0);
+        let hot = Celsius::new(85.0);
+        assert!((hot.delta_to(cool).value() - 60.0).abs() < 1e-12);
+        assert!((cool.delta_to(hot).value() + 60.0).abs() < 1e-12);
+        assert!((cool.delta_to(hot).abs().value() - 60.0).abs() < 1e-12);
+        // The same delta applies in kelvin.
+        let k = hot.to_kelvin().delta_to(cool.to_kelvin());
+        assert!((k.value() - 60.0).abs() < 1e-12);
+        assert!((cool.to_kelvin().offset_by(k).to_celsius().value() - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_operators_round_trip() {
+        let t = Celsius::new(25.0);
+        let delta = KelvinDelta::new(-12.5);
+        assert!(((t + delta).value() - 12.5).abs() < 1e-12);
+        assert!(((t - delta).value() - 37.5).abs() < 1e-12);
+        assert!(((t.to_kelvin() + KelvinDelta::new(10.0)).value() - 308.15).abs() < 1e-9);
     }
 }

@@ -16,7 +16,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The paper's own sweep.
     let sweep = DesignSpace::code_ablation();
     println!("Code-length ablation on the paper channel (BER = 1e-11):\n");
-    let mut table = TextTable::new(vec!["scheme", "rate", "Plaser (mW)", "Pchannel (mW)", "CT", "pJ/bit", "Pareto"]);
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "rate",
+        "Plaser (mW)",
+        "Pchannel (mW)",
+        "CT",
+        "pJ/bit",
+        "Pareto",
+    ]);
     for p in sweep.pareto_front(1e-11) {
         let s = p.point.scheme();
         table.push_row(vec![
@@ -41,7 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &scheme in sweep.schemes() {
         let mut row = vec![scheme.to_string()];
         for &ber in &targets {
-            row.push(if link.operating_point(scheme, ber).is_ok() { "x" } else { "." }.to_owned());
+            row.push(
+                if link.operating_point(scheme, ber).is_ok() {
+                    "x"
+                } else {
+                    "."
+                }
+                .to_owned(),
+            );
         }
         feasibility.push_row(row);
     }

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (class, decision) in budgeted.configure_all() {
         match decision {
             Some(d) => println!("  {:<11} -> {}", format!("{class:?}"), d.point.scheme()),
-            None => println!("  {:<11} -> request rejected (budget too tight for CT constraint)", format!("{class:?}")),
+            None => println!(
+                "  {:<11} -> request rejected (budget too tight for CT constraint)",
+                format!("{class:?}")
+            ),
         }
     }
 
@@ -46,13 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &ber in &[1e-11, 1e-9, 1e-6, 1e-4] {
         let config = SimulationConfig {
             oni_count: 12,
-            pattern: TrafficPattern::Streaming { source: 0, destination: 6, bursts: 10, burst_messages: 24 },
+            pattern: TrafficPattern::Streaming {
+                source: 0,
+                destination: 6,
+                bursts: 10,
+                burst_messages: 24,
+            },
             class: TrafficClass::Multimedia,
             words_per_message: 32,
             mean_inter_arrival_ns: 5.0,
             deadline_slack_ns: None,
             nominal_ber: ber,
             seed: 7,
+            thermal: None,
         };
         let report = Simulation::new(config)?.run();
         println!(
@@ -64,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.stats.observed_ber(),
         );
     }
-    println!("\nDegrading the BER target lets the laser back off further, cutting the energy per bit;");
-    println!("the residual error rate stays below the (relaxed) target thanks to the Hamming decoder.");
+    println!(
+        "\nDegrading the BER target lets the laser back off further, cutting the energy per bit;"
+    );
+    println!(
+        "the residual error rate stays below the (relaxed) target thanks to the Hamming decoder."
+    );
     Ok(())
 }

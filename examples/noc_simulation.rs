@@ -11,12 +11,37 @@ use onoc_ecc::sim::{Simulation, SimulationConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patterns = [
-        ("uniform", TrafficPattern::UniformRandom { messages_per_node: 30 }),
-        ("transpose", TrafficPattern::Transpose { messages_per_node: 30 }),
-        ("neighbor", TrafficPattern::NearestNeighbor { messages_per_node: 30 }),
-        ("hotspot", TrafficPattern::Hotspot { destination: 2, messages_per_node: 30 }),
+        (
+            "uniform",
+            TrafficPattern::UniformRandom {
+                messages_per_node: 30,
+            },
+        ),
+        (
+            "transpose",
+            TrafficPattern::Transpose {
+                messages_per_node: 30,
+            },
+        ),
+        (
+            "neighbor",
+            TrafficPattern::NearestNeighbor {
+                messages_per_node: 30,
+            },
+        ),
+        (
+            "hotspot",
+            TrafficPattern::Hotspot {
+                destination: 2,
+                messages_per_node: 30,
+            },
+        ),
     ];
-    let classes = [TrafficClass::RealTime, TrafficClass::Bulk, TrafficClass::Multimedia];
+    let classes = [
+        TrafficClass::RealTime,
+        TrafficClass::Bulk,
+        TrafficClass::Multimedia,
+    ];
 
     println!(
         "{:<12} {:<12} {:>9} {:>14} {:>14} {:>14} {:>12}",
@@ -33,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 deadline_slack_ns: None,
                 nominal_ber: 1e-9,
                 seed: 13,
+                thermal: None,
             };
             let report = Simulation::new(config)?.run();
             println!(
@@ -48,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nReading the table: the uncoded (RealTime) rows are the fastest but the most power hungry;");
-    println!("the coded rows trade a longer communication time for roughly half the channel power,");
+    println!(
+        "the coded rows trade a longer communication time for roughly half the channel power,"
+    );
     println!("exactly the trade-off of Fig. 6 of the paper, now visible at the network level.");
     Ok(())
 }

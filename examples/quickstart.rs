@@ -25,8 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h74 = link.operating_point(EccScheme::Hamming74, target_ber)?;
     println!(
         "Laser power saving with H(7,4): {:.0}% ({} -> {})\n",
-        100.0 * (1.0 - h74.laser.laser_electrical_power.value()
-            / uncoded.laser.laser_electrical_power.value()),
+        100.0
+            * (1.0
+                - h74.laser.laser_electrical_power.value()
+                    / uncoded.laser.laser_electrical_power.value()),
         uncoded.laser.laser_electrical_power,
         h74.laser.laser_electrical_power,
     );
@@ -56,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Sent 0x{word:016X}, channel flipped {flips} bit(s), decoder corrected {} block(s), received 0x{:016X}",
         decoded.corrected_blocks, decoded.word
     );
-    assert_eq!(decoded.word, word, "H(7,4) should have corrected the sparse errors");
+    assert_eq!(
+        decoded.word, word,
+        "H(7,4) should have corrected the sparse errors"
+    );
     Ok(())
 }

@@ -19,13 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &messages_per_node in &[5u64, 15, 30, 60] {
         let config = SimulationConfig {
             oni_count: 12,
-            pattern: TrafficPattern::Hotspot { destination: 4, messages_per_node },
+            pattern: TrafficPattern::Hotspot {
+                destination: 4,
+                messages_per_node,
+            },
             class: TrafficClass::RealTime,
             words_per_message: 16,
             mean_inter_arrival_ns: 2.0,
             deadline_slack_ns: Some(60.0),
             nominal_ber: 1e-11,
             seed: 99,
+            thermal: None,
         };
         let report = Simulation::new(config)?.run();
         println!(
@@ -45,13 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What would happen if the OS forced the real-time class onto H(7,4)?
     let forced = SimulationConfig {
         oni_count: 12,
-        pattern: TrafficPattern::Hotspot { destination: 4, messages_per_node: 30 },
+        pattern: TrafficPattern::Hotspot {
+            destination: 4,
+            messages_per_node: 30,
+        },
         class: TrafficClass::Multimedia, // manager picks a coded scheme
         words_per_message: 16,
         mean_inter_arrival_ns: 2.0,
         deadline_slack_ns: Some(60.0),
         nominal_ber: 1e-11,
         seed: 99,
+        thermal: None,
     };
     let report = Simulation::new(forced)?.run();
     println!(

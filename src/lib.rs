@@ -4,12 +4,17 @@
 //! integration tests and downstream users can depend on a single crate:
 //!
 //! * [`units`] — physical-quantity newtypes,
+//! * [`thermal`] — micro-ring thermal drift, heater tuning, chip thermal
+//!   environments,
 //! * [`ecc`] — the Hamming code family and BER transfer functions,
 //! * [`ber`] — erfc math, SNR/BER conversions, the Eq. 4 detection model,
-//! * [`photonics`] — micro-rings, VCSELs, waveguides, the MWSR link budget,
+//! * [`photonics`] — micro-rings, VCSELs, waveguides, the MWSR link budget
+//!   (temperature-aware),
 //! * [`interface`] — the ONI datapaths and the Table I cost database,
-//! * [`link`] — operating points, design-space exploration, the link manager,
-//! * [`sim`] — the event-driven optical NoC simulator.
+//! * [`link`] — operating points, design-space exploration, the
+//!   (thermally-adaptive) link manager,
+//! * [`sim`] — the event-driven optical NoC simulator with thermal-scenario
+//!   playback.
 //!
 //! # Quickstart
 //!
@@ -32,6 +37,7 @@ pub use onoc_interface as interface;
 pub use onoc_link as link;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as sim;
+pub use onoc_thermal as thermal;
 pub use onoc_units as units;
 
 /// Version of the reproduction workspace.

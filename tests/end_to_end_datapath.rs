@@ -6,9 +6,9 @@ use onoc_ecc::ecc::monte_carlo::BinarySymmetricChannel;
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::interface::{InterfaceConfig, Receiver, Transmitter};
 use onoc_ecc::link::NanophotonicLink;
+use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;
 use onoc_ecc::sim::{Simulation, SimulationConfig};
-use onoc_ecc::link::TrafficClass;
 
 #[test]
 fn words_survive_the_channel_at_the_operating_point_raw_ber() {
@@ -45,7 +45,7 @@ fn uncoded_path_fails_where_hamming_succeeds() {
     let raw_ber = 5e-3;
     let words = 300u64;
 
-    let mut count_wrong = |scheme: EccScheme, seed: u64| -> u64 {
+    let count_wrong = |scheme: EccScheme, seed: u64| -> u64 {
         let mut channel = BinarySymmetricChannel::new(raw_ber, seed);
         (0..words)
             .filter(|&i| {
@@ -59,7 +59,10 @@ fn uncoded_path_fails_where_hamming_succeeds() {
 
     let uncoded_errors = count_wrong(EccScheme::Uncoded, 3);
     let h74_errors = count_wrong(EccScheme::Hamming74, 3);
-    assert!(uncoded_errors > 20, "the noisy channel should corrupt many uncoded words");
+    assert!(
+        uncoded_errors > 20,
+        "the noisy channel should corrupt many uncoded words"
+    );
     assert!(
         h74_errors * 4 < uncoded_errors,
         "H(7,4) ({h74_errors}) should lose far fewer words than uncoded ({uncoded_errors})"
@@ -72,13 +75,16 @@ fn simulator_and_link_agree_on_the_operating_point() {
     let expected = link.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
     let report = Simulation::new(SimulationConfig {
         oni_count: 12,
-        pattern: TrafficPattern::UniformRandom { messages_per_node: 5 },
+        pattern: TrafficPattern::UniformRandom {
+            messages_per_node: 5,
+        },
         class: TrafficClass::Bulk,
         words_per_message: 4,
         mean_inter_arrival_ns: 5.0,
         deadline_slack_ns: None,
         nominal_ber: 1e-11,
         seed: 11,
+        thermal: None,
     })
     .unwrap()
     .run();

@@ -17,15 +17,16 @@ fn headline_laser_power_reduction_of_roughly_one_half() {
     // power by nearly 50%".
     let reduction = 1.0
         - h74.laser.laser_electrical_power.value() / uncoded.laser.laser_electrical_power.value();
-    assert!(reduction > 0.40 && reduction < 0.65, "laser power reduction = {reduction}");
+    assert!(
+        reduction > 0.40 && reduction < 0.65,
+        "laser power reduction = {reduction}"
+    );
 
     // Fig. 5 ordering: uncoded > H(71,64) >= H(7,4).
     assert!(
         uncoded.laser.laser_electrical_power.value() > h7164.laser.laser_electrical_power.value()
     );
-    assert!(
-        h7164.laser.laser_electrical_power.value() >= h74.laser.laser_electrical_power.value()
-    );
+    assert!(h7164.laser.laser_electrical_power.value() >= h74.laser.laser_electrical_power.value());
 }
 
 #[test]
@@ -37,7 +38,10 @@ fn uncoded_channel_power_is_laser_dominated_and_drops_with_coding() {
     assert!(uncoded.power.laser_fraction() > 0.88);
     // "-45% and -49%" channel power for the coded schemes.
     let saving = 1.0 - h74.channel_power.value() / uncoded.channel_power.value();
-    assert!(saving > 0.40 && saving < 0.60, "channel power saving = {saving}");
+    assert!(
+        saving > 0.40 && saving < 0.60,
+        "channel power saving = {saving}"
+    );
 }
 
 #[test]
@@ -95,6 +99,63 @@ fn always_on_accounting_still_favours_coding() {
     let h7164 = link.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
     assert!(h7164.energy_per_bit.value() < uncoded.energy_per_bit.value());
     assert!(uncoded.energy_per_bit.value() > 3.92); // idle time inflates the figure
+}
+
+#[test]
+fn thermal_refactor_does_not_move_the_25c_operating_points() {
+    // Regression pins for the thermal subsystem: at the paper's 25 °C
+    // calibration point the temperature-aware solver must reproduce the
+    // pre-thermal numbers exactly — zero drift, zero tuning power, and the
+    // same laser/channel figures (pinned to 0.1% here against the values the
+    // calibrated model produced before the thermal refactor).
+    let link = NanophotonicLink::paper_link();
+    let pins: [(EccScheme, f64, f64, f64, f64); 3] = [
+        // (scheme, P_laser mW/wl, OP_laser µW, channel mW, pJ/bit)
+        (
+            EccScheme::Uncoded,
+            13.718891,
+            662.122677,
+            241.269712,
+            3.769839,
+        ),
+        (
+            EccScheme::Hamming7164,
+            7.211912,
+            370.325541,
+            137.163778,
+            2.377595,
+        ),
+        (
+            EccScheme::Hamming74,
+            6.513695,
+            336.704250,
+            125.998798,
+            3.445280,
+        ),
+    ];
+    for (scheme, laser_mw, op_uw, channel_mw, epb) in pins {
+        let p = link.operating_point(scheme, 1e-11).unwrap();
+        let close = |actual: f64, pinned: f64| (actual - pinned).abs() / pinned < 1e-3;
+        assert!(close(p.power.laser.value(), laser_mw), "{scheme} P_laser");
+        assert!(
+            close(p.laser.laser_output_power.value(), op_uw),
+            "{scheme} OP_laser"
+        );
+        assert!(
+            close(p.channel_power.value(), channel_mw),
+            "{scheme} channel power"
+        );
+        assert!(close(p.energy_per_bit.value(), epb), "{scheme} energy/bit");
+        // The thermal terms must vanish at the calibration point.
+        assert!(p.power.tuning.is_zero(), "{scheme} tuning power");
+        assert!(p.thermal.free_drift.is_zero(), "{scheme} drift");
+        assert!(p.thermal.residual_drift.is_zero(), "{scheme} residual");
+        // And the explicit 25 °C query is the identical computation.
+        let explicit = link
+            .operating_point_at(scheme, 1e-11, onoc_ecc::units::Celsius::new(25.0))
+            .unwrap();
+        assert_eq!(p, explicit, "{scheme} at explicit 25C");
+    }
 }
 
 #[test]

@@ -84,4 +84,47 @@ proptest! {
             );
         }
     }
+
+    /// Thermal drift penalty: zero at the calibration temperature, and the
+    /// residual drift magnitude after tuning is monotone in |ΔT|.
+    #[test]
+    fn thermal_drift_and_lock_error_properties(dt in 0.0f64..60.0) {
+        use onoc_ecc::thermal::{RingThermalModel, ThermalTuner};
+        use onoc_ecc::units::{Celsius, KelvinDelta};
+        let rings = RingThermalModel::paper_silicon();
+        prop_assert!(rings.drift_at(Celsius::new(25.0)).is_zero());
+        let hotter = rings.drift_at(Celsius::new(25.0 + dt)).abs().nanometers();
+        let even_hotter = rings.drift_at(Celsius::new(25.0 + dt + 1.0)).abs().nanometers();
+        prop_assert!(even_hotter > hotter);
+        // Cooling drifts symmetrically.
+        let cooler = rings.drift_at(Celsius::new(25.0 - dt)).nanometers();
+        prop_assert!((cooler + rings.drift_at(Celsius::new(25.0 + dt)).nanometers()).abs() < 1e-12);
+        // The tuner's residual and heater power are monotone in the request.
+        let tuner = ThermalTuner::paper_heater();
+        let a = tuner.compensate(KelvinDelta::new(dt));
+        let b = tuner.compensate(KelvinDelta::new(dt + 1.0));
+        prop_assert!(b.residual.abs().value() >= a.residual.abs().value());
+        prop_assert!(b.heater_power_per_ring.value() >= a.heater_power_per_ring.value());
+        prop_assert!(a.residual.abs().value() <= dt + 1e-12);
+    }
+
+    /// A hot operating point never beats the calibration-ambient one: the
+    /// channel power at 25 + ΔT °C is at least the 25 °C figure, and the
+    /// thermal terms appear exactly when ΔT > 0.
+    #[test]
+    fn heat_never_cheapens_the_link(dt in 0.0f64..60.0) {
+        use onoc_ecc::units::Celsius;
+        let link = NanophotonicLink::paper_link();
+        let cool = link.operating_point(EccScheme::Hamming7164, 1e-11).unwrap();
+        if let Ok(hot) = link.operating_point_at(
+            EccScheme::Hamming7164,
+            1e-11,
+            Celsius::new(25.0 + dt),
+        ) {
+            prop_assert!(hot.channel_power.value() >= cool.channel_power.value() - 1e-9);
+            prop_assert!(hot.power.laser.value() >= cool.power.laser.value() - 1e-9);
+        } else {
+            prop_assert!(false, "H(71,64) must stay feasible across the range");
+        }
+    }
 }

@@ -1,0 +1,84 @@
+//! Criterion benchmark of the memoized operating-point cache: a repeated
+//! 25–85 °C sweep (every paper scheme, 0.5 K steps) with and without
+//! memoization, plus a solver-invocation count demonstrating the ≥ 5×
+//! reduction the cache buys on repeated sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onoc_ecc_codes::EccScheme;
+use onoc_link::NanophotonicLink;
+use onoc_units::Celsius;
+
+const REPETITIONS: usize = 10;
+
+fn sweep_temperatures() -> Vec<Celsius> {
+    (0..=120)
+        .map(|step| Celsius::new(25.0 + 0.5 * f64::from(step)))
+        .collect()
+}
+
+fn run_sweep_uncached(link: &NanophotonicLink) -> usize {
+    let mut feasible = 0;
+    for &t in &sweep_temperatures() {
+        for scheme in EccScheme::paper_schemes() {
+            if link.operating_point_at(scheme, 1e-11, t).is_ok() {
+                feasible += 1;
+            }
+        }
+    }
+    feasible
+}
+
+fn run_sweep_memoized(link: &NanophotonicLink) -> usize {
+    let mut feasible = 0;
+    for &t in &sweep_temperatures() {
+        for scheme in EccScheme::paper_schemes() {
+            if link.operating_point_memoized(scheme, 1e-11, t).is_ok() {
+                feasible += 1;
+            }
+        }
+    }
+    feasible
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let link = NanophotonicLink::paper_link();
+    c.bench_function("sweep_25_85_uncached", |b| {
+        b.iter(|| run_sweep_uncached(std::hint::black_box(&link)));
+    });
+    // A fresh link per measurement would only time the cold sweep; the
+    // steady-state behaviour of a long-lived link is the warm sweep.
+    let warm = NanophotonicLink::paper_link();
+    let _ = run_sweep_memoized(&warm);
+    c.bench_function("sweep_25_85_memoized_warm", |b| {
+        b.iter(|| run_sweep_memoized(std::hint::black_box(&warm)));
+    });
+}
+
+fn solver_invocation_report(_c: &mut Criterion) {
+    // The headline number: repeated sweeps against one link invoke the
+    // photonic solver once per distinct (scheme, BER, bucket) instead of
+    // once per query.
+    let link = NanophotonicLink::paper_link();
+    let mut feasible = 0;
+    for _ in 0..REPETITIONS {
+        feasible += run_sweep_memoized(&link);
+    }
+    let counters = link.cache_counters();
+    let queries = counters.total();
+    let uncached_invocations = queries;
+    let ratio = uncached_invocations as f64 / counters.misses as f64;
+    println!(
+        "op-cache: {REPETITIONS}x 25-85 degC sweep = {queries} queries, \
+         {} solver invocations (uncached: {uncached_invocations}), \
+         {ratio:.1}x fewer, hit rate {:.1}%, {feasible} feasible points",
+        counters.misses,
+        100.0 * counters.hit_rate(),
+    );
+    assert!(
+        ratio >= 5.0,
+        "the cache must cut solver invocations at least 5x on repeated sweeps, got {ratio:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_sweeps, solver_invocation_report);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Closed-loop thermal feedback (new to this reproduction, beyond the
+//! paper): the interconnect heats itself.  No prescribed temperature trace
+//! anywhere — the uncoded laser's own dissipation drives the per-ONI RC
+//! network past the uncoded link's collapse, the runtime manager falls back
+//! to H(71,64), the coded point burns less power, the nodes cool, and the
+//! scheme-revert hysteresis keeps them on the coded path.
+//!
+//! Run with `cargo run -p onoc-bench --bin fig_feedback`.
+
+use onoc_bench::{banner, print_table};
+use onoc_link::report::TextTable;
+use onoc_link::TrafficClass;
+use onoc_sim::traffic::TrafficPattern;
+use onoc_sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+
+fn config() -> FeedbackConfig {
+    FeedbackConfig {
+        sim: SimulationConfig {
+            oni_count: 12,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 150,
+            },
+            class: TrafficClass::LatencyFirst,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 10.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 17,
+            thermal: None,
+        },
+        ..FeedbackConfig::default()
+    }
+}
+
+fn main() {
+    banner(
+        "Thermal feedback",
+        "activity-driven heating: the link's own dissipation drives the scheme choice",
+    );
+    let config = config();
+    println!(
+        "RC package: R_amb = {} K/mW, R_couple = {} K/mW, C = {} pJ/K (tau = {:.0} ns);",
+        config.network.ambient_resistance_k_per_mw,
+        config.network.coupling_resistance_k_per_mw,
+        config.network.heat_capacity_pj_per_k,
+        config.network.time_constant_ns(),
+    );
+    println!(
+        "epoch {} ns, {} K decision buckets, {} K deadband, {} K revert hysteresis.",
+        config.epoch_ns, config.quantization_k, config.hysteresis_k, config.revert_hysteresis_k,
+    );
+    println!();
+
+    let simulation = FeedbackSimulation::new(config).expect("valid feedback configuration");
+    let report = simulation.run();
+
+    // Temperature envelope over time, downsampled for readability.
+    let mut table = TextTable::new(vec!["t (ns)", "Tmin (degC)", "Tmax (degC)", "coded ONIs"]);
+    let stride = (report.trajectory.len() / 24).max(1);
+    for sample in report.trajectory.iter().step_by(stride) {
+        table.push_row(vec![
+            format!("{:.0}", sample.time_ns),
+            format!("{:.1}", sample.min_temperature_c),
+            format!("{:.1}", sample.max_temperature_c),
+            format!("{}/{}", sample.reconfigured_onis, report.per_oni.len()),
+        ]);
+    }
+    if let Some(last) = report.trajectory.last() {
+        table.push_row(vec![
+            format!("{:.0}", last.time_ns),
+            format!("{:.1}", last.min_temperature_c),
+            format!("{:.1}", last.max_temperature_c),
+            format!("{}/{}", last.reconfigured_onis, report.per_oni.len()),
+        ]);
+    }
+    print_table(&table);
+
+    println!("Scheme switches (all activity-driven, no prescribed trace):");
+    for switch in report.switch_log.iter().take(6) {
+        println!(
+            "  * ONI {:>2}: {} -> {} at t = {:.0} ns, T = {:.1} degC",
+            switch.oni, switch.from, switch.to, switch.time_ns, switch.temperature_c
+        );
+    }
+    if report.switch_log.len() > 6 {
+        println!("  * ... and {} more", report.switch_log.len() - 6);
+    }
+    println!();
+
+    let peak = report
+        .trajectory
+        .iter()
+        .map(|s| s.max_temperature_c)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let final_max = report
+        .trajectory
+        .last()
+        .map_or(f64::NAN, |s| s.max_temperature_c);
+    println!(
+        "{} messages, makespan {:.0} ns, {:.2} pJ/bit ({:.0}% static).",
+        report.stats.delivered_messages,
+        report.stats.makespan_ns,
+        report.stats.energy_per_bit_pj(),
+        100.0 * report.stats.static_energy_pj / report.stats.energy_pj,
+    );
+    println!(
+        "Peak temperature {peak:.1} degC, final {final_max:.1} degC: switching to {} sheds \
+         laser power and the package cools; revert hysteresis holds the coded path.",
+        onoc_ecc_codes::EccScheme::Hamming7164,
+    );
+    let cache = report.solver_cache;
+    println!(
+        "Manager re-asks: {} over {} epochs; solver invocations: {} (cache hits {}, {:.1}% hit rate).",
+        report.decisions,
+        report.epochs,
+        cache.misses,
+        cache.hits,
+        100.0 * cache.hit_rate(),
+    );
+
+    // Acceptance criteria, visible to CI.
+    let mut ok = true;
+    if report.total_switches() == 0 {
+        println!("FAIL: no activity-driven scheme switch observed");
+        ok = false;
+    }
+    if report
+        .per_oni
+        .iter()
+        .any(|o| o.scheme == report.baseline_scheme)
+    {
+        println!("FAIL: some channels never left the baseline scheme");
+        ok = false;
+    }
+    if report.per_oni.iter().any(|o| o.scheme_switches > 1) {
+        println!("FAIL: scheme oscillation detected");
+        ok = false;
+    }
+    if final_max >= peak {
+        println!("FAIL: the coded path did not cool the package");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -14,9 +14,12 @@
 //! | `ablation_codes` | code-length ablation (A1) |
 //! | `ablation_sensitivity` | geometry/activity sensitivity (A2) |
 //! | `runtime_manager` | run-time manager scenario on the NoC simulator (R1) |
+//! | `fig_thermal` | 25–85 °C sweep: power per scheme + manager switching (beyond the paper) |
+//! | `fig_feedback` | closed-loop activity-driven heating demonstration (beyond the paper) |
 //!
 //! Criterion micro-benchmarks (`benches/`) measure codec throughput, the
-//! link-solver latency and the simulator event rate.
+//! link-solver latency, the simulator event rate and the memoized
+//! operating-point cache (`op_cache`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

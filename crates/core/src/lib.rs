@@ -44,5 +44,5 @@ pub mod policy;
 pub mod report;
 
 pub use explore::{DesignSpace, ParetoPoint};
-pub use link::{LinkError, NanophotonicLink, OperatingPoint, SelectionObjective};
+pub use link::{CacheCounters, LinkError, NanophotonicLink, OperatingPoint, SelectionObjective};
 pub use policy::{LinkManager, ManagerDecision, ThermalRuntimeManager, TrafficClass};

@@ -1,5 +1,9 @@
 //! The configured nanophotonic link and its operating points.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use onoc_ecc_codes::EccScheme;
 use onoc_interface::{
     ChannelPowerBreakdown, ChannelPowerModel, CommunicationTiming, EnergyAccounting,
@@ -138,6 +142,100 @@ impl OperatingPoint {
     }
 }
 
+/// Snapshot of the memoized operating-point cache's effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that invoked the full photonic solver.
+    pub misses: u64,
+    /// Distinct `(scheme, BER, temperature bucket)` entries held.
+    pub entries: usize,
+}
+
+impl CacheCounters {
+    /// Total memoized queries.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries answered without invoking the solver.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Memoization of `(scheme, BER bits, temperature bucket) → operating point`.
+///
+/// The solver is deterministic, so identical inputs always produce
+/// bit-identical outputs; the only subtlety is the temperature key, which is
+/// quantized to `buckets_per_kelvin` buckets so that the microkelvin jitter
+/// of a thermal simulation does not defeat the cache.  Lookups *snap* the
+/// requested temperature to the bucket's representative value and solve
+/// there, so a cached answer is bit-identical to an uncached solve at the
+/// snapped temperature.
+/// Cache key: scheme, target-BER bits, temperature bucket.
+type CacheKey = (EccScheme, u64, i64);
+
+#[derive(Debug)]
+struct OperatingPointCache {
+    buckets_per_kelvin: f64,
+    map: Mutex<HashMap<CacheKey, Result<OperatingPoint, LinkError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OperatingPointCache {
+    const DEFAULT_BUCKETS_PER_KELVIN: f64 = 20.0;
+
+    fn new(buckets_per_kelvin: f64) -> Self {
+        assert!(
+            buckets_per_kelvin > 0.0 && buckets_per_kelvin.is_finite(),
+            "cache resolution must be positive and finite"
+        );
+        Self {
+            buckets_per_kelvin,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(&self, temperature: Celsius) -> i64 {
+        #[allow(clippy::cast_possible_truncation)]
+        let bucket = (temperature.value() * self.buckets_per_kelvin).round() as i64;
+        bucket
+    }
+
+    /// Representative temperature of the bucket containing `temperature`.
+    /// Exact (no rounding noise) whenever the input sits on a bucket centre.
+    fn snap(&self, temperature: Celsius) -> Celsius {
+        Celsius::new(self.bucket(temperature) as f64 / self.buckets_per_kelvin)
+    }
+
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock").len(),
+        }
+    }
+}
+
+impl Clone for OperatingPointCache {
+    /// Cloning a link starts with a fresh (empty) cache: entries are cheap
+    /// to recompute and sharing them would entangle the clones' counters.
+    fn clone(&self) -> Self {
+        Self::new(self.buckets_per_kelvin)
+    }
+}
+
 /// A nanophotonic MWSR link with ECC-capable interfaces and a tunable laser.
 ///
 /// This is the object the rest of the workspace (examples, benches, the NoC
@@ -148,6 +246,7 @@ pub struct NanophotonicLink {
     power_model: ChannelPowerModel,
     accounting: EnergyAccounting,
     ambient: Celsius,
+    cache: OperatingPointCache,
 }
 
 impl NanophotonicLink {
@@ -169,6 +268,7 @@ impl NanophotonicLink {
             power_model: ChannelPowerModel::new(interface, modulation_power),
             accounting: EnergyAccounting::ActiveTransfersOnly,
             ambient,
+            cache: OperatingPointCache::new(OperatingPointCache::DEFAULT_BUCKETS_PER_KELVIN),
         }
     }
 
@@ -183,6 +283,19 @@ impl NanophotonicLink {
     #[must_use]
     pub fn with_energy_accounting(mut self, accounting: EnergyAccounting) -> Self {
         self.accounting = accounting;
+        self
+    }
+
+    /// Sets the temperature resolution of the memoized operating-point
+    /// cache, in buckets per kelvin (default 20, i.e. 0.05 K buckets), and
+    /// clears any cached entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets_per_kelvin` is not positive and finite.
+    #[must_use]
+    pub fn with_cache_resolution(mut self, buckets_per_kelvin: f64) -> Self {
+        self.cache = OperatingPointCache::new(buckets_per_kelvin);
         self
     }
 
@@ -289,6 +402,61 @@ impl NanophotonicLink {
         })
     }
 
+    /// Memoized variant of [`NanophotonicLink::operating_point_at`].
+    ///
+    /// The requested temperature is snapped to the cache's bucket grid
+    /// (0.05 K by default, see [`NanophotonicLink::with_cache_resolution`])
+    /// and the point is solved at the snapped temperature exactly once per
+    /// `(scheme, BER, bucket)` triple; repeated queries — temperature sweeps,
+    /// many-ONI thermal simulations, repeated manager requests — are
+    /// answered from the cache bit-identically.  Infeasible results are
+    /// cached too, so a hot uncoded query does not re-run the solver either.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NanophotonicLink::operating_point_at`], evaluated at the
+    /// snapped temperature.
+    pub fn operating_point_memoized(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+        temperature: Celsius,
+    ) -> Result<OperatingPoint, LinkError> {
+        let snapped = self.cache.snap(temperature);
+        let key = (scheme, target_ber.to_bits(), self.cache.bucket(snapped));
+        if let Some(cached) = self.cache.map.lock().expect("cache lock").get(&key) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let solved = self.operating_point_at(scheme, target_ber, snapped);
+        self.cache
+            .map
+            .lock()
+            .expect("cache lock")
+            .insert(key, solved.clone());
+        solved
+    }
+
+    /// Hit/miss/entry counters of the memoized operating-point cache.
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Empties the memoized operating-point cache and resets its counters.
+    pub fn clear_cache(&self) {
+        self.cache.map.lock().expect("cache lock").clear();
+        self.cache.hits.store(0, Ordering::Relaxed);
+        self.cache.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The representative temperature the cache snaps `temperature` to.
+    #[must_use]
+    pub fn cache_bucket_temperature(&self, temperature: Celsius) -> Celsius {
+        self.cache.snap(temperature)
+    }
+
     /// Evaluates every scheme in `candidates` at `target_ber` and the
     /// calibration ambient, silently dropping infeasible ones.
     #[must_use]
@@ -321,11 +489,20 @@ impl NanophotonicLink {
     /// Serves a [`LinkRequest`]: among all feasible schemes at the request's
     /// temperature, returns the best one under the request's objective that
     /// satisfies the constraints, or `None` when no scheme qualifies.
+    ///
+    /// Queries go through the memoized operating-point cache (the request
+    /// temperature is snapped to the cache's 0.05 K bucket grid), so a
+    /// manager answering many requests at recurring temperatures invokes
+    /// the photonic solver only once per distinct point.
     #[must_use]
     pub fn serve(&self, request: &LinkRequest, candidates: &[EccScheme]) -> Option<OperatingPoint> {
         let temperature = request.temperature.unwrap_or(self.ambient);
-        self.feasible_points_at(candidates, request.target_ber, temperature)
-            .into_iter()
+        candidates
+            .iter()
+            .filter_map(|&scheme| {
+                self.operating_point_memoized(scheme, request.target_ber, temperature)
+                    .ok()
+            })
             .filter(|p| {
                 request
                     .max_communication_time_factor
@@ -551,6 +728,84 @@ mod tests {
             .unwrap();
         assert_eq!(hot.scheme(), EccScheme::Hamming7164);
         assert!(hot.power.tuning.value() > 0.0);
+    }
+
+    #[test]
+    fn memoized_points_are_bit_identical_to_the_uncached_solver() {
+        let l = link();
+        for scheme in EccScheme::paper_schemes() {
+            for t in [25.0, 40.0, 55.0, 70.0, 85.0] {
+                let cached = l.operating_point_memoized(scheme, 1e-11, Celsius::new(t));
+                let fresh = l.operating_point_at(scheme, 1e-11, Celsius::new(t));
+                assert_eq!(cached, fresh, "{scheme} at {t}");
+                // And a second query is answered from the cache, identically.
+                let again = l.operating_point_memoized(scheme, 1e-11, Celsius::new(t));
+                assert_eq!(cached, again, "{scheme} at {t} (cached)");
+            }
+        }
+        let counters = l.cache_counters();
+        assert_eq!(counters.misses, 15, "one solve per distinct point");
+        assert_eq!(counters.hits, 15, "every repeat is a hit");
+        assert_eq!(counters.entries, 15);
+        assert!((counters.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_snaps_temperatures_within_one_bucket() {
+        let l = link();
+        // 0.05 K buckets: 54.99 and 55.01 share the 55.0 bucket.
+        let a = l
+            .operating_point_memoized(EccScheme::Hamming7164, 1e-11, Celsius::new(54.99))
+            .unwrap();
+        let b = l
+            .operating_point_memoized(EccScheme::Hamming7164, 1e-11, Celsius::new(55.01))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(l.cache_counters().misses, 1);
+        assert_eq!(l.cache_counters().hits, 1);
+        assert!((l.cache_bucket_temperature(Celsius::new(55.01)).value() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_results_are_cached_too() {
+        let l = link();
+        for _ in 0..3 {
+            assert!(l
+                .operating_point_memoized(EccScheme::Uncoded, 1e-11, Celsius::new(85.0))
+                .is_err());
+        }
+        let counters = l.cache_counters();
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.hits, 2);
+    }
+
+    #[test]
+    fn serve_goes_through_the_cache() {
+        let l = link();
+        for _ in 0..4 {
+            let _ = l.serve(
+                &LinkRequest::best_effort(1e-11),
+                &EccScheme::paper_schemes(),
+            );
+        }
+        let counters = l.cache_counters();
+        assert_eq!(counters.misses, 3, "one solve per candidate scheme");
+        assert_eq!(counters.hits, 9, "repeat requests never re-solve");
+    }
+
+    #[test]
+    fn clearing_and_cloning_reset_the_cache() {
+        let l = link();
+        let _ = l.operating_point_memoized(EccScheme::Uncoded, 1e-11, Celsius::new(25.0));
+        assert_eq!(l.cache_counters().entries, 1);
+        let cloned = l.clone();
+        assert_eq!(cloned.cache_counters().entries, 0);
+        assert_eq!(cloned.cache_counters().total(), 0);
+        l.clear_cache();
+        assert_eq!(l.cache_counters(), CacheCounters::default());
+        // A custom resolution snaps more coarsely.
+        let coarse = link().with_cache_resolution(1.0);
+        assert!((coarse.cache_bucket_temperature(Celsius::new(55.4)).value() - 55.0).abs() < 1e-12);
     }
 
     #[test]

@@ -146,6 +146,13 @@ impl LinkManager {
         &self.candidates
     }
 
+    /// The underlying link (exposes the memoized operating-point cache and
+    /// its hit/miss counters).
+    #[must_use]
+    pub fn link(&self) -> &NanophotonicLink {
+        &self.link
+    }
+
     /// Configures the link for one request of the given traffic class, at
     /// the link's calibration ambient temperature.  Returns `None` when no
     /// candidate satisfies the constraints.

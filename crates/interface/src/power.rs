@@ -32,7 +32,7 @@ pub enum EnergyAccounting {
     /// The laser (and modulator bias) stay powered even between transfers;
     /// only a fraction `utilization` of the time carries payload.  This is
     /// the pessimistic accounting relevant when no laser-gating scheme
-    /// (ref. [9] of the paper) is deployed.
+    /// (ref. \[9\] of the paper) is deployed.
     AlwaysOn {
         /// Fraction of time the channel carries payload, in `(0, 1]`.
         utilization: f64,

@@ -85,7 +85,7 @@ impl MicroRingResonator {
     }
 
     /// The modulator assumed by the paper: ER = 6.9 dB, P_MR = 1.36 mW
-    /// (ref. [15]), with a resonance width typical of a Q ≈ 9,000 silicon
+    /// (ref. \[15\]), with a resonance width typical of a Q ≈ 9,000 silicon
     /// ring, tuned so that the OFF state sits half a linewidth away from the
     /// carrier.
     #[must_use]

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// A straight silicon waveguide section characterised by its length and
 /// propagation loss.
 ///
-/// The paper assumes a 6 cm waveguide with 0.274 dB/cm loss (ref. [17]).
+/// The paper assumes a 6 cm waveguide with 0.274 dB/cm loss (ref. \[17\]).
 ///
 /// ```
 /// use onoc_photonics::devices::Waveguide;

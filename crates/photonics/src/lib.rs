@@ -16,7 +16,7 @@
 //!   MMI combiner insertion loss;
 //! * [`spectrum::WavelengthGrid`] — the N_W-wavelength WDM comb;
 //! * [`mwsr::MwsrChannel`] — the worst-case link budget and crosstalk model
-//!   (after ref. [8] of the paper) that turns a required optical swing at the
+//!   (after ref. \[8\] of the paper) that turns a required optical swing at the
 //!   photodetector into a laser output power requirement;
 //! * [`power::LaserPowerSolver`] — the end-to-end chain *target BER → raw BER
 //!   (per ECC) → SNR → optical swing → laser output power → laser electrical

@@ -1,6 +1,6 @@
 //! Multiple-Writer Single-Reader (MWSR) channel link budget.
 //!
-//! Following the transmission model of ref. [8] of the paper, the optical
+//! Following the transmission model of ref. \[8\] of the paper, the optical
 //! signal of each wavelength is tracked from its laser source through the
 //! multiplexer, the waveguide, every micro-ring it passes (the parked rings
 //! of intermediate writers, the modulating ring of the granted writer, the
@@ -251,7 +251,7 @@ impl MwsrChannel {
     /// Worst-case crosstalk power collected by the drop filter of channel
     /// `index`, assuming every other wavelength is simultaneously carrying a
     /// '1' at the full laser output power (the conservative assumption of
-    /// ref. [8]).
+    /// ref. \[8\]).
     ///
     /// # Panics
     ///

@@ -9,7 +9,7 @@
 //! 2. the [`ThermalTuner`] (under the configured [`TuningPolicy`]) decides
 //!    how much of that drift the heaters cancel, at what per-ring power;
 //! 3. the *residual* drift detunes the Lorentzian rings of the
-//!    [`MwsrChannel`](crate::MwsrChannel), shrinking the received swing and
+//!    [`MwsrChannel`], shrinking the received swing and
 //!    raising the required laser output power;
 //! 4. the laser itself runs hotter, so its wall-plug efficiency drops and the
 //!    same optical output costs more electrical power.

@@ -2,7 +2,7 @@
 //!
 //! In an MWSR interconnect every destination owns one channel and the writers
 //! contend for it.  The simulator uses a token-style round-robin arbiter (the
-//! common choice for MWSR rings such as Corona, ref. [2] of the paper): the
+//! common choice for MWSR rings such as Corona, ref. \[2\] of the paper): the
 //! grant rotates among requesting writers, and a writer holds the channel for
 //! the duration of one message.
 

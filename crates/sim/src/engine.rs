@@ -50,6 +50,48 @@ pub struct SimulationConfig {
     pub thermal: Option<ThermalScenario>,
 }
 
+impl SimulationConfig {
+    /// Checks the configuration's structural validity (shared by
+    /// [`Simulation::new`] and the feedback engine).
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::InvalidConfiguration`] for fewer than 2 ONIs,
+    /// zero-sized messages, a BER outside (0, 0.5), a non-positive or
+    /// non-finite mean inter-arrival time, or an invalid thermal scenario.
+    pub fn validate(&self) -> Result<(), SimulationError> {
+        if self.oni_count < 2 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "at least two ONIs are required".into(),
+            });
+        }
+        if self.words_per_message == 0 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "messages must carry at least one word".into(),
+            });
+        }
+        if !(self.nominal_ber > 0.0 && self.nominal_ber < 0.5) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "nominal BER must be in (0, 0.5)".into(),
+            });
+        }
+        if !(self.mean_inter_arrival_ns > 0.0 && self.mean_inter_arrival_ns.is_finite()) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: format!(
+                    "mean inter-arrival time must be positive and finite, got {}",
+                    self.mean_inter_arrival_ns
+                ),
+            });
+        }
+        if let Some(scenario) = &self.thermal {
+            scenario
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
+        Ok(())
+    }
+}
+
 impl Default for SimulationConfig {
     fn default() -> Self {
         Self {
@@ -116,17 +158,17 @@ pub struct SimulationReport {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
+pub(crate) enum EventKind {
     Inject,
     Complete,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    time: SimTime,
-    sequence: u64,
-    kind: EventKind,
-    message: MessageId,
+pub(crate) struct Event {
+    pub(crate) time: SimTime,
+    pub(crate) sequence: u64,
+    pub(crate) kind: EventKind,
+    pub(crate) message: MessageId,
 }
 
 impl Ord for Event {
@@ -143,29 +185,51 @@ impl PartialOrd for Event {
 
 /// Pre-derived per-decision transmission parameters.
 #[derive(Debug, Clone, Copy)]
-struct DecisionParams {
-    scheme: EccScheme,
-    channel_power_mw: f64,
-    tuning_power_mw: f64,
-    temperature_c: f64,
+pub(crate) struct DecisionParams {
+    pub(crate) scheme: EccScheme,
+    pub(crate) channel_power_mw: f64,
+    /// Laser + ring-heater share of the channel power: burns over the whole
+    /// wall-clock residency of the decision, idle or not.
+    pub(crate) static_power_mw: f64,
+    /// Modulation + codec share of the channel power: burns only while a
+    /// word is in flight.
+    pub(crate) dynamic_power_mw: f64,
+    pub(crate) tuning_power_mw: f64,
+    pub(crate) temperature_c: f64,
+    pub(crate) decoded_ber: f64,
     word_duration: onoc_units::Nanoseconds,
     codec_latency: onoc_units::Nanoseconds,
-    word_error_probability: f64,
-    corrected_probability: f64,
+    pub(crate) word_error_probability: f64,
+    pub(crate) corrected_probability: f64,
 }
 
 impl DecisionParams {
-    fn from_decision(decision: &ManagerDecision) -> Self {
+    pub(crate) fn from_decision(decision: &ManagerDecision) -> Self {
         let point = decision.point;
         let decoded_ber = point.target_ber();
         let word_error_probability = 1.0 - (1.0 - decoded_ber).powi(64);
         let encoded_bits = point.scheme().encoded_bits_per_word(64) as i32;
         let corrected_probability = 1.0 - (1.0 - point.laser.raw_ber).powi(encoded_bits);
+        let channel_power_mw = point.channel_power.value();
+        // Split the channel power into its always-on share (laser + thermal
+        // tuning) and its transfer-gated share (modulation + codec) using the
+        // per-lane breakdown; both scale to the full lane count alike.
+        let per_lane_total = point.power.per_wavelength_total().value();
+        let per_lane_static = point.power.laser.value() + point.power.tuning.value();
+        let static_fraction = if per_lane_total > 0.0 {
+            per_lane_static / per_lane_total
+        } else {
+            0.0
+        };
+        let static_power_mw = channel_power_mw * static_fraction;
         Self {
             scheme: point.scheme(),
-            channel_power_mw: point.channel_power.value(),
+            channel_power_mw,
+            static_power_mw,
+            dynamic_power_mw: channel_power_mw - static_power_mw,
             tuning_power_mw: point.power.tuning.value(),
             temperature_c: point.temperature().value(),
+            decoded_ber,
             word_duration: point.timing.serialization_time,
             codec_latency: point.timing.codec_latency,
             word_error_probability,
@@ -173,11 +237,39 @@ impl DecisionParams {
         }
     }
 
-    fn transfer_duration(&self, words: u64) -> onoc_units::Nanoseconds {
+    pub(crate) fn transfer_duration(&self, words: u64) -> onoc_units::Nanoseconds {
         onoc_units::Nanoseconds::new(
             self.codec_latency.value() + self.word_duration.value() * words as f64,
         )
     }
+}
+
+/// Samples how many payload bits of a corrupted 64-bit word are flipped:
+/// the Binomial(`bits`, `ber`) law conditioned on at least one error (the
+/// word-error event has already fired), drawn by inverse CDF.
+pub(crate) fn conditional_corrupted_bits(rng: &mut StdRng, bits: u32, ber: f64) -> u64 {
+    let p = ber.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return 1;
+    }
+    if p >= 1.0 {
+        return u64::from(bits);
+    }
+    let q = 1.0 - p;
+    let total = 1.0 - q.powi(bits as i32);
+    if total <= 0.0 {
+        return 1;
+    }
+    let mut k = 1u32;
+    let mut pmf = f64::from(bits) * p * q.powi(bits as i32 - 1);
+    let mut cdf = pmf;
+    let u: f64 = rng.gen_range(0.0..1.0) * total;
+    while u > cdf && k < bits {
+        pmf *= f64::from(bits - k) / f64::from(k + 1) * (p / q);
+        k += 1;
+        cdf += pmf;
+    }
+    u64::from(k)
 }
 
 /// An event-driven simulation of the optical NoC.
@@ -204,26 +296,7 @@ impl Simulation {
     /// * [`SimulationError::NoFeasibleConfiguration`] when the manager cannot
     ///   serve the requested class at the nominal BER.
     pub fn new(config: SimulationConfig) -> Result<Self, SimulationError> {
-        if config.oni_count < 2 {
-            return Err(SimulationError::InvalidConfiguration {
-                reason: "at least two ONIs are required".into(),
-            });
-        }
-        if config.words_per_message == 0 {
-            return Err(SimulationError::InvalidConfiguration {
-                reason: "messages must carry at least one word".into(),
-            });
-        }
-        if !(config.nominal_ber > 0.0 && config.nominal_ber < 0.5) {
-            return Err(SimulationError::InvalidConfiguration {
-                reason: "nominal BER must be in (0, 0.5)".into(),
-            });
-        }
-        if let Some(scenario) = &config.thermal {
-            scenario
-                .validate()
-                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
-        }
+        config.validate()?;
         let manager = LinkManager::new(
             NanophotonicLink::paper_link(),
             EccScheme::paper_schemes().to_vec(),
@@ -350,6 +423,12 @@ impl Simulation {
 
         let mut busy: HashMap<usize, bool> = HashMap::new();
         let mut makespan = SimTime::ZERO;
+        // Static-power residency: every destination channel holds a decision
+        // (initially the baseline) from t = 0; its laser + heater power
+        // burns over wall-clock time regardless of occupancy.  Intervals are
+        // closed lazily, whenever a transfer starts on a decision with a
+        // different static power and at the end of the run.
+        let mut statics: Vec<(usize, SimTime)> = vec![(0, SimTime::ZERO); self.config.oni_count];
         // Thermal bookkeeping: last decision per destination, and how many
         // messages ran on a non-baseline scheme.
         let mut last_per_oni: BTreeMap<usize, usize> = BTreeMap::new();
@@ -373,6 +452,8 @@ impl Simulation {
                         &self.messages,
                         &params,
                         &self.assignment,
+                        &mut statics,
+                        &mut stats,
                     );
                 }
                 EventKind::Complete => {
@@ -380,7 +461,9 @@ impl Simulation {
                     stats.delivered_messages += 1;
                     stats.delivered_bits += message.payload_bits();
                     stats.channel_busy_ns += duration_ns;
-                    stats.energy_pj += point.channel_power_mw * duration_ns;
+                    // Only the transfer-gated share is charged per transfer;
+                    // the static share accrues over wall-clock residency.
+                    stats.energy_pj += point.dynamic_power_mw * duration_ns;
                     let latency = event.time.since(message.injected_at).value();
                     stats.total_latency_ns += latency;
                     stats.max_latency_ns = stats.max_latency_ns.max(latency);
@@ -392,7 +475,9 @@ impl Simulation {
                             .rng
                             .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
                         {
-                            stats.corrupted_bits += 1;
+                            stats.corrupted_words += 1;
+                            stats.corrupted_bits +=
+                                conditional_corrupted_bits(&mut self.rng, 64, point.decoded_ber);
                         }
                         if self
                             .rng
@@ -420,9 +505,20 @@ impl Simulation {
                         &self.messages,
                         &params,
                         &self.assignment,
+                        &mut statics,
+                        &mut stats,
                     );
                 }
             }
+        }
+
+        // Close the static-power residency of every destination channel at
+        // the end of the run: an idle channel's laser and heaters are not
+        // free.  A zero-traffic run has zero makespan and charges nothing.
+        for &(index, since) in &statics {
+            let residency_pj = params[index].static_power_mw * makespan.since(since).value();
+            stats.energy_pj += residency_pj;
+            stats.static_energy_pj += residency_pj;
         }
 
         stats.makespan_ns = makespan.as_nanos();
@@ -463,6 +559,8 @@ impl Simulation {
         messages: &HashMap<MessageId, Message>,
         params: &[DecisionParams],
         assignment: &HashMap<MessageId, usize>,
+        statics: &mut [(usize, SimTime)],
+        stats: &mut SimStats,
     ) {
         if *busy.get(&destination).unwrap_or(&false) {
             return;
@@ -470,7 +568,17 @@ impl Simulation {
         let arbiter = arbiters.entry(destination).or_default();
         if let Some((_, id)) = arbiter.grant() {
             let message = messages[&id];
-            let point = params[assignment.get(&id).copied().unwrap_or(0)];
+            let index = assignment.get(&id).copied().unwrap_or(0);
+            let point = params[index];
+            // Applying a decision with a different static power re-bases the
+            // destination's residency interval at the transfer start.
+            let (current, since) = statics[destination];
+            if params[current].static_power_mw != point.static_power_mw {
+                let residency_pj = params[current].static_power_mw * now.since(since).value();
+                stats.energy_pj += residency_pj;
+                stats.static_energy_pj += residency_pj;
+                statics[destination] = (index, now);
+            }
             let duration = point.transfer_duration(message.words);
             busy.insert(destination, true);
             queue.push(Reverse(Event {
@@ -480,18 +588,6 @@ impl Simulation {
                 message: id,
             }));
             *sequence += 1;
-        }
-    }
-}
-
-impl SimTime {
-    /// Maximum of two timestamps (small helper local to the engine).
-    #[must_use]
-    fn max_time(self, other: Self) -> Self {
-        if self >= other {
-            self
-        } else {
-            other
         }
     }
 }
@@ -638,6 +734,78 @@ mod tests {
             }),
             Err(SimulationError::InvalidConfiguration { .. })
         ));
+        for bad_inter_arrival in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let err = Simulation::new(SimulationConfig {
+                mean_inter_arrival_ns: bad_inter_arrival,
+                ..quick_config()
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, SimulationError::InvalidConfiguration { .. }),
+                "{bad_inter_arrival}"
+            );
+            assert!(err.to_string().contains("inter-arrival"));
+        }
+    }
+
+    #[test]
+    fn observed_ber_tracks_the_decoded_ber_at_a_relaxed_target() {
+        // A deliberately loose BER target makes residual errors frequent
+        // enough to measure: the sampled corrupted-bit count must land near
+        // `decoded_ber × delivered_bits`, pinning both the per-word error
+        // draw and the conditional bits-per-bad-word sampling.
+        let report = Simulation::new(SimulationConfig {
+            oni_count: 8,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 60,
+            },
+            words_per_message: 32,
+            nominal_ber: 1e-3,
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        let expected_ber = report.decoded_ber;
+        assert!(expected_ber >= 1e-3, "decoded BER meets the nominal target");
+        let observed = report.stats.observed_ber();
+        assert!(
+            observed > expected_ber * 0.7 && observed < expected_ber * 1.3,
+            "observed {observed:e} vs decoded {expected_ber:e}"
+        );
+        // Bits are counted per corrupted word (≥ 1 each), so the bit count
+        // can never undercut the word count.
+        assert!(report.stats.corrupted_bits >= report.stats.corrupted_words);
+        assert!(report.stats.corrupted_words > 0);
+        let wer = report.stats.observed_word_error_rate();
+        let expected_wer = 1.0 - (1.0 - expected_ber).powi(64);
+        assert!(
+            wer > expected_wer * 0.7 && wer < expected_wer * 1.3,
+            "word error rate {wer} vs {expected_wer}"
+        );
+    }
+
+    #[test]
+    fn conditional_corrupted_bit_sampling_matches_the_conditional_mean() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // At a tiny BER a corrupted word almost surely has exactly one bad bit.
+        for _ in 0..50 {
+            assert_eq!(conditional_corrupted_bits(&mut rng, 64, 1e-11), 1);
+        }
+        // At a large BER the conditional mean is 64p / (1 − (1−p)^64).
+        let p = 0.05;
+        let samples = 20_000;
+        let total: u64 = (0..samples)
+            .map(|_| conditional_corrupted_bits(&mut rng, 64, p))
+            .sum();
+        let mean = total as f64 / f64::from(samples);
+        let expected = 64.0 * p / (1.0 - (1.0 - p).powi(64));
+        assert!(
+            (mean - expected).abs() < 0.1,
+            "conditional mean {mean} vs {expected}"
+        );
+        // Degenerate inputs stay in range.
+        assert_eq!(conditional_corrupted_bits(&mut rng, 64, 0.0), 1);
+        assert_eq!(conditional_corrupted_bits(&mut rng, 64, 1.0), 64);
     }
 
     #[test]
@@ -657,10 +825,55 @@ mod tests {
     }
 
     #[test]
-    fn energy_scales_with_channel_occupancy() {
-        let report = Simulation::new(quick_config()).unwrap().run();
-        let expected = report.channel_power_mw * report.stats.channel_busy_ns;
+    fn energy_charges_static_power_over_wall_clock_and_dynamic_over_occupancy() {
+        let config = quick_config();
+        let sim = Simulation::new(config.clone()).unwrap();
+        let point = sim.decision().point;
+        let per_lane_static = point.power.laser.value() + point.power.tuning.value();
+        let static_fraction = per_lane_static / point.power.per_wavelength_total().value();
+        let static_mw = point.channel_power.value() * static_fraction;
+        let dynamic_mw = point.channel_power.value() - static_mw;
+        let report = sim.run();
+        // Every one of the 6 destination channels holds the baseline decision
+        // for the whole run, so its laser + heaters burn over the makespan;
+        // modulation + codec power only burns while a word is in flight.
+        let expected_static = static_mw * report.stats.makespan_ns * config.oni_count as f64;
+        let expected = expected_static + dynamic_mw * report.stats.channel_busy_ns;
         assert!((report.stats.energy_pj - expected).abs() / expected < 1e-9);
+        assert!((report.stats.static_energy_pj - expected_static).abs() / expected_static < 1e-9);
+        // The old occupancy-only accounting understated the energy.
+        let occupancy_only = report.channel_power_mw * report.stats.channel_busy_ns;
+        assert!(report.stats.energy_pj > occupancy_only);
+    }
+
+    #[test]
+    fn idle_channels_are_not_free_but_an_empty_run_is() {
+        // Zero traffic: zero makespan, zero residency, zero energy.
+        let empty = Simulation::new(SimulationConfig {
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 0,
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(empty.stats.makespan_ns, 0.0);
+        assert_eq!(empty.stats.energy_pj, 0.0);
+        // A single message still charges every idle channel's static power
+        // over the (non-zero) makespan: energy per bit rises at low load.
+        let sparse = Simulation::new(SimulationConfig {
+            pattern: TrafficPattern::Streaming {
+                source: 0,
+                destination: 1,
+                bursts: 1,
+                burst_messages: 1,
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run();
+        let busy = Simulation::new(quick_config()).unwrap().run();
+        assert!(sparse.stats.energy_per_bit_pj() > busy.stats.energy_per_bit_pj());
     }
 
     fn thermal_config(environment: onoc_thermal::ThermalEnvironment) -> SimulationConfig {

@@ -1,0 +1,807 @@
+//! Closed-loop thermo-electrical co-simulation: activity-driven heating.
+//!
+//! The [`crate::ThermalScenario`] machinery plays back *prescribed*
+//! temperature traces and precomputes one decision per message before the
+//! run starts.  [`FeedbackSimulation`] closes the loop instead: the heat
+//! comes from the link itself.  The run is divided into epochs; each epoch
+//!
+//! 1. plays the event queue forward (injections, arbitration, transfers)
+//!    with every destination channel at its *current* operating point,
+//! 2. integrates the electrical power each destination channel dissipated —
+//!    the always-on static share (laser + ring heaters) over the whole epoch
+//!    plus the transfer-gated dynamic share (modulation + codec) over the
+//!    busy time,
+//! 3. deposits that power into the per-ONI thermal RC network
+//!    ([`ActivityCoupledEnvironment`]) and steps it, and
+//! 4. re-asks the runtime manager for an operating point — but only for
+//!    ONIs whose temperature left the quantization bucket of their last
+//!    decision by more than a hysteresis deadband, so scheme choice cannot
+//!    oscillate at a bucket edge.
+//!
+//! The manager's queries go through the link's memoized operating-point
+//! cache, so the many re-asks of a long run collapse onto a handful of
+//! solver invocations (one per distinct `(scheme, BER, bucket)`).
+//!
+//! There is no per-message decision table: decisions live per destination
+//! and evolve with the temperature the traffic itself creates.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use onoc_ecc_codes::EccScheme;
+use onoc_link::{CacheCounters, LinkManager, NanophotonicLink};
+use onoc_thermal::{ActivityCoupledEnvironment, RcNetworkParameters};
+use onoc_units::Celsius;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::TokenArbiter;
+use crate::engine::{
+    conditional_corrupted_bits, DecisionParams, Event, EventKind, SimulationConfig, SimulationError,
+};
+use crate::packet::{Message, MessageId};
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use crate::traffic::TrafficGenerator;
+
+/// Configuration of one closed-loop (activity-driven heating) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Traffic, class, BER and seed configuration.  Its `thermal` field must
+    /// be `None`: the feedback engine supplies its own thermal environment.
+    pub sim: SimulationConfig,
+    /// The per-ONI thermal RC network the dissipated power drives.
+    pub network: RcNetworkParameters,
+    /// Epoch length, in nanoseconds: how often dissipated power is
+    /// integrated and deposited into the RC network.
+    pub epoch_ns: f64,
+    /// Temperature quantization of manager decisions, in kelvin: re-asks
+    /// solve at the centre of the bucket containing the node temperature.
+    pub quantization_k: f64,
+    /// Hysteresis deadband, in kelvin: the manager is re-asked only once a
+    /// node's temperature has left the bucket of its last decision by more
+    /// than half a bucket plus this margin.
+    pub hysteresis_k: f64,
+    /// Scheme-revert hysteresis, in kelvin: undoing the channel's most
+    /// recent scheme switch (returning to the scheme it switched away from)
+    /// is accepted only once the temperature has moved at least this far
+    /// from the temperature of that switch.  This is what keeps a channel
+    /// that switched to the coded path, dropped its power and *cooled* from
+    /// flapping straight back to the uncoded path it just escaped.
+    pub revert_hysteresis_k: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimulationConfig::default(),
+            network: RcNetworkParameters::paper_package(),
+            epoch_ns: 25.0,
+            quantization_k: 0.5,
+            hysteresis_k: 1.5,
+            revert_hysteresis_k: 10.0,
+        }
+    }
+}
+
+impl FeedbackConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::InvalidConfiguration`] when the base simulation
+    /// config is invalid, carries a prescribed thermal scenario, or the
+    /// epoch/quantization/hysteresis/network parameters are out of range.
+    pub fn validate(&self) -> Result<(), SimulationError> {
+        self.sim.validate()?;
+        if self.sim.thermal.is_some() {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "feedback runs derive their temperatures from activity; \
+                         remove the prescribed thermal scenario"
+                    .into(),
+            });
+        }
+        if !(self.epoch_ns > 0.0 && self.epoch_ns.is_finite()) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: format!("epoch must be positive and finite, got {}", self.epoch_ns),
+            });
+        }
+        if !(self.quantization_k > 0.0 && self.quantization_k.is_finite()) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: format!(
+                    "thermal quantization step must be positive and finite, got {}",
+                    self.quantization_k
+                ),
+            });
+        }
+        for (name, value) in [
+            ("hysteresis", self.hysteresis_k),
+            ("revert hysteresis", self.revert_hysteresis_k),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: format!("{name} must be non-negative and finite, got {value}"),
+                });
+            }
+        }
+        self.network
+            .validate()
+            .map_err(|reason| SimulationError::InvalidConfiguration { reason })
+    }
+
+    fn bucket(&self, temperature_c: f64) -> i64 {
+        crate::thermal::bucket_index(temperature_c, self.quantization_k)
+    }
+
+    fn bucket_temperature(&self, bucket: i64) -> f64 {
+        crate::thermal::bucket_centre(bucket, self.quantization_k)
+    }
+}
+
+/// One scheme change taken by the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeSwitch {
+    /// Simulated time of the switch, in nanoseconds.
+    pub time_ns: f64,
+    /// Destination ONI whose channel switched.
+    pub oni: usize,
+    /// Scheme before the switch.
+    pub from: EccScheme,
+    /// Scheme after the switch.
+    pub to: EccScheme,
+    /// Node temperature that triggered the re-decision, in °C.
+    pub temperature_c: f64,
+}
+
+/// Temperature envelope of the interconnect at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// End of the epoch, in nanoseconds.
+    pub time_ns: f64,
+    /// Coolest node temperature, in °C.
+    pub min_temperature_c: f64,
+    /// Hottest node temperature, in °C.
+    pub max_temperature_c: f64,
+    /// Number of destination channels currently on a non-baseline scheme.
+    pub reconfigured_onis: usize,
+}
+
+/// Final state of one destination channel after a feedback run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OniFeedbackReport {
+    /// Destination ONI index.
+    pub oni: usize,
+    /// Node temperature at the end of the run, in °C.
+    pub final_temperature_c: f64,
+    /// Hottest temperature the node reached, in °C.
+    pub peak_temperature_c: f64,
+    /// Scheme the channel ended the run on.
+    pub scheme: EccScheme,
+    /// Channel power of the final operating point, in mW.
+    pub channel_power_mw: f64,
+    /// Number of scheme changes the channel went through.
+    pub scheme_switches: u64,
+}
+
+/// Outcome of one closed-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackReport {
+    /// The configuration that was simulated.
+    pub config: FeedbackConfig,
+    /// Scheme of the initial (package-ambient) operating point.
+    pub baseline_scheme: EccScheme,
+    /// Aggregate traffic statistics (energy includes the static share).
+    pub stats: SimStats,
+    /// Final per-destination state, sorted by ONI index.
+    pub per_oni: Vec<OniFeedbackReport>,
+    /// Number of epochs stepped.
+    pub epochs: u64,
+    /// Manager re-asks triggered by bucket changes (the hysteresis gate).
+    pub decisions: u64,
+    /// Re-asks the manager could not serve (the channel kept its previous
+    /// operating point).
+    pub infeasible_requests: u64,
+    /// Every scheme change, in time order.
+    pub switch_log: Vec<SchemeSwitch>,
+    /// Temperature envelope per epoch.
+    pub trajectory: Vec<EpochSample>,
+    /// Operating-point cache counters of the run's link: `misses` is the
+    /// number of actual photonic-solver invocations.
+    pub solver_cache: CacheCounters,
+}
+
+impl FeedbackReport {
+    /// Total scheme switches across the interconnect.
+    #[must_use]
+    pub fn total_switches(&self) -> u64 {
+        self.switch_log.len() as u64
+    }
+
+    /// Number of distinct schemes in use at the end of the run.
+    #[must_use]
+    pub fn distinct_final_schemes(&self) -> usize {
+        self.per_oni
+            .iter()
+            .map(|o| o.scheme)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+}
+
+/// Per-destination live state during a feedback run.
+#[derive(Debug, Clone, Copy)]
+struct ChannelState {
+    params: DecisionParams,
+    /// Temperature (bucket centre) of the last decision, in °C.
+    decision_temperature_c: f64,
+    /// Most recent scheme switch: the scheme switched *away from* and the
+    /// node temperature at the switch (the revert-hysteresis anchor).
+    last_switch: Option<(EccScheme, f64)>,
+    /// Transfer in flight: operating point captured at grant time, and when
+    /// it started.
+    active: Option<(DecisionParams, SimTime)>,
+    peak_temperature_c: f64,
+    switches: u64,
+}
+
+/// The closed-loop simulation: event-driven traffic over an epoch-stepped
+/// thermal plant.
+#[derive(Debug)]
+pub struct FeedbackSimulation {
+    config: FeedbackConfig,
+    manager: LinkManager,
+    baseline: DecisionParams,
+    messages: HashMap<MessageId, Message>,
+    injection_order: Vec<MessageId>,
+    rng: StdRng,
+}
+
+impl FeedbackSimulation {
+    /// Prepares a closed-loop run: validates the configuration, generates
+    /// the traffic and solves the initial operating point at the package
+    /// ambient.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::InvalidConfiguration`] — see
+    ///   [`FeedbackConfig::validate`];
+    /// * [`SimulationError::NoFeasibleConfiguration`] when the traffic class
+    ///   cannot be served at the package ambient.
+    pub fn new(config: FeedbackConfig) -> Result<Self, SimulationError> {
+        config.validate()?;
+        let manager = LinkManager::new(
+            NanophotonicLink::paper_link(),
+            EccScheme::paper_schemes().to_vec(),
+            config.sim.nominal_ber,
+        );
+        let ambient_bucket = config.bucket(config.network.ambient.value());
+        let baseline = manager
+            .configure_at(
+                config.sim.class,
+                Celsius::new(config.bucket_temperature(ambient_bucket)),
+            )
+            .ok_or(SimulationError::NoFeasibleConfiguration {
+                class: config.sim.class,
+            })?;
+        let generated = TrafficGenerator::new(
+            config.sim.pattern,
+            config.sim.oni_count,
+            config.sim.words_per_message,
+            config.sim.class,
+            config.sim.mean_inter_arrival_ns,
+            config.sim.deadline_slack_ns,
+            config.sim.seed,
+        )
+        .generate();
+        let injection_order = generated.iter().map(|m| m.id).collect();
+        let messages = generated.into_iter().map(|m| (m.id, m)).collect();
+        Ok(Self {
+            rng: StdRng::seed_from_u64(config.sim.seed ^ 0xC0FF_EE00),
+            baseline: DecisionParams::from_decision(&baseline),
+            config,
+            manager,
+            messages,
+            injection_order,
+        })
+    }
+
+    /// Number of messages that will be injected.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Runs the closed loop to completion.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn run(mut self) -> FeedbackReport {
+        let n = self.config.sim.oni_count;
+        let mut env = ActivityCoupledEnvironment::new(n, self.config.network);
+        let ambient_c = self.config.network.ambient.value();
+        let decision_temperature_c = self
+            .config
+            .bucket_temperature(self.config.bucket(ambient_c));
+        let mut channels: Vec<ChannelState> = vec![
+            ChannelState {
+                params: self.baseline,
+                decision_temperature_c,
+                last_switch: None,
+                active: None,
+                peak_temperature_c: ambient_c,
+                switches: 0,
+            };
+            n
+        ];
+
+        let mut stats = SimStats {
+            injected_messages: self.messages.len() as u64,
+            ..SimStats::default()
+        };
+        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut sequence = 0u64;
+        for &id in &self.injection_order {
+            queue.push(Reverse(Event {
+                time: self.messages[&id].injected_at,
+                sequence,
+                kind: EventKind::Inject,
+                message: id,
+            }));
+            sequence += 1;
+        }
+
+        let mut makespan = SimTime::ZERO;
+        let mut epoch_start = SimTime::ZERO;
+        let mut epochs = 0u64;
+        let mut decisions = 0u64;
+        let mut infeasible_requests = 0u64;
+        let mut switch_log: Vec<SchemeSwitch> = Vec::new();
+        let mut trajectory: Vec<EpochSample> = Vec::new();
+        let mut deposited_pj = vec![0.0f64; n];
+
+        while let Some(&Reverse(next)) = queue.peek() {
+            // Nominal epoch boundary; long idle gaps are covered by a single
+            // stretched epoch ending at the next event (the RC step
+            // integrates the whole gap, so nothing is lost).
+            let mut epoch_end = SimTime::from_nanos(epoch_start.as_nanos() + self.config.epoch_ns);
+            if next.time > epoch_end {
+                epoch_end = next.time;
+            }
+
+            // 1. Play the event queue through this epoch.
+            while let Some(&Reverse(event)) = queue.peek() {
+                if event.time > epoch_end {
+                    break;
+                }
+                let Reverse(event) = queue.pop().expect("peeked");
+                makespan = makespan.max_time(event.time);
+                let message = self.messages[&event.message];
+                match event.kind {
+                    EventKind::Inject => {
+                        arbiters
+                            .entry(message.destination)
+                            .or_default()
+                            .request(message.source, message.id);
+                        Self::try_start(
+                            message.destination,
+                            event.time,
+                            &mut arbiters,
+                            &mut channels,
+                            &mut queue,
+                            &mut sequence,
+                            &self.messages,
+                        );
+                    }
+                    EventKind::Complete => {
+                        let (point, started) = channels[message.destination]
+                            .active
+                            .take()
+                            .expect("completion implies an active transfer");
+                        let duration_ns = point.transfer_duration(message.words).value();
+                        stats.delivered_messages += 1;
+                        stats.delivered_bits += message.payload_bits();
+                        stats.channel_busy_ns += duration_ns;
+                        // Dynamic energy for the part of the transfer inside
+                        // this epoch; earlier parts were charged at the
+                        // boundaries of the epochs they crossed.
+                        let from = started.max_time(epoch_start);
+                        let slice_pj = point.dynamic_power_mw * event.time.since(from).value();
+                        stats.energy_pj += slice_pj;
+                        deposited_pj[message.destination] += slice_pj;
+                        let latency = event.time.since(message.injected_at).value();
+                        stats.total_latency_ns += latency;
+                        stats.max_latency_ns = stats.max_latency_ns.max(latency);
+                        if message.misses_deadline(event.time) {
+                            stats.deadline_misses += 1;
+                        }
+                        for _ in 0..message.words {
+                            if self
+                                .rng
+                                .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
+                            {
+                                stats.corrupted_words += 1;
+                                stats.corrupted_bits += conditional_corrupted_bits(
+                                    &mut self.rng,
+                                    64,
+                                    point.decoded_ber,
+                                );
+                            }
+                            if self
+                                .rng
+                                .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
+                            {
+                                stats.corrected_words += 1;
+                            }
+                        }
+                        arbiters
+                            .get_mut(&message.destination)
+                            .expect("completion implies a prior grant")
+                            .release(message.id);
+                        Self::try_start(
+                            message.destination,
+                            event.time,
+                            &mut arbiters,
+                            &mut channels,
+                            &mut queue,
+                            &mut sequence,
+                            &self.messages,
+                        );
+                    }
+                }
+            }
+
+            // The run ends with the last event, not at the nominal epoch
+            // boundary: static power is charged for actual residency only.
+            let end = if queue.is_empty() {
+                makespan
+            } else {
+                epoch_end
+            };
+            let span_ns = end.since(epoch_start).value();
+            if span_ns > 0.0 {
+                // 2. Integrate the power deposited by each destination
+                // channel over this epoch.
+                for (oni, channel) in channels.iter_mut().enumerate() {
+                    if let Some((point, started)) = channel.active {
+                        let from = started.max_time(epoch_start);
+                        let slice_pj = point.dynamic_power_mw * end.since(from).value();
+                        stats.energy_pj += slice_pj;
+                        deposited_pj[oni] += slice_pj;
+                        // Re-base so the remainder is charged later.
+                        channel.active = Some((point, end));
+                    }
+                    let static_pj = channel.params.static_power_mw * span_ns;
+                    stats.energy_pj += static_pj;
+                    stats.static_energy_pj += static_pj;
+                    deposited_pj[oni] += static_pj;
+                }
+
+                // 3. Step the thermal plant with the average epoch power.
+                let powers_mw: Vec<f64> = deposited_pj.iter().map(|pj| pj / span_ns).collect();
+                env.step(&powers_mw, span_ns);
+                deposited_pj.iter_mut().for_each(|pj| *pj = 0.0);
+
+                // 4. Re-ask the manager, gated by quantization + hysteresis.
+                let deadband = self.config.quantization_k / 2.0 + self.config.hysteresis_k;
+                for (oni, channel) in channels.iter_mut().enumerate() {
+                    let t_now = env.temperature_of(oni).value();
+                    channel.peak_temperature_c = channel.peak_temperature_c.max(t_now);
+                    if (t_now - channel.decision_temperature_c).abs() <= deadband {
+                        continue;
+                    }
+                    let bucket_t = self.config.bucket_temperature(self.config.bucket(t_now));
+                    decisions += 1;
+                    match self
+                        .manager
+                        .configure_at(self.config.sim.class, Celsius::new(bucket_t))
+                    {
+                        Some(decision) => {
+                            let new_params = DecisionParams::from_decision(&decision);
+                            if new_params.scheme != channel.params.scheme {
+                                // Scheme-revert hysteresis: undoing the most
+                                // recent switch needs a temperature excursion
+                                // beyond its anchor, otherwise the channel
+                                // that just cooled by escaping to the coded
+                                // path would flap straight back.
+                                if let Some((from, at_temp)) = channel.last_switch {
+                                    if new_params.scheme == from
+                                        && (t_now - at_temp).abs() < self.config.revert_hysteresis_k
+                                    {
+                                        channel.decision_temperature_c = bucket_t;
+                                        continue;
+                                    }
+                                }
+                                channel.switches += 1;
+                                channel.last_switch = Some((channel.params.scheme, t_now));
+                                switch_log.push(SchemeSwitch {
+                                    time_ns: end.as_nanos(),
+                                    oni,
+                                    from: channel.params.scheme,
+                                    to: new_params.scheme,
+                                    temperature_c: t_now,
+                                });
+                            }
+                            channel.params = new_params;
+                            channel.decision_temperature_c = bucket_t;
+                        }
+                        None => {
+                            // Keep the previous operating point; the channel
+                            // stays up at its old configuration.
+                            infeasible_requests += 1;
+                            channel.decision_temperature_c = bucket_t;
+                        }
+                    }
+                }
+
+                epochs += 1;
+                trajectory.push(EpochSample {
+                    time_ns: end.as_nanos(),
+                    min_temperature_c: env
+                        .temperatures_c()
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min),
+                    max_temperature_c: env.hottest().value(),
+                    reconfigured_onis: channels
+                        .iter()
+                        .filter(|c| c.params.scheme != self.baseline.scheme)
+                        .count(),
+                });
+            }
+            epoch_start = end;
+        }
+
+        stats.makespan_ns = makespan.as_nanos();
+        let per_oni = channels
+            .iter()
+            .enumerate()
+            .map(|(oni, c)| OniFeedbackReport {
+                oni,
+                final_temperature_c: env.temperature_of(oni).value(),
+                peak_temperature_c: c.peak_temperature_c,
+                scheme: c.params.scheme,
+                channel_power_mw: c.params.channel_power_mw,
+                scheme_switches: c.switches,
+            })
+            .collect();
+        FeedbackReport {
+            baseline_scheme: self.baseline.scheme,
+            stats,
+            per_oni,
+            epochs,
+            decisions,
+            infeasible_requests,
+            switch_log,
+            trajectory,
+            solver_cache: self.manager.link().cache_counters(),
+            config: self.config,
+        }
+    }
+
+    /// Grants the next pending transfer on `destination`, capturing the
+    /// channel's *current* operating point for the whole transfer.
+    fn try_start(
+        destination: usize,
+        now: SimTime,
+        arbiters: &mut HashMap<usize, TokenArbiter>,
+        channels: &mut [ChannelState],
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        sequence: &mut u64,
+        messages: &HashMap<MessageId, Message>,
+    ) {
+        if channels[destination].active.is_some() {
+            return;
+        }
+        let arbiter = arbiters.entry(destination).or_default();
+        if let Some((_, id)) = arbiter.grant() {
+            let message = messages[&id];
+            let point = channels[destination].params;
+            channels[destination].active = Some((point, now));
+            queue.push(Reverse(Event {
+                time: now.advanced_by(point.transfer_duration(message.words)),
+                sequence: *sequence,
+                kind: EventKind::Complete,
+                message: id,
+            }));
+            *sequence += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficPattern;
+    use onoc_link::TrafficClass;
+
+    fn latency_first_config() -> FeedbackConfig {
+        FeedbackConfig {
+            sim: SimulationConfig {
+                oni_count: 8,
+                pattern: TrafficPattern::UniformRandom {
+                    messages_per_node: 120,
+                },
+                class: TrafficClass::LatencyFirst,
+                words_per_message: 16,
+                mean_inter_arrival_ns: 8.0,
+                deadline_slack_ns: None,
+                nominal_ber: 1e-11,
+                seed: 5,
+                thermal: None,
+            },
+            ..FeedbackConfig::default()
+        }
+    }
+
+    #[test]
+    fn self_heating_switches_latency_first_traffic_to_the_coded_path() {
+        let sim = FeedbackSimulation::new(latency_first_config()).unwrap();
+        let injected = sim.message_count() as u64;
+        let report = sim.run();
+        assert_eq!(report.stats.delivered_messages, injected);
+        assert_eq!(report.baseline_scheme, EccScheme::Uncoded);
+        // No prescribed trace anywhere — the uncoded laser's own dissipation
+        // must carry the channels past the uncoded link's collapse.
+        assert!(
+            report.total_switches() > 0,
+            "activity-driven heating must force at least one switch"
+        );
+        assert!(report
+            .switch_log
+            .iter()
+            .all(|s| s.from == EccScheme::Uncoded && s.to == EccScheme::Hamming7164));
+        assert!(report
+            .per_oni
+            .iter()
+            .all(|o| o.scheme == EccScheme::Hamming7164));
+        assert!(report.epochs > 10);
+    }
+
+    #[test]
+    fn feedback_reaches_a_steady_state_without_oscillation() {
+        let report = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        // Bounded temperatures…
+        for oni in &report.per_oni {
+            assert!(
+                oni.peak_temperature_c < 100.0,
+                "ONI {} peaked at {}",
+                oni.oni,
+                oni.peak_temperature_c
+            );
+            assert!(oni.final_temperature_c > 25.0);
+        }
+        // …and no scheme flapping: each channel switches at most once up to
+        // the coded path and never back (hysteresis holds at the edge).
+        for oni in &report.per_oni {
+            assert!(
+                oni.scheme_switches <= 1,
+                "ONI {} oscillated ({} switches)",
+                oni.oni,
+                oni.scheme_switches
+            );
+        }
+    }
+
+    #[test]
+    fn cooled_coded_channels_hold_via_hysteresis() {
+        let report = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        // After the switch the coded point burns less power, so channels
+        // cool below their switch temperature yet stay coded.
+        let last = report.trajectory.last().unwrap();
+        let peak = report
+            .trajectory
+            .iter()
+            .map(|s| s.max_temperature_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            last.max_temperature_c < peak,
+            "final {} vs peak {peak}",
+            last.max_temperature_c
+        );
+        assert_eq!(last.reconfigured_onis, report.config.sim.oni_count);
+    }
+
+    #[test]
+    fn memoized_cache_carries_the_run() {
+        let report = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        let cache = report.solver_cache;
+        assert!(report.decisions > 0);
+        // Every manager re-ask queries all three candidate schemes, yet the
+        // solver only runs once per distinct (scheme, BER, bucket).
+        assert!(cache.hits > 0, "re-asks must hit the cache");
+        assert!(
+            cache.misses < (report.decisions + 1) * 3,
+            "misses {} vs {} queries",
+            cache.misses,
+            (report.decisions + 1) * 3
+        );
+    }
+
+    #[test]
+    fn bulk_traffic_stays_on_its_coded_point() {
+        // Bulk lands on H(71,64) already at the ambient; its lower power
+        // keeps the plant cooler and nothing ever switches.
+        let report = FeedbackSimulation::new(FeedbackConfig {
+            sim: SimulationConfig {
+                class: TrafficClass::Bulk,
+                ..latency_first_config().sim
+            },
+            ..FeedbackConfig::default()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(report.baseline_scheme, EccScheme::Hamming7164);
+        assert_eq!(report.total_switches(), 0);
+        assert!(report.per_oni.iter().all(|o| o.peak_temperature_c < 60.0));
+    }
+
+    #[test]
+    fn zero_traffic_run_is_cold_and_free() {
+        let report = FeedbackSimulation::new(FeedbackConfig {
+            sim: SimulationConfig {
+                pattern: TrafficPattern::UniformRandom {
+                    messages_per_node: 0,
+                },
+                ..latency_first_config().sim
+            },
+            ..FeedbackConfig::default()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(report.stats.makespan_ns, 0.0);
+        assert_eq!(report.stats.energy_pj, 0.0);
+        assert_eq!(report.epochs, 0);
+        assert!(report.per_oni.iter().all(|o| o.final_temperature_c == 25.0));
+    }
+
+    #[test]
+    fn feedback_runs_are_reproducible() {
+        let a = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        let b = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_feedback_configurations_are_rejected() {
+        let mut config = latency_first_config();
+        config.epoch_ns = 0.0;
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("epoch"));
+
+        let mut config = latency_first_config();
+        config.quantization_k = f64::NAN;
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("quantization"));
+
+        let mut config = latency_first_config();
+        config.hysteresis_k = -1.0;
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("hysteresis"));
+
+        let mut config = latency_first_config();
+        config.network.heat_capacity_pj_per_k = 0.0;
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("heat capacity"));
+
+        let mut config = latency_first_config();
+        config.sim.thermal = Some(crate::thermal::ThermalScenario::paper_ambient());
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("prescribed"));
+
+        let mut config = latency_first_config();
+        config.sim.mean_inter_arrival_ns = -1.0;
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("inter-arrival"));
+    }
+}

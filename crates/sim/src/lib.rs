@@ -14,6 +14,16 @@
 //! operating point, which the `onoc-ecc-codes` Monte-Carlo tests validate
 //! against bit-true decoding.
 //!
+//! Two thermal modes are available: [`ThermalScenario`] plays back
+//! *prescribed* temperature traces (uniform, hotspot, transient), while
+//! [`FeedbackSimulation`] closes the loop — an epoch-stepped engine deposits
+//! the link's own dissipated power into a per-ONI thermal RC network
+//! (`onoc_thermal::ActivityCoupledEnvironment`) and re-asks the manager as
+//! the self-heated temperatures cross quantization buckets, with hysteresis
+//! against oscillation.  Energy accounting charges the static share of the
+//! channel power (laser + ring heaters) over wall-clock residency and the
+//! dynamic share (modulation + codec) over transfer occupancy.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +48,7 @@
 
 pub mod arbiter;
 pub mod engine;
+pub mod feedback;
 pub mod packet;
 pub mod stats;
 pub mod thermal;
@@ -45,6 +56,10 @@ pub mod time;
 pub mod traffic;
 
 pub use engine::{Simulation, SimulationConfig, SimulationError, SimulationReport};
+pub use feedback::{
+    EpochSample, FeedbackConfig, FeedbackReport, FeedbackSimulation, OniFeedbackReport,
+    SchemeSwitch,
+};
 pub use packet::{Message, MessageId};
 pub use stats::SimStats;
 pub use thermal::{OniThermalReport, ThermalRunReport, ThermalScenario};

@@ -12,6 +12,20 @@
 use onoc_thermal::ThermalEnvironment;
 use serde::{Deserialize, Serialize};
 
+/// Bucket index of `temperature_c` on a grid of `step_k`-kelvin buckets
+/// centred on multiples of the step (shared by [`ThermalScenario`] and the
+/// feedback engine so their decision grids can never diverge).
+pub(crate) fn bucket_index(temperature_c: f64, step_k: f64) -> i64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let bucket = (temperature_c / step_k).round() as i64;
+    bucket
+}
+
+/// Centre temperature of `bucket` on the same grid.
+pub(crate) fn bucket_centre(bucket: i64, step_k: f64) -> f64 {
+    bucket as f64 * step_k
+}
+
 /// A thermal environment plus the sampling granularity the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalScenario {
@@ -65,15 +79,13 @@ impl ThermalScenario {
             self.quantization_k > 0.0,
             "quantization step must be positive"
         );
-        #[allow(clippy::cast_possible_truncation)]
-        let bucket = (temperature_c / self.quantization_k).round() as i64;
-        bucket
+        bucket_index(temperature_c, self.quantization_k)
     }
 
     /// Representative temperature of a cache `bucket`.
     #[must_use]
     pub fn bucket_temperature(&self, bucket: i64) -> f64 {
-        bucket as f64 * self.quantization_k
+        bucket_centre(bucket, self.quantization_k)
     }
 }
 

@@ -75,6 +75,16 @@ impl SimTime {
         assert!(earlier.0 <= self.0, "earlier timestamp is in the future");
         Nanoseconds::new((self.0 - earlier.0) as f64 * 1e-3)
     }
+
+    /// Maximum of two timestamps.
+    #[must_use]
+    pub fn max_time(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
 }
 
 impl std::fmt::Display for SimTime {

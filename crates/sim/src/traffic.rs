@@ -78,7 +78,12 @@ impl TrafficGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if `oni_count < 2` or `words_per_message == 0`.
+    /// Panics if `oni_count < 2`, `words_per_message == 0`, or
+    /// `mean_inter_arrival` is not positive and finite (a zero, negative or
+    /// non-finite mean would produce degenerate or unsorted injection
+    /// times).  The simulation entry points reject these as
+    /// [`crate::SimulationError::InvalidConfiguration`] before reaching this
+    /// constructor.
     #[must_use]
     pub fn new(
         pattern: TrafficPattern,
@@ -93,6 +98,10 @@ impl TrafficGenerator {
         assert!(
             words_per_message > 0,
             "messages must carry at least one word"
+        );
+        assert!(
+            mean_inter_arrival > 0.0 && mean_inter_arrival.is_finite(),
+            "mean inter-arrival time must be positive and finite"
         );
         Self {
             pattern,
@@ -168,11 +177,8 @@ impl TrafficGenerator {
         let mut next_time_per_source = vec![0.0f64; self.oni_count];
         for (index, (source, destination, burst_group)) in pairs.iter().enumerate() {
             let jitter: f64 = self.rng.gen_range(0.0..1.0);
-            let inter = if self.mean_inter_arrival > 0.0 {
-                -self.mean_inter_arrival * (1.0 - jitter).ln()
-            } else {
-                0.0
-            };
+            // The constructor guarantees a positive, finite mean.
+            let inter = -self.mean_inter_arrival * (1.0 - jitter).ln();
             // Streaming bursts start at multiples of 10× the inter-arrival.
             let base = if matches!(self.pattern, TrafficPattern::Streaming { .. }) {
                 (*burst_group - 1) as f64 * self.mean_inter_arrival * 10.0
@@ -319,6 +325,22 @@ mod tests {
             6,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_inter_arrival_panics() {
+        let _ = TrafficGenerator::new(
+            TrafficPattern::UniformRandom {
+                messages_per_node: 1,
+            },
+            4,
+            1,
+            TrafficClass::Bulk,
+            0.0,
+            None,
+            0,
+        );
     }
 
     #[test]

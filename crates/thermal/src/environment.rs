@@ -63,12 +63,30 @@ impl ThermalEnvironment {
     ///
     /// # Errors
     ///
-    /// Returns a description of the offending parameter: a hotspot decay
-    /// outside `[0, 1)` or a non-positive transient time constant.
+    /// Returns a description of the offending parameter: a non-finite
+    /// temperature, a hotspot decay outside `[0, 1)` or a non-positive
+    /// transient time constant.
     pub fn validate(&self) -> Result<(), String> {
+        let finite = |name: &str, t: Celsius| {
+            if t.value().is_finite() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name} temperature must be finite, got {}",
+                    t.value()
+                ))
+            }
+        };
         match *self {
-            Self::Uniform { .. } => Ok(()),
-            Self::Hotspot { decay_per_hop, .. } => {
+            Self::Uniform { temperature } => finite("uniform", temperature),
+            Self::Hotspot {
+                base,
+                peak,
+                decay_per_hop,
+                ..
+            } => {
+                finite("hotspot base", base)?;
+                finite("hotspot peak", peak)?;
                 if (0.0..1.0).contains(&decay_per_hop) {
                     Ok(())
                 } else {
@@ -78,8 +96,12 @@ impl ThermalEnvironment {
                 }
             }
             Self::Transient {
-                time_constant_ns, ..
+                start,
+                target,
+                time_constant_ns,
             } => {
+                finite("transient start", start)?;
+                finite("transient target", target)?;
                 if time_constant_ns > 0.0 && time_constant_ns.is_finite() {
                     Ok(())
                 } else {
@@ -266,5 +288,33 @@ mod tests {
             time_constant_ns: 100.0,
         };
         assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_temperatures() {
+        // Quantity arithmetic bypasses the constructor's finiteness check,
+        // so non-finite temperatures can reach a scenario through overflow.
+        let nan = Celsius::new(25.0) * f64::NAN;
+        let inf = Celsius::new(25.0) * f64::INFINITY;
+        let ok = Celsius::new(25.0);
+        let bad_uniform = ThermalEnvironment::Uniform { temperature: nan };
+        assert!(bad_uniform.validate().unwrap_err().contains("uniform"));
+        for (base, peak, field) in [(inf, ok, "base"), (ok, nan, "peak")] {
+            let bad = ThermalEnvironment::Hotspot {
+                base,
+                peak,
+                center: 0,
+                decay_per_hop: 0.5,
+            };
+            assert!(bad.validate().unwrap_err().contains(field), "{field}");
+        }
+        for (start, target, field) in [(nan, ok, "start"), (ok, inf * -1.0, "target")] {
+            let bad = ThermalEnvironment::Transient {
+                start,
+                target,
+                time_constant_ns: 100.0,
+            };
+            assert!(bad.validate().unwrap_err().contains(field), "{field}");
+        }
     }
 }

@@ -25,7 +25,11 @@
 //!   whichever costs less total power;
 //! * [`ThermalEnvironment`] — uniform ambient, static hotspot gradients
 //!   across the ONIs, and a first-order transient trace the NoC simulator
-//!   samples over time.
+//!   samples over time;
+//! * [`ActivityCoupledEnvironment`] — the *closed-loop* alternative to the
+//!   prescribed traces: a per-ONI thermal RC network driven by the power the
+//!   interconnect itself dissipates, stepped epoch by epoch by the NoC
+//!   simulator's feedback engine.
 //!
 //! The photonic consequences (how many dB of penalty a nanometre of residual
 //! drift costs) are computed by `onoc-photonics` from its Lorentzian ring
@@ -54,10 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod drift;
 pub mod environment;
 pub mod tuning;
 
+pub use activity::{ActivityCoupledEnvironment, RcNetworkParameters};
 pub use drift::{ResonanceDrift, RingThermalModel};
 pub use environment::ThermalEnvironment;
 pub use tuning::{ThermalCompensation, ThermalTuner, TuningPolicy};

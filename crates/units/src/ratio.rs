@@ -35,7 +35,7 @@ quantity!(
 quantity!(
     /// Propagation loss per unit length, in dB/cm.
     ///
-    /// The paper assumes 0.274 dB/cm silicon waveguide loss (ref. [17]).
+    /// The paper assumes 0.274 dB/cm silicon waveguide loss (ref. \[17\]).
     ///
     /// ```
     /// use onoc_units::{DecibelsPerCentimeter, Centimeters};

@@ -1,0 +1,129 @@
+//! Self-heating trajectory of a nanophotonic channel — and how coding stops
+//! the runaway.
+//!
+//! Nothing in this example prescribes a temperature: the chip starts at the
+//! 25 °C package ambient and every kelvin above that is deposited by the
+//! link itself (laser + ring heaters + drivers) into a per-ONI thermal RC
+//! network.  The loop this produces:
+//!
+//! 1. **heat-up** — latency-first traffic rides the fast uncoded path, whose
+//!    laser burns ≈ 220 mW of static power per channel; the package climbs;
+//! 2. **runaway pressure** — heating inflates the laser *and* heater power,
+//!    which heats the package further (the positive feedback);
+//! 3. **switch** — past ≈ 50 °C the uncoded budget collapses; the manager
+//!    falls back to H(71,64), cutting the static power nearly in half;
+//! 4. **cool-down** — the coded channel deposits less heat, so the node
+//!    temperature falls back below the switch point;
+//! 5. **hold** — the uncoded path looks feasible again at the cooler
+//!    temperature, but the scheme-revert hysteresis refuses to flap back
+//!    (that would just re-trigger the runaway).
+//!
+//! Run with: `cargo run --example thermal_runaway`
+
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = FeedbackConfig {
+        sim: SimulationConfig {
+            oni_count: 8,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 180,
+            },
+            class: TrafficClass::LatencyFirst,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 8.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 23,
+            thermal: None,
+        },
+        ..FeedbackConfig::default()
+    };
+    let tau = config.network.time_constant_ns();
+    let report = FeedbackSimulation::new(config)?.run();
+
+    let first_switch = report
+        .switch_log
+        .first()
+        .expect("self-heating must force a switch");
+    let peak = report
+        .trajectory
+        .iter()
+        .map(|s| s.max_temperature_c)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let last = report.trajectory.last().expect("non-empty run");
+
+    println!("Self-heating trajectory (hottest ONI), no prescribed temperatures:");
+    println!();
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "t (ns)", "Tmax (degC)", "coded", "phase"
+    );
+    let stride = (report.trajectory.len() / 18).max(1);
+    for sample in report.trajectory.iter().step_by(stride) {
+        let phase = if sample.time_ns < first_switch.time_ns {
+            "heat-up (uncoded)"
+        } else if sample.max_temperature_c > last.max_temperature_c + 0.5 {
+            "cool-down (coded)"
+        } else {
+            "hold (hysteresis)"
+        };
+        println!(
+            "{:>9.0} {:>12.1} {:>9}/{:<2} {:>18}",
+            sample.time_ns,
+            sample.max_temperature_c,
+            sample.reconfigured_onis,
+            report.per_oni.len(),
+            phase
+        );
+    }
+    println!();
+    println!(
+        "Switch: {} -> {} at t = {:.0} ns (~{:.1} thermal time constants), T = {:.1} degC.",
+        first_switch.from,
+        first_switch.to,
+        first_switch.time_ns,
+        first_switch.time_ns / tau,
+        first_switch.temperature_c,
+    );
+    println!(
+        "Peak {peak:.1} degC -> final {:.1} degC: the coded operating point sheds enough",
+        last.max_temperature_c
+    );
+    println!("laser power to cool the package below the switch temperature.");
+    println!();
+    for oni in report.per_oni.iter().take(3) {
+        println!(
+            "ONI {}: peak {:.1} degC, final {:.1} degC, settled on {} ({:.0} mW), {} switch(es)",
+            oni.oni,
+            oni.peak_temperature_c,
+            oni.final_temperature_c,
+            oni.scheme,
+            oni.channel_power_mw,
+            oni.scheme_switches,
+        );
+    }
+    println!();
+    println!(
+        "Hysteresis holds: the uncoded path is feasible again at {:.1} degC, but undoing",
+        last.max_temperature_c
+    );
+    println!(
+        "the switch needs a {:.0} K excursion from the {:.1} degC switch point — otherwise",
+        report.config.revert_hysteresis_k, first_switch.temperature_c
+    );
+    println!("the channel would reheat, collapse, switch, cool and flap forever.");
+    println!();
+    println!(
+        "Energy: {:.2} pJ/bit ({:.0}% static); manager re-asks {}, photonic solves {} \
+         (cache hit rate {:.0}%).",
+        report.stats.energy_per_bit_pj(),
+        100.0 * report.stats.static_energy_pj / report.stats.energy_pj,
+        report.decisions,
+        report.solver_cache.misses,
+        100.0 * report.solver_cache.hit_rate(),
+    );
+    Ok(())
+}

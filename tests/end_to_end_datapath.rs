@@ -90,15 +90,25 @@ fn simulator_and_link_agree_on_the_operating_point() {
     .run();
     assert_eq!(report.scheme, EccScheme::Hamming7164);
     assert!((report.channel_power_mw - expected.channel_power.value()).abs() < 1e-6);
-    // Per-bit energy from the simulator is close to the analytic figure
-    // (the codec pipeline latency adds a little on short messages).
+    // The simulator charges the static share of the channel power (laser +
+    // ring heaters) over every destination channel's wall-clock residency
+    // and the dynamic share (modulation + codec) over the transfer
+    // occupancy; at this low load the idle-laser term dominates, so the
+    // simulated figure sits well above the active-transfers-only analytic
+    // energy per bit.
+    let static_mw = (expected.power.laser.value() + expected.power.tuning.value()) * 16.0;
+    let dynamic_mw = expected.channel_power.value() - static_mw;
+    let reconstructed =
+        static_mw * report.stats.makespan_ns * 12.0 + dynamic_mw * report.stats.channel_busy_ns;
+    assert!(
+        (report.stats.energy_pj - reconstructed).abs() / reconstructed < 1e-9,
+        "simulated {} vs reconstructed {reconstructed}",
+        report.stats.energy_pj
+    );
     let analytic = expected.energy_per_bit.value();
     let simulated = report.stats.energy_per_bit_pj();
-    // The simulator streams each word over all 16 lanes back-to-back instead
-    // of pacing at one word per IP cycle, so its occupancy-based energy sits a
-    // little below the analytic steady-state figure.
     assert!(
-        simulated > analytic * 0.6 && simulated < analytic * 2.0,
-        "simulated {simulated} vs analytic {analytic}"
+        simulated > analytic,
+        "idle static power must inflate the simulated figure: {simulated} vs {analytic}"
     );
 }

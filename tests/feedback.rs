@@ -1,0 +1,121 @@
+//! Workspace-level integration tests of the closed thermo-electrical loop:
+//! activity-driven heating, the epoch engine's hysteresis, and the memoized
+//! operating-point cache that keeps the loop affordable.
+
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+
+fn uniform_config(class: TrafficClass, seed: u64) -> FeedbackConfig {
+    FeedbackConfig {
+        sim: SimulationConfig {
+            oni_count: 8,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 150,
+            },
+            class,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 8.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed,
+            thermal: None,
+        },
+        ..FeedbackConfig::default()
+    }
+}
+
+#[test]
+fn feedback_reaches_a_steady_state_on_uniform_traffic() {
+    for seed in [3, 11, 29] {
+        let report = FeedbackSimulation::new(uniform_config(TrafficClass::LatencyFirst, seed))
+            .unwrap()
+            .run();
+        // Everything is delivered and the temperatures stay bounded.
+        assert_eq!(
+            report.stats.delivered_messages,
+            report.stats.injected_messages
+        );
+        for oni in &report.per_oni {
+            assert!(
+                oni.peak_temperature_c > 25.0 && oni.peak_temperature_c < 100.0,
+                "seed {seed}: ONI {} peaked at {}",
+                oni.oni,
+                oni.peak_temperature_c
+            );
+            // No oscillation: at most the single uncoded → coded switch.
+            assert!(
+                oni.scheme_switches <= 1,
+                "seed {seed}: ONI {} flapped ({} switches)",
+                oni.oni,
+                oni.scheme_switches
+            );
+        }
+        // The last quarter of the trajectory is quiescent: the temperature
+        // envelope moves by well under a kelvin and the coded-ONI count is
+        // frozen — a steady state, not a limit cycle.
+        let tail = &report.trajectory[report.trajectory.len() * 3 / 4..];
+        let max_t: Vec<f64> = tail.iter().map(|s| s.max_temperature_c).collect();
+        let spread = max_t.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - max_t.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1.0, "seed {seed}: tail still moving by {spread} K");
+        assert!(tail
+            .windows(2)
+            .all(|w| w[0].reconfigured_onis == w[1].reconfigured_onis));
+    }
+}
+
+#[test]
+fn self_heating_forces_the_coded_path_without_any_prescribed_trace() {
+    let report = FeedbackSimulation::new(uniform_config(TrafficClass::LatencyFirst, 7))
+        .unwrap()
+        .run();
+    assert_eq!(report.baseline_scheme, EccScheme::Uncoded);
+    assert!(report.total_switches() > 0);
+    assert!(report
+        .per_oni
+        .iter()
+        .all(|o| o.scheme == EccScheme::Hamming7164));
+    // The switch sheds laser power: the package ends cooler than its peak.
+    let peak = report
+        .trajectory
+        .iter()
+        .map(|s| s.max_temperature_c)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let last = report.trajectory.last().unwrap().max_temperature_c;
+    assert!(last < peak - 1.0, "no cool-down: peak {peak}, final {last}");
+}
+
+#[test]
+fn the_cache_keeps_many_epoch_runs_affordable() {
+    let report = FeedbackSimulation::new(uniform_config(TrafficClass::LatencyFirst, 13))
+        .unwrap()
+        .run();
+    let cache = report.solver_cache;
+    // The manager asks up to three schemes per re-decision, yet the solver
+    // runs only once per distinct (scheme, BER, temperature bucket).
+    assert!(cache.total() > cache.misses * 2, "{cache:?}");
+    assert!(cache.hit_rate() > 0.5, "{cache:?}");
+}
+
+#[test]
+fn bulk_traffic_is_thermally_self_limiting() {
+    // Bulk starts on the coded point: less power in, a cooler package, and
+    // the loop never needs to switch anything.
+    let report = FeedbackSimulation::new(uniform_config(TrafficClass::Bulk, 5))
+        .unwrap()
+        .run();
+    assert_eq!(report.baseline_scheme, EccScheme::Hamming7164);
+    assert_eq!(report.total_switches(), 0);
+    let hot = FeedbackSimulation::new(uniform_config(TrafficClass::LatencyFirst, 5))
+        .unwrap()
+        .run();
+    let peak = |r: &onoc_ecc::sim::FeedbackReport| {
+        r.per_oni
+            .iter()
+            .map(|o| o.peak_temperature_c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    assert!(peak(&report) < peak(&hot));
+}

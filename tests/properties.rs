@@ -108,6 +108,88 @@ proptest! {
         prop_assert!(a.residual.abs().value() <= dt + 1e-12);
     }
 
+    /// The memoized operating-point cache is bit-identical to the uncached
+    /// solver across schemes × BERs × temperatures: the memoized query snaps
+    /// the temperature to its bucket centre and solves there, so an uncached
+    /// solve at the snapped temperature must agree exactly (including on
+    /// infeasibility).
+    #[test]
+    fn memoized_cache_is_bit_identical_to_the_solver(
+        scheme_index in 0usize..3,
+        ber_exponent in 3.0f64..12.0,
+        temperature in 25.0f64..85.0,
+    ) {
+        use onoc_ecc::units::Celsius;
+        let link = NanophotonicLink::paper_link();
+        let scheme = EccScheme::paper_schemes()[scheme_index];
+        let ber = 10f64.powf(-ber_exponent);
+        let cached = link.operating_point_memoized(scheme, ber, Celsius::new(temperature));
+        let snapped = link.cache_bucket_temperature(Celsius::new(temperature));
+        let fresh = link.operating_point_at(scheme, ber, snapped);
+        prop_assert_eq!(&cached, &fresh);
+        // Asking again answers from the cache, still bit-identically.
+        let again = link.operating_point_memoized(scheme, ber, Celsius::new(temperature));
+        prop_assert_eq!(&cached, &again);
+        prop_assert!(link.cache_counters().hits >= 1);
+    }
+
+    /// After the static-power fix a run's energy is zero exactly when its
+    /// makespan is zero: an idle interconnect with configured channels burns
+    /// laser power for as long as the run lasts, and only a run that never
+    /// starts burns nothing.
+    #[test]
+    fn energy_is_zero_iff_makespan_is_zero(seed in 0u64..1000, messages in 0u64..4) {
+        use onoc_ecc::link::TrafficClass;
+        use onoc_ecc::sim::traffic::TrafficPattern;
+        use onoc_ecc::sim::{Simulation, SimulationConfig};
+        let report = Simulation::new(SimulationConfig {
+            oni_count: 4,
+            pattern: TrafficPattern::UniformRandom { messages_per_node: messages },
+            class: TrafficClass::Bulk,
+            words_per_message: 4,
+            mean_inter_arrival_ns: 2.0,
+            seed,
+            ..SimulationConfig::default()
+        })
+        .unwrap()
+        .run();
+        prop_assert_eq!(report.stats.energy_pj == 0.0, report.stats.makespan_ns == 0.0);
+        if messages == 0 {
+            prop_assert_eq!(report.stats.energy_pj, 0.0);
+        } else {
+            prop_assert!(report.stats.energy_pj > 0.0);
+            prop_assert!(report.stats.static_energy_pj > 0.0);
+            prop_assert!(report.stats.static_energy_pj < report.stats.energy_pj);
+        }
+    }
+
+    /// The same zero-energy-iff-zero-makespan invariant holds for the
+    /// closed-loop feedback engine.
+    #[test]
+    fn feedback_energy_is_zero_iff_makespan_is_zero(seed in 0u64..1000, messages in 0u64..3) {
+        use onoc_ecc::link::TrafficClass;
+        use onoc_ecc::sim::traffic::TrafficPattern;
+        use onoc_ecc::sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+        let report = FeedbackSimulation::new(FeedbackConfig {
+            sim: SimulationConfig {
+                oni_count: 4,
+                pattern: TrafficPattern::UniformRandom { messages_per_node: messages },
+                class: TrafficClass::Bulk,
+                words_per_message: 4,
+                mean_inter_arrival_ns: 2.0,
+                seed,
+                ..SimulationConfig::default()
+            },
+            ..FeedbackConfig::default()
+        })
+        .unwrap()
+        .run();
+        prop_assert_eq!(report.stats.energy_pj == 0.0, report.stats.makespan_ns == 0.0);
+        if messages == 0 {
+            prop_assert_eq!(report.stats.energy_pj, 0.0);
+        }
+    }
+
     /// A hot operating point never beats the calibration-ambient one: the
     /// channel power at 25 + ΔT °C is at least the 25 °C figure, and the
     /// thermal terms appear exactly when ΔT > 0.

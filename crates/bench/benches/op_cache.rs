@@ -80,5 +80,38 @@ fn solver_invocation_report(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_sweeps, solver_invocation_report);
+fn solver_invocation_report_with_variation(_c: &mut Criterion) {
+    // Guard for the per-ring refactor: a link with per-ring fabrication
+    // variation and barrel-shift tuning must keep the cache effective —
+    // the invocation reduction may not regress by more than 2x against the
+    // >= 10x the uniform link achieves on this workload.
+    let link = NanophotonicLink::paper_link()
+        .with_fabrication_variation(onoc_thermal::FabricationVariation::new(0.04, 42))
+        .with_bank_tuning_mode(onoc_thermal::BankTuningMode::full_barrel_shift(16));
+    let mut feasible = 0;
+    for _ in 0..REPETITIONS {
+        feasible += run_sweep_memoized(&link);
+    }
+    let counters = link.cache_counters();
+    let ratio = counters.total() as f64 / counters.misses as f64;
+    println!(
+        "op-cache (sigma = 40 pm, barrel shift): {REPETITIONS}x sweep = {} queries, \
+         {} solver invocations, {ratio:.1}x fewer, hit rate {:.1}%, {feasible} feasible points",
+        counters.total(),
+        counters.misses,
+        100.0 * counters.hit_rate(),
+    );
+    assert!(
+        ratio >= 5.0,
+        "per-ring variation must not regress the op-cache by more than 2x \
+         (>= 5x invocation reduction required), got {ratio:.1}x"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_sweeps,
+    solver_invocation_report,
+    solver_invocation_report_with_variation
+);
 criterion_main!(benches);

@@ -7,11 +7,12 @@
 //!
 //! Run with `cargo run -p onoc-bench --bin fig_feedback`.
 
-use onoc_bench::{banner, print_table};
+use onoc_bench::{banner, default_shards, parallel_map, print_table};
 use onoc_link::report::TextTable;
 use onoc_link::TrafficClass;
 use onoc_sim::traffic::TrafficPattern;
-use onoc_sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+use onoc_sim::{FeedbackConfig, FeedbackSimulation, RingVariationConfig, SimulationConfig};
+use onoc_thermal::BankTuningMode;
 
 fn config() -> FeedbackConfig {
     FeedbackConfig {
@@ -51,8 +52,36 @@ fn main() {
     );
     println!();
 
-    let simulation = FeedbackSimulation::new(config).expect("valid feedback configuration");
-    let report = simulation.run();
+    // The homogeneous baseline and the two heterogeneous (sigma = 40 pm)
+    // fleets are independent closed-loop runs: evaluate them on parallel
+    // shards and merge in order.
+    let variation = |mode| {
+        Some(RingVariationConfig {
+            sigma_nm: 0.040,
+            seed: 42,
+            mode,
+        })
+    };
+    let configs = [
+        config.clone(),
+        FeedbackConfig {
+            variation: variation(BankTuningMode::PureHeater),
+            ..config.clone()
+        },
+        FeedbackConfig {
+            variation: variation(BankTuningMode::full_barrel_shift(16)),
+            ..config
+        },
+    ];
+    let mut reports = parallel_map(&configs, default_shards(), |c| {
+        FeedbackSimulation::new(c.clone())
+            .expect("valid feedback configuration")
+            .run()
+    })
+    .into_iter();
+    let report = reports.next().expect("three runs were scheduled");
+    let fleet_pure = reports.next().expect("three runs were scheduled");
+    let fleet_barrel = reports.next().expect("three runs were scheduled");
 
     // Temperature envelope over time, downsampled for readability.
     let mut table = TextTable::new(vec!["t (ns)", "Tmin (degC)", "Tmax (degC)", "coded ONIs"]);
@@ -117,6 +146,36 @@ fn main() {
         cache.hits,
         100.0 * cache.hit_rate(),
     );
+
+    // Heterogeneous-fleet comparison: every ONI its own chip instance.
+    println!();
+    println!("Heterogeneous fleets (sigma = 40 pm, per-ONI chips, same traffic):");
+    let mut fleet_table = TextTable::new(vec![
+        "fleet",
+        "pJ/bit",
+        "peak T (degC)",
+        "switches",
+        "solver invocations",
+    ]);
+    for (label, fleet) in [
+        ("homogeneous", &report),
+        ("pure-heater", &fleet_pure),
+        ("barrel-shift", &fleet_barrel),
+    ] {
+        let fleet_peak = fleet
+            .per_oni
+            .iter()
+            .map(|o| o.peak_temperature_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        fleet_table.push_row(vec![
+            label.to_owned(),
+            format!("{:.2}", fleet.stats.energy_per_bit_pj()),
+            format!("{fleet_peak:.1}"),
+            format!("{}", fleet.total_switches()),
+            format!("{}", fleet.solver_cache.misses),
+        ]);
+    }
+    print_table(&fleet_table);
 
     // Acceptance criteria, visible to CI.
     let mut ok = true;

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run -p onoc-bench --bin fig_thermal`.
 
-use onoc_bench::{banner, opt, print_table};
+use onoc_bench::{banner, default_shards, opt, parallel_map, print_table};
 use onoc_ecc_codes::EccScheme;
 use onoc_link::report::TextTable;
 use onoc_link::{LinkManager, NanophotonicLink, TrafficClass};
@@ -29,10 +29,14 @@ fn power_sweep(link: &NanophotonicLink) {
         "channel power, 16 wl (mW)",
         "pJ/bit",
     ]);
-    for &t in &temperatures() {
-        for scheme in EccScheme::paper_schemes() {
-            match link.operating_point_at(scheme, 1e-11, t) {
-                Ok(p) => table.push_row(vec![
+    // One temperature chunk per thread; the merge is ordered, so the table
+    // is identical to the serial sweep.
+    let temperatures = temperatures();
+    let rows = parallel_map(&temperatures, default_shards(), |&t| {
+        EccScheme::paper_schemes()
+            .into_iter()
+            .map(|scheme| match link.operating_point_at(scheme, 1e-11, t) {
+                Ok(p) => vec![
                     format!("{:.0}", t.value()),
                     scheme.to_string(),
                     format!("{:.2}", p.power.laser.value()),
@@ -41,8 +45,8 @@ fn power_sweep(link: &NanophotonicLink) {
                     format!("{:+.4}", p.thermal.residual_drift.nanometers()),
                     format!("{:.1}", p.channel_power.value()),
                     format!("{:.2}", p.energy_per_bit.value()),
-                ]),
-                Err(_) => table.push_row(vec![
+                ],
+                Err(_) => vec![
                     format!("{:.0}", t.value()),
                     scheme.to_string(),
                     opt(None, 2),
@@ -51,9 +55,12 @@ fn power_sweep(link: &NanophotonicLink) {
                     opt(None, 4),
                     "infeasible".to_owned(),
                     opt(None, 2),
-                ]),
-            }
-        }
+                ],
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
     print_table(&table);
 }
@@ -67,12 +74,22 @@ fn manager_sweep() -> bool {
         "Bulk",
         "Multimedia",
     ]);
+    // Evaluate each temperature's class decisions on its own shard; the
+    // switch detection below needs consecutive rows, so it stays serial
+    // over the ordered merge.
+    let temperatures = temperatures();
+    let decisions = parallel_map(&temperatures, default_shards(), |&t| {
+        TrafficClass::all()
+            .into_iter()
+            .map(|class| manager.configure_at(class, t).map(|d| d.point.scheme()))
+            .collect::<Vec<_>>()
+    });
     let mut switches: Vec<String> = Vec::new();
     let mut previous: Vec<Option<EccScheme>> = vec![None; TrafficClass::all().len()];
-    for &t in &temperatures() {
+    for (&t, row_schemes) in temperatures.iter().zip(&decisions) {
         let mut row = vec![format!("{:.0}", t.value())];
-        for (slot, class) in TrafficClass::all().into_iter().enumerate() {
-            let scheme = manager.configure_at(class, t).map(|d| d.point.scheme());
+        for ((slot, class), &scheme) in TrafficClass::all().into_iter().enumerate().zip(row_schemes)
+        {
             row.push(scheme.map_or_else(|| "(unservable)".to_owned(), |s| s.to_string()));
             if let (Some(before), Some(after)) = (previous[slot], scheme) {
                 if before != after {

@@ -16,15 +16,58 @@
 //! | `runtime_manager` | run-time manager scenario on the NoC simulator (R1) |
 //! | `fig_thermal` | 25–85 °C sweep: power per scheme + manager switching (beyond the paper) |
 //! | `fig_feedback` | closed-loop activity-driven heating demonstration (beyond the paper) |
+//! | `fig_variation` | σ × temperature sweep: pure-heater vs barrel-shift tuning (beyond the paper) |
 //!
 //! Criterion micro-benchmarks (`benches/`) measure codec throughput, the
 //! link-solver latency, the simulator event rate and the memoized
 //! operating-point cache (`op_cache`).
+//!
+//! Sweep binaries evaluate their temperature grids with [`parallel_map`]:
+//! contiguous shards across `std::thread` workers, merged back in input
+//! order, so the printed tables stay deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use onoc_link::report::TextTable;
+
+/// Maps `f` over `items` in parallel: the slice is split into contiguous
+/// chunks, one `std::thread` scope worker per chunk, and the results are
+/// merged back **in input order** — the output is indistinguishable from a
+/// serial `items.iter().map(f).collect()`, just faster.
+///
+/// `shards` is clamped to `[1, items.len()]`; pass
+/// [`std::thread::available_parallelism`] for one shard per core.
+pub fn parallel_map<T, R, F>(items: &[T], shards: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, items.len());
+    let chunk_size = items.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        // Joining in spawn order is the ordered merge: chunk i's results
+        // land before chunk i+1's.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
+/// The shard count the sweep binaries use: one per available core.
+#[must_use]
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// Prints a standard banner naming the regenerated artefact.
 pub fn banner(artifact: &str, description: &str) {
@@ -54,5 +97,20 @@ mod tests {
     fn opt_formats_values_and_placeholders() {
         assert_eq!(opt(Some(1.234), 2), "1.23");
         assert_eq!(opt(None, 2), "--");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for shards in [1, 2, 3, 8, 97, 200] {
+            assert_eq!(
+                parallel_map(&items, shards, |&x| x * x),
+                expected,
+                "{shards} shards"
+            );
+        }
+        assert!(parallel_map(&[] as &[u64], 4, |&x| x).is_empty());
+        assert!(default_shards() >= 1);
     }
 }

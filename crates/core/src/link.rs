@@ -12,6 +12,7 @@ use onoc_interface::{
 use onoc_photonics::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 use onoc_photonics::thermal::{ThermalLinkStack, ThermalSolver, ThermalSummary};
 use onoc_photonics::{MwsrChannel, PaperCalibration};
+use onoc_thermal::{BankTuningMode, FabricationVariation, RingBankState};
 use onoc_units::{Celsius, Milliwatts, PicojoulesPerBit};
 use serde::{Deserialize, Serialize};
 
@@ -180,8 +181,14 @@ impl CacheCounters {
 /// requested temperature to the bucket's representative value and solve
 /// there, so a cached answer is bit-identical to an uncached solve at the
 /// snapped temperature.
-/// Cache key: scheme, target-BER bits, temperature bucket.
-type CacheKey = (EccScheme, u64, i64);
+///
+/// The key also carries the thermal stack's ring-state fingerprint
+/// ([`ThermalLinkStack::fingerprint`]): swapping the stack (a different
+/// fabrication-variation instance, tuning mode, heater, …) changes the
+/// fingerprint, so entries solved under the old stack can never alias the
+/// new one even though they share the map.
+/// Cache key: scheme, target-BER bits, temperature bucket, stack fingerprint.
+type CacheKey = (EccScheme, u64, i64, u64);
 
 #[derive(Debug)]
 struct OperatingPointCache {
@@ -247,6 +254,9 @@ pub struct NanophotonicLink {
     accounting: EnergyAccounting,
     ambient: Celsius,
     cache: OperatingPointCache,
+    /// Memoized [`ThermalLinkStack::fingerprint`] of the active stack, part
+    /// of every cache key.
+    stack_fingerprint: u64,
 }
 
 impl NanophotonicLink {
@@ -264,6 +274,7 @@ impl NanophotonicLink {
         let mut stack = ThermalLinkStack::paper_default();
         stack.rings.calibration = ambient;
         Self {
+            stack_fingerprint: stack.fingerprint(),
             solver: ThermalSolver::new(channel, stack),
             power_model: ChannelPowerModel::new(interface, modulation_power),
             accounting: EnergyAccounting::ActiveTransfersOnly,
@@ -299,18 +310,66 @@ impl NanophotonicLink {
         self
     }
 
-    /// Replaces the thermal stack (ring drift model, heater, policy).
+    /// Replaces the thermal stack (ring drift model, heater, variation,
+    /// policy, tuning mode).
     ///
     /// The stack's ring drift model is re-anchored at this link's
     /// calibration ambient, preserving the invariant that the thermal
     /// machinery is a no-op at [`NanophotonicLink::ambient`].  To study a
     /// deliberately mis-calibrated ring bank, use
     /// [`onoc_photonics::thermal::ThermalSolver`] directly.
+    ///
+    /// Operating points already memoized under the previous stack stay in
+    /// the cache but can never be served for the new one: the cache key
+    /// carries the stack fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack carries an invalid parameter (non-finite drift
+    /// slope, negative fabrication σ, …).
     #[must_use]
     pub fn with_thermal_stack(mut self, mut stack: ThermalLinkStack) -> Self {
         stack.rings.calibration = self.ambient;
+        self.stack_fingerprint = stack.fingerprint();
         self.solver = ThermalSolver::new(self.solver.base().channel().clone(), stack);
         self
+    }
+
+    /// Gives this link's ring banks a per-ring fabrication variation: a
+    /// chip-instance-specific resonance offset per wavelength, sampled from
+    /// the seeded σ.  With σ = 0 the link is bit-identical to the uniform
+    /// (per-bank) model.
+    #[must_use]
+    pub fn with_fabrication_variation(self, variation: FabricationVariation) -> Self {
+        let stack = ThermalLinkStack {
+            variation,
+            ..*self.solver.stack()
+        };
+        self.with_thermal_stack(stack)
+    }
+
+    /// Selects how tuned banks spend their per-ring freedom: pure heating
+    /// (the default) or barrel-shift channel hopping.
+    #[must_use]
+    pub fn with_bank_tuning_mode(self, mode: BankTuningMode) -> Self {
+        let stack = ThermalLinkStack {
+            mode,
+            ..*self.solver.stack()
+        };
+        self.with_thermal_stack(stack)
+    }
+
+    /// The fingerprint of the active thermal stack — the value the memoized
+    /// operating-point cache keys on.
+    #[must_use]
+    pub fn stack_fingerprint(&self) -> u64 {
+        self.stack_fingerprint
+    }
+
+    /// The per-ring spectral state of the link's banks at `temperature`.
+    #[must_use]
+    pub fn ring_bank_state_at(&self, temperature: Celsius) -> RingBankState {
+        self.solver.bank_state_at(temperature)
     }
 
     /// The underlying MWSR channel model.
@@ -423,7 +482,12 @@ impl NanophotonicLink {
         temperature: Celsius,
     ) -> Result<OperatingPoint, LinkError> {
         let snapped = self.cache.snap(temperature);
-        let key = (scheme, target_ber.to_bits(), self.cache.bucket(snapped));
+        let key = (
+            scheme,
+            target_ber.to_bits(),
+            self.cache.bucket(snapped),
+            self.stack_fingerprint,
+        );
         if let Some(cached) = self.cache.map.lock().expect("cache lock").get(&key) {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
@@ -806,6 +870,78 @@ mod tests {
         // A custom resolution snaps more coarsely.
         let coarse = link().with_cache_resolution(1.0);
         assert!((coarse.cache_bucket_temperature(Celsius::new(55.4)).value() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_key_carries_the_stack_fingerprint() {
+        // Memoize under the default (σ = 0) stack, then swap in a varied
+        // stack: the old entry must never be served for the new chip
+        // instance, and the fresh solve must match the uncached solver.
+        let l = link();
+        let t = Celsius::new(55.0);
+        let plain = l
+            .operating_point_memoized(EccScheme::Hamming7164, 1e-11, t)
+            .unwrap();
+        assert_eq!(l.cache_counters().misses, 1);
+        let plain_fingerprint = l.stack_fingerprint();
+        let varied = l.with_fabrication_variation(FabricationVariation::new(0.04, 3));
+        // The cache map travelled along with the link…
+        assert_eq!(varied.cache_counters().entries, 1);
+        let fresh = varied
+            .operating_point_memoized(EccScheme::Hamming7164, 1e-11, t)
+            .unwrap();
+        // …but the fingerprint in the key forces a re-solve…
+        assert_eq!(varied.cache_counters().misses, 2);
+        assert_eq!(
+            fresh,
+            varied
+                .operating_point_at(EccScheme::Hamming7164, 1e-11, t)
+                .unwrap()
+        );
+        // …and the varied chip costs more than the perfect one.
+        assert!(fresh.channel_power.value() > plain.channel_power.value());
+        assert_ne!(varied.stack_fingerprint(), plain_fingerprint);
+    }
+
+    #[test]
+    fn barrel_shift_mode_cuts_tuning_power_on_the_link() {
+        let pure = link();
+        let barrel = link().with_bank_tuning_mode(BankTuningMode::full_barrel_shift(16));
+        let t = Celsius::new(65.0);
+        let p = pure
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, t)
+            .unwrap();
+        let b = barrel
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, t)
+            .unwrap();
+        assert!(b.power.tuning.value() < p.power.tuning.value());
+        assert!(b.channel_power.value() < p.channel_power.value());
+        assert_eq!(b.thermal.barrel_shift, 5, "40 K = 4 nm = 5 spacings");
+        // At the ambient the shift is a no-op and the paper pins hold.
+        let cool = barrel
+            .operating_point(EccScheme::Hamming7164, 1e-11)
+            .unwrap();
+        assert_eq!(cool.thermal.barrel_shift, 0);
+        assert_eq!(
+            cool,
+            pure.operating_point(EccScheme::Hamming7164, 1e-11).unwrap()
+        );
+    }
+
+    #[test]
+    fn ring_bank_state_reflects_the_variation() {
+        let l = link().with_fabrication_variation(FabricationVariation::new(0.04, 7));
+        let state = l.ring_bank_state_at(Celsius::new(25.0));
+        assert_eq!(state.ring_count(), 16);
+        assert!(!state.is_uniform());
+        assert!(state.thermal_excursion().is_zero());
+        // σ = 0 stays the per-bank scalar model, bit-identically.
+        let plain = link();
+        assert!(plain.ring_bank_state_at(Celsius::new(25.0)).is_uniform());
+        let a = plain.operating_point_at(EccScheme::Hamming74, 1e-11, Celsius::new(55.0));
+        let zeroed = link().with_fabrication_variation(FabricationVariation::new(0.0, 99));
+        let b = zeroed.operating_point_at(EccScheme::Hamming74, 1e-11, Celsius::new(55.0));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct MwsrChannel {
     multiplexer: Multiplexer,
     photodetector: Photodetector,
     laser: VcselLaser,
+    /// Per-wavelength-index residual ring detuning in nm (empty = every ring
+    /// on grid).  Applied on top of any uniform prototype shift, so the two
+    /// mechanisms compose additively.
+    ring_detunings: Vec<f64>,
 }
 
 impl MwsrChannel {
@@ -102,6 +106,7 @@ impl MwsrChannel {
             multiplexer,
             photodetector,
             laser,
+            ring_detunings: Vec::new(),
         }
     }
 
@@ -145,18 +150,44 @@ impl MwsrChannel {
     #[must_use]
     pub fn extinction_ratio(&self, index: usize) -> Decibels {
         let carrier = self.geometry.grid.wavelength(index);
-        self.modulator_at(carrier).extinction_ratio(carrier)
+        self.modulator_at(index).extinction_ratio(carrier)
     }
 
-    /// The modulator prototype re-centred on `carrier`.
-    fn modulator_at(&self, carrier: Nanometers) -> MicroRingResonator {
-        self.modulator.recentered(self.prototype_carrier(), carrier)
+    /// Residual ring detuning of channel `index`, in nm (0 when the bank is
+    /// on grid).
+    #[must_use]
+    pub fn ring_detuning_nm(&self, index: usize) -> f64 {
+        self.ring_detunings.get(index).copied().unwrap_or(0.0)
     }
 
-    /// The drop-filter prototype re-centred on `carrier`.
-    fn drop_filter_at(&self, carrier: Nanometers) -> MicroRingResonator {
-        self.drop_filter
-            .recentered(self.prototype_carrier(), carrier)
+    /// `true` when any ring of the channel carries a per-index detuning.
+    #[must_use]
+    pub fn has_ring_detunings(&self) -> bool {
+        self.ring_detunings.iter().any(|&d| d != 0.0)
+    }
+
+    /// The modulator prototype re-centred on channel `index`, including that
+    /// ring's residual detuning.
+    fn modulator_at(&self, index: usize) -> MicroRingResonator {
+        let carrier = self.geometry.grid.wavelength(index);
+        let ring = self.modulator.recentered(self.prototype_carrier(), carrier);
+        match self.ring_detuning_nm(index) {
+            0.0 => ring,
+            shift => ring.detuned_by(shift),
+        }
+    }
+
+    /// The drop-filter prototype re-centred on channel `index`, including
+    /// that ring's residual detuning.
+    fn drop_filter_at(&self, index: usize) -> MicroRingResonator {
+        let carrier = self.geometry.grid.wavelength(index);
+        let ring = self
+            .drop_filter
+            .recentered(self.prototype_carrier(), carrier);
+        match self.ring_detuning_nm(index) {
+            0.0 => ring,
+            shift => ring.detuned_by(shift),
+        }
     }
 
     /// Both prototypes are constructed for the first grid wavelength.
@@ -176,11 +207,43 @@ impl MwsrChannel {
     /// `drift` while the laser comb stays fixed (the lasers are assumed
     /// wavelength-stabilized; the rings are not).  A zero drift reproduces
     /// the original channel bit-for-bit.
+    ///
+    /// This is the *uniform* (per-bank) detuning mechanism; a heterogeneous
+    /// bank uses [`MwsrChannel::with_ring_detunings`] instead.
     #[must_use]
     pub fn with_resonance_drift(&self, drift: onoc_thermal::ResonanceDrift) -> Self {
         Self {
             modulator: self.modulator.detuned_by(drift.nanometers()),
             drop_filter: self.drop_filter.detuned_by(drift.nanometers()),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of this channel whose ring at wavelength index `i` is
+    /// detuned by `detunings[i]` nanometres (positive = red shift), while
+    /// the laser comb stays fixed.  Every wavelength of the lane now has its
+    /// own transmission, extinction and crosstalk figures — the per-ring
+    /// model the per-bank [`MwsrChannel::with_resonance_drift`] cannot
+    /// express.  An all-zero vector reproduces the original channel
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detunings` does not have one entry per wavelength or any
+    /// entry is not finite.
+    #[must_use]
+    pub fn with_ring_detunings(&self, detunings: &[f64]) -> Self {
+        assert_eq!(
+            detunings.len(),
+            self.geometry.wavelength_count(),
+            "one detuning per wavelength is required"
+        );
+        assert!(
+            detunings.iter().all(|d| d.is_finite()),
+            "ring detunings must be finite"
+        );
+        Self {
+            ring_detunings: detunings.to_vec(),
             ..self.clone()
         }
     }
@@ -205,8 +268,8 @@ impl MwsrChannel {
     #[must_use]
     pub fn path_transmission(&self, index: usize) -> LinearRatio {
         let carrier = self.geometry.grid.wavelength(index);
-        let modulator = self.modulator_at(carrier);
-        let own_drop = self.drop_filter_at(carrier);
+        let modulator = self.modulator_at(index);
+        let own_drop = self.drop_filter_at(index);
 
         let mut transmission = self.multiplexer.transmission();
         transmission = transmission * self.geometry.waveguide.transmission();
@@ -232,7 +295,7 @@ impl MwsrChannel {
         // (detuned, small residual loss from their Lorentzian tails) and is
         // finally dropped by its own filter.
         for other in self.geometry.grid.other_channels(index) {
-            let other_filter = self.drop_filter_at(self.geometry.grid.wavelength(other));
+            let other_filter = self.drop_filter_at(other);
             transmission =
                 transmission * other_filter.through_transmission(carrier, RingState::Off);
         }
@@ -258,7 +321,7 @@ impl MwsrChannel {
     /// Panics if `index` is outside the wavelength grid.
     #[must_use]
     pub fn worst_case_crosstalk(&self, index: usize) -> Microwatts {
-        let victim = self.drop_filter_at(self.geometry.grid.wavelength(index));
+        let victim = self.drop_filter_at(index);
         let mut total = Microwatts::zero();
         for other in self.geometry.grid.other_channels(index) {
             let aggressor_wavelength = self.geometry.grid.wavelength(other);
@@ -430,6 +493,72 @@ mod tests {
         }
         // Even half a linewidth of drift must not drive the swing negative.
         assert!(last > 0.0);
+    }
+
+    #[test]
+    fn zero_ring_detunings_reproduce_the_channel_exactly() {
+        let ch = channel();
+        let detuned = ch.with_ring_detunings(&[0.0; 16]);
+        assert!(!detuned.has_ring_detunings());
+        for index in 0..16 {
+            assert_eq!(
+                ch.path_transmission(index).value(),
+                detuned.path_transmission(index).value()
+            );
+            assert_eq!(
+                ch.worst_case_crosstalk(index).value(),
+                detuned.worst_case_crosstalk(index).value()
+            );
+            assert_eq!(
+                ch.extinction_ratio(index).value(),
+                detuned.extinction_ratio(index).value()
+            );
+        }
+    }
+
+    #[test]
+    fn per_index_detuning_only_degrades_the_detuned_ring() {
+        let ch = channel();
+        let mut detunings = [0.0; 16];
+        detunings[8] = 0.08; // ~half a linewidth on ring 8 only
+        let detuned = ch.with_ring_detunings(&detunings);
+        assert!(detuned.has_ring_detunings());
+        assert!((detuned.ring_detuning_nm(8) - 0.08).abs() < 1e-12);
+        assert_eq!(detuned.ring_detuning_nm(3), 0.0);
+        // The drifted ring loses swing…
+        assert!(detuned.swing_factor(8) < ch.swing_factor(8));
+        // …the extinction contrast of that ring collapses toward 0 dB…
+        assert!(detuned.extinction_ratio(8).value() < ch.extinction_ratio(8).value());
+        // …while a far-away ring's own budget is essentially untouched
+        // (only the parked-tail of ring 8 moved).
+        let far = (detuned.swing_factor(0) - ch.swing_factor(0)).abs() / ch.swing_factor(0);
+        assert!(far < 1e-3, "far-channel relative change = {far}");
+    }
+
+    #[test]
+    fn per_index_detuning_matches_the_uniform_shift_when_all_equal() {
+        let ch = channel();
+        let uniform = ch.with_resonance_drift(onoc_thermal::ResonanceDrift::new(0.03));
+        let per_index = ch.with_ring_detunings(&[0.03; 16]);
+        for index in [0, 8, 15] {
+            let a = uniform.path_transmission(index).value();
+            let b = per_index.path_transmission(index).value();
+            assert!((a - b).abs() / a < 1e-9, "channel {index}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one detuning per wavelength")]
+    fn wrong_length_detuning_vector_is_rejected() {
+        let _ = channel().with_ring_detunings(&[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_detuning_is_rejected() {
+        let mut detunings = [0.0; 16];
+        detunings[0] = f64::NAN;
+        let _ = channel().with_ring_detunings(&detunings);
     }
 
     #[test]

@@ -203,6 +203,40 @@ impl LaserPowerSolver {
         })
     }
 
+    /// Solves every wavelength of the channel and returns the operating
+    /// point of the **worst ring** — the wavelength demanding the highest
+    /// laser output power — together with its index.
+    ///
+    /// On a perfectly aligned channel this is dominated by the
+    /// worst-crosstalk wavelength; on a channel with per-ring detuning
+    /// ([`MwsrChannel::with_ring_detunings`]) the worst ring is whichever
+    /// combination of detuning-collapsed swing and crosstalk bites hardest.
+    /// Every lane must close its budget, so the worst ring sizes the shared
+    /// laser comb.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaserPowerSolver::solve`]; any single infeasible wavelength
+    /// makes the whole channel infeasible.
+    pub fn solve_worst_case(
+        &self,
+        scheme: EccScheme,
+        target_ber: f64,
+    ) -> Result<(LaserOperatingPoint, usize), SolveError> {
+        let count = self.channel.geometry().wavelength_count();
+        let mut worst: Option<(LaserOperatingPoint, usize)> = None;
+        for wavelength in 0..count {
+            let point = self.solve_on_wavelength(scheme, target_ber, wavelength)?;
+            let harder = worst.as_ref().is_none_or(|(best, _)| {
+                point.laser_output_power.value() > best.laser_output_power.value()
+            });
+            if harder {
+                worst = Some((point, wavelength));
+            }
+        }
+        Ok(worst.expect("the grid has at least one wavelength"))
+    }
+
     /// Achievable decoded BER when the laser runs at `laser_output` with the
     /// given `scheme` (the forward direction, used by the NoC simulator to
     /// derive error-injection probabilities).
@@ -324,6 +358,34 @@ mod tests {
         let s = solver();
         let ber = s.achievable_ber(EccScheme::Uncoded, Microwatts::new(1.0), 0);
         assert!(ber > 0.01, "almost no light should mean a terrible BER");
+    }
+
+    #[test]
+    fn worst_case_solve_matches_the_worst_crosstalk_wavelength_when_aligned() {
+        let s = solver();
+        let (point, wavelength) = s.solve_worst_case(EccScheme::Hamming7164, 1e-11).unwrap();
+        // On an aligned channel the worst ring is the worst-crosstalk one.
+        assert_eq!(wavelength, s.worst_case_wavelength());
+        let direct = s
+            .solve_on_wavelength(EccScheme::Hamming7164, 1e-11, wavelength)
+            .unwrap();
+        assert_eq!(point, direct);
+    }
+
+    #[test]
+    fn a_detuned_ring_becomes_the_worst_ring() {
+        let base = solver();
+        let aligned_worst = base.worst_case_wavelength();
+        let victim = if aligned_worst == 0 { 1 } else { 0 };
+        let mut detunings = [0.0; 16];
+        detunings[victim] = 0.03; // a fifth of a linewidth: dominant penalty
+        let s = LaserPowerSolver::new(base.channel().with_ring_detunings(&detunings));
+        let (point, wavelength) = s.solve_worst_case(EccScheme::Hamming7164, 1e-11).unwrap();
+        assert_eq!(wavelength, victim);
+        let (aligned_point, _) = base
+            .solve_worst_case(EccScheme::Hamming7164, 1e-11)
+            .unwrap();
+        assert!(point.laser_output_power.value() > aligned_point.laser_output_power.value());
     }
 
     #[test]

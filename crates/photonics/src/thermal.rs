@@ -23,14 +23,19 @@
 //! ```
 
 use onoc_ecc_codes::EccScheme;
-use onoc_thermal::{ResonanceDrift, RingThermalModel, ThermalTuner, TuningPolicy};
+use onoc_thermal::tuning::TuningAction;
+use onoc_thermal::{
+    BankCompensation, BankTuningMode, FabricationVariation, ResonanceDrift, RingBankState,
+    RingThermalModel, ThermalTuner, TuningPolicy,
+};
 use onoc_units::{Celsius, Microwatts, Milliwatts};
 use serde::{Deserialize, Serialize};
 
 use crate::mwsr::MwsrChannel;
 use crate::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 
-/// The thermal configuration of a link: ring drift, heaters and policy.
+/// The thermal configuration of a link: ring drift, heaters, per-ring
+/// fabrication variation and the tuning policy/mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalLinkStack {
     /// Resonance drift model of the ring banks.
@@ -39,18 +44,107 @@ pub struct ThermalLinkStack {
     pub tuner: ThermalTuner,
     /// Tune-vs-tolerate policy.
     pub policy: TuningPolicy,
+    /// Per-ring fabrication variation of this chip instance (σ = 0 is the
+    /// per-bank scalar model).
+    pub variation: FabricationVariation,
+    /// How a tuned bank spends its per-ring freedom: pure heating, or
+    /// barrel-shift channel hopping plus heating of the residual.
+    pub mode: BankTuningMode,
 }
 
 impl ThermalLinkStack {
     /// The reproduction's default stack: silicon drift (0.1 nm/K, 25 °C
-    /// calibration), the paper heater and the adaptive policy.
+    /// calibration), the paper heater, the adaptive policy, no fabrication
+    /// variation and pure-heater tuning — exactly the per-bank scalar model.
     #[must_use]
     pub fn paper_default() -> Self {
         Self {
             rings: RingThermalModel::paper_silicon(),
             tuner: ThermalTuner::paper_heater(),
             policy: TuningPolicy::Adaptive,
+            variation: FabricationVariation::none(),
+            mode: BankTuningMode::PureHeater,
         }
+    }
+
+    /// Checks every parameter a caller can reach through the public fields:
+    /// drift slope, heater powers and lock loop, fabrication σ, and the
+    /// tuning mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rings.drift_nm_per_kelvin.is_finite() && self.rings.drift_nm_per_kelvin >= 0.0) {
+            return Err(format!(
+                "drift slope must be finite and non-negative, got {} nm/K",
+                self.rings.drift_nm_per_kelvin
+            ));
+        }
+        if !self.rings.calibration.value().is_finite() {
+            return Err(format!(
+                "calibration temperature must be finite, got {}",
+                self.rings.calibration.value()
+            ));
+        }
+        for (name, value) in [
+            ("heater power per kelvin", self.tuner.power_per_kelvin),
+            ("heater saturation limit", self.tuner.max_power_per_ring),
+        ] {
+            if !value.value().is_finite() || value.value() < 0.0 {
+                return Err(format!(
+                    "{name} must be finite and non-negative, got {} uW",
+                    value.value()
+                ));
+            }
+        }
+        if !(0.0..1.0).contains(&self.tuner.lock_fraction) {
+            return Err(format!(
+                "lock fraction must be in [0, 1), got {}",
+                self.tuner.lock_fraction
+            ));
+        }
+        if !(self.tuner.lock_floor.value().is_finite() && self.tuner.lock_floor.value() >= 0.0) {
+            return Err(format!(
+                "lock floor must be finite and non-negative, got {} K",
+                self.tuner.lock_floor.value()
+            ));
+        }
+        self.variation.validate()?;
+        self.mode.validate()
+    }
+
+    /// A 64-bit fingerprint of every parameter that changes operating
+    /// points: two stacks with different drift, heaters, policy, variation
+    /// or tuning mode fingerprint differently.  The memoized operating-point
+    /// cache keys on this, so entries solved under one chip instance can
+    /// never be served for another.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use onoc_thermal::bank::{fnv1a_seed, fnv1a_u64};
+        let mut hash = fnv1a_seed();
+        let mut mix = |value: u64| hash = fnv1a_u64(hash, value);
+        mix(self.rings.drift_nm_per_kelvin.to_bits());
+        mix(self.rings.calibration.value().to_bits());
+        mix(self.tuner.power_per_kelvin.value().to_bits());
+        mix(self.tuner.max_power_per_ring.value().to_bits());
+        mix(self.tuner.lock_fraction.to_bits());
+        mix(self.tuner.lock_floor.value().to_bits());
+        mix(match self.policy {
+            TuningPolicy::Tolerate => 1,
+            TuningPolicy::AlwaysTune => 2,
+            TuningPolicy::Adaptive => 3,
+        });
+        mix(self.variation.sigma_nm.to_bits());
+        mix(self.variation.seed);
+        match self.mode {
+            BankTuningMode::PureHeater => mix(1),
+            BankTuningMode::BarrelShift { max_shift } => {
+                mix(2);
+                mix(max_shift as u64);
+            }
+        }
+        hash
     }
 }
 
@@ -77,6 +171,11 @@ pub struct ThermalSummary {
     /// Heater power charged to one wavelength lane
     /// (`tuning_power_per_ring × rings_per_lane`).
     pub tuning_power_per_lane: Milliwatts,
+    /// Rings of barrel shift the tuning applied (0 when the wavelengths keep
+    /// their design rings).
+    pub barrel_shift: i64,
+    /// Wavelength index of the worst ring — the lane that sized the laser.
+    pub worst_lane: usize,
 }
 
 impl ThermalSummary {
@@ -90,6 +189,8 @@ impl ThermalSummary {
             tuning_power_per_ring: Microwatts::zero(),
             rings_per_lane,
             tuning_power_per_lane: Milliwatts::zero(),
+            barrel_shift: 0,
+            worst_lane: 0,
         }
     }
 }
@@ -121,8 +222,18 @@ pub struct ThermalSolver {
 
 impl ThermalSolver {
     /// Creates a thermal solver over `channel` with the given stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack carries an invalid parameter (non-finite drift
+    /// slope, negative fabrication σ, …) — see [`ThermalLinkStack::validate`]
+    /// — so a bad configuration surfaces at construction instead of as NaN
+    /// budgets mid-sweep.
     #[must_use]
     pub fn new(channel: MwsrChannel, stack: ThermalLinkStack) -> Self {
+        if let Err(reason) = stack.validate() {
+            panic!("invalid thermal stack: {reason}");
+        }
         Self {
             base: LaserPowerSolver::new(channel),
             stack,
@@ -141,14 +252,32 @@ impl ThermalSolver {
         &self.stack
     }
 
+    /// The per-ring spectral state of the channel's bank at `temperature`:
+    /// the chip instance's fabrication offsets plus the common-mode thermal
+    /// excursion from the calibration point.
+    #[must_use]
+    pub fn bank_state_at(&self, temperature: Celsius) -> RingBankState {
+        let count = self.base.channel().geometry().wavelength_count();
+        RingBankState::new(
+            self.stack.variation.offsets_nm(count),
+            self.stack.rings.delta_at(temperature),
+        )
+    }
+
     /// Solves `scheme` at `target_ber` with the chip at `temperature`.
     ///
-    /// Every tuning action allowed by the policy is evaluated on the
-    /// correspondingly detuned channel; the feasible candidate with the
-    /// lowest *total* per-lane power (laser electrical + heater) wins.  At
-    /// the calibration temperature this reproduces the paper's numbers
-    /// bit-for-bit: the drift is zero, tolerating is free, and the channel is
-    /// untouched.
+    /// The per-ring bank state (fabrication offsets + common-mode drift) is
+    /// compensated under every tuning action the policy allows — tolerating,
+    /// or tuning via the stack's [`BankTuningMode`] (pure heating, or
+    /// barrel-shifting the wavelength assignment and heating only the
+    /// residual).  Each candidate is solved on the correspondingly detuned
+    /// channel, **sized by its worst ring**, and the feasible candidate with
+    /// the lowest total per-lane power (laser electrical + heater) wins.
+    ///
+    /// With zero fabrication variation the bank is uniform and the pipeline
+    /// degenerates bit-identically to the per-bank scalar model: at the
+    /// calibration temperature this reproduces the paper's numbers
+    /// bit-for-bit.
     ///
     /// # Errors
     ///
@@ -165,18 +294,25 @@ impl ThermalSolver {
         let delta = self.stack.rings.delta_at(temperature);
         let free_drift = self.stack.rings.drift_for(delta);
         let rings_per_lane = self.base.channel().rings_per_lane();
+        let state = self.bank_state_at(temperature);
+        let slope = self.stack.rings.drift_nm_per_kelvin;
+        let spacing = self.base.channel().geometry().grid.spacing().value();
 
-        // Distinct compensations the policy can produce; at zero excursion
-        // every action degenerates to "heaters off", so the dedup collapses
-        // the adaptive policy to a single solve on the hot path every
-        // calibration-ambient query takes.
-        let mut compensations: Vec<onoc_thermal::ThermalCompensation> = Vec::new();
+        // Distinct bank compensations the policy can produce; at zero
+        // excursion with a uniform bank every action degenerates to "heaters
+        // off", so the dedup collapses the adaptive policy to a single solve
+        // on the hot path every calibration-ambient query takes.
+        let mut compensations: Vec<BankCompensation> = Vec::new();
         for &action in self.stack.policy.candidates() {
-            let compensation = self.stack.tuner.apply(action, delta);
-            if !compensations.iter().any(|c| {
-                c.residual == compensation.residual
-                    && c.heater_power_per_ring == compensation.heater_power_per_ring
-            }) {
+            let compensation = match action {
+                TuningAction::Tolerate => BankCompensation::off(&state, slope),
+                TuningAction::Tune => {
+                    self.stack
+                        .tuner
+                        .compensate_bank(&state, spacing, slope, self.stack.mode)
+                }
+            };
+            if !compensations.contains(&compensation) {
                 compensations.push(compensation);
             }
         }
@@ -184,36 +320,58 @@ impl ThermalSolver {
         let mut best: Option<(LaserOperatingPoint, ThermalSummary, f64)> = None;
         let mut last_error: Option<SolveError> = None;
         for compensation in compensations {
-            let residual = self.stack.rings.drift_for(compensation.residual);
-            // An undrifted channel at the base laser ambient is the base
-            // solver itself — reuse it instead of cloning the channel.
-            let reuse_base =
-                residual.is_zero() && temperature == self.base.channel().laser().ambient();
-            let detuned;
-            let solver = if reuse_base {
-                &self.base
-            } else {
-                detuned = LaserPowerSolver::new(
+            let tuning_power_per_ring = compensation.mean_heater_power_per_ring();
+            let solved = match compensation.uniform_residual_nm() {
+                // A uniform bank is the per-bank scalar model: one shared
+                // residual, solved on the worst-crosstalk wavelength.
+                Some(residual_nm) => {
+                    let residual = ResonanceDrift::new(residual_nm);
+                    // An undrifted channel at the base laser ambient is the
+                    // base solver itself — reuse it instead of cloning.
+                    let reuse_base =
+                        residual.is_zero() && temperature == self.base.channel().laser().ambient();
+                    let detuned;
+                    let solver = if reuse_base {
+                        &self.base
+                    } else {
+                        detuned = LaserPowerSolver::new(
+                            self.base
+                                .channel()
+                                .with_resonance_drift(residual)
+                                .with_laser_ambient(temperature),
+                        );
+                        &detuned
+                    };
+                    let worst_lane = solver.worst_case_wavelength();
+                    solver
+                        .solve_on_wavelength(scheme, target_ber, worst_lane)
+                        .map(|point| (point, worst_lane))
+                }
+                // A heterogeneous bank: per-index detuning, sized by the
+                // worst ring across all wavelengths.
+                None => LaserPowerSolver::new(
                     self.base
                         .channel()
-                        .with_resonance_drift(residual)
+                        .with_ring_detunings(&compensation.residual_nm)
                         .with_laser_ambient(temperature),
-                );
-                &detuned
+                )
+                .solve_worst_case(scheme, target_ber),
             };
-            match solver.solve(scheme, target_ber) {
-                Ok(point) => {
+            match solved {
+                Ok((point, worst_lane)) => {
                     let per_lane = Milliwatts::new(
-                        compensation.heater_power_per_ring.value() * rings_per_lane as f64 * 1e-3,
+                        tuning_power_per_ring.value() * rings_per_lane as f64 * 1e-3,
                     );
                     let total = point.laser_electrical_power.value() + per_lane.value();
                     let summary = ThermalSummary {
                         temperature,
                         free_drift,
-                        residual_drift: residual,
-                        tuning_power_per_ring: compensation.heater_power_per_ring,
+                        residual_drift: compensation.worst_residual(),
+                        tuning_power_per_ring,
                         rings_per_lane,
                         tuning_power_per_lane: per_lane,
+                        barrel_shift: compensation.shift,
+                        worst_lane,
                     };
                     let better = best
                         .as_ref()
@@ -322,6 +480,155 @@ mod tests {
         assert!(stubborn.solve_at(EccScheme::Hamming74, 1e-11, hot).is_err());
         let adaptive = ThermalSolver::new(channel, ThermalLinkStack::paper_default());
         assert!(adaptive.solve_at(EccScheme::Hamming74, 1e-11, hot).is_ok());
+    }
+
+    #[test]
+    fn zero_variation_pipeline_is_bit_identical_to_the_scalar_model() {
+        // σ = 0 with an explicit FabricationVariation and the pure-heater
+        // mode must reproduce the default (per-bank) stack bit for bit at
+        // every temperature — the regression guard of the per-ring refactor.
+        let baseline = solver();
+        let explicit = ThermalSolver::new(
+            PaperCalibration::dac17().into_channel(),
+            ThermalLinkStack {
+                variation: FabricationVariation::new(0.0, 12345),
+                mode: BankTuningMode::PureHeater,
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        for scheme in [
+            EccScheme::Uncoded,
+            EccScheme::Hamming74,
+            EccScheme::Hamming7164,
+        ] {
+            for t in [25.0, 25.02, 35.0, 55.0, 85.0] {
+                let a = baseline.solve_at(scheme, 1e-11, Celsius::new(t));
+                let b = explicit.solve_at(scheme, 1e-11, Celsius::new(t));
+                assert_eq!(a, b, "{scheme} at {t} C");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shift_cuts_tuning_power_at_high_temperature() {
+        let channel = PaperCalibration::dac17().into_channel();
+        let pure = solver();
+        let barrel = ThermalSolver::new(
+            channel,
+            ThermalLinkStack {
+                mode: BankTuningMode::full_barrel_shift(16),
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        let (_, p) = pure
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(85.0))
+            .unwrap();
+        let (_, b) = barrel
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(85.0))
+            .unwrap();
+        // 60 K of drift is 6 nm = 7.5 grid spacings: hopping 7–8 rings
+        // leaves a fraction of a spacing for the heaters.
+        assert!(
+            b.barrel_shift == 7 || b.barrel_shift == 8,
+            "k = {}",
+            b.barrel_shift
+        );
+        assert_eq!(p.barrel_shift, 0);
+        assert!(
+            b.tuning_power_per_lane.value() < 0.2 * p.tuning_power_per_lane.value(),
+            "barrel {} vs pure {}",
+            b.tuning_power_per_lane,
+            p.tuning_power_per_lane
+        );
+        // At the calibration point the shift is a no-op.
+        let (_, cool) = barrel
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(25.0))
+            .unwrap();
+        assert_eq!(cool.barrel_shift, 0);
+        assert!(cool.tuning_power_per_lane.is_zero());
+    }
+
+    #[test]
+    fn fabrication_variation_raises_the_bill_and_moves_the_worst_lane() {
+        let channel = PaperCalibration::dac17().into_channel();
+        let varied = ThermalSolver::new(
+            channel,
+            ThermalLinkStack {
+                variation: FabricationVariation::new(0.04, 9),
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        let (aligned_point, aligned) = solver()
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(45.0))
+            .unwrap();
+        let (varied_point, summary) = varied
+            .solve_at(EccScheme::Hamming7164, 1e-11, Celsius::new(45.0))
+            .unwrap();
+        // The worst ring of a varied bank can only need more laser power
+        // than the uniform bank's sizing lane.
+        assert!(
+            varied_point.laser_output_power.value()
+                >= aligned_point.laser_output_power.value() - 1e-9
+        );
+        // The heaters now fight per-ring offsets too.
+        assert!(summary.tuning_power_per_lane.value() > aligned.tuning_power_per_lane.value());
+        // The free-running worst detuning differs across rings.
+        let state = varied.bank_state_at(Celsius::new(45.0));
+        assert!(!state.is_uniform());
+        assert_eq!(state.ring_count(), 16);
+    }
+
+    #[test]
+    fn stack_fingerprints_separate_chip_instances() {
+        let a = ThermalLinkStack::paper_default();
+        let b = ThermalLinkStack {
+            variation: FabricationVariation::new(0.04, 1),
+            ..ThermalLinkStack::paper_default()
+        };
+        let c = ThermalLinkStack {
+            variation: FabricationVariation::new(0.04, 2),
+            ..ThermalLinkStack::paper_default()
+        };
+        let d = ThermalLinkStack {
+            mode: BankTuningMode::full_barrel_shift(16),
+            ..ThermalLinkStack::paper_default()
+        };
+        assert_eq!(
+            a.fingerprint(),
+            ThermalLinkStack::paper_default().fingerprint()
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn invalid_stacks_are_rejected_at_construction() {
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.rings.drift_nm_per_kelvin = f64::NAN;
+        assert!(stack.validate().unwrap_err().contains("drift slope"));
+
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.variation.sigma_nm = -1.0;
+        assert!(stack.validate().unwrap_err().contains("sigma"));
+
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.tuner.lock_fraction = f64::INFINITY;
+        assert!(stack.validate().unwrap_err().contains("lock fraction"));
+
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.mode = BankTuningMode::BarrelShift { max_shift: 0 };
+        assert!(stack.validate().unwrap_err().contains("barrel-shift"));
+
+        assert!(ThermalLinkStack::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid thermal stack")]
+    fn solver_construction_rejects_nan_saturation() {
+        let mut stack = ThermalLinkStack::paper_default();
+        stack.tuner.max_power_per_ring = Microwatts::new(1.0) * f64::NAN;
+        let _ = ThermalSolver::new(PaperCalibration::dac17().into_channel(), stack);
     }
 
     #[test]

@@ -29,8 +29,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use onoc_ecc_codes::EccScheme;
-use onoc_link::{CacheCounters, LinkManager, NanophotonicLink};
-use onoc_thermal::{ActivityCoupledEnvironment, RcNetworkParameters};
+use onoc_link::{CacheCounters, LinkManager, NanophotonicLink, ThermalLinkStack};
+use onoc_thermal::{
+    ActivityCoupledEnvironment, BankTuningMode, FabricationVariation, RcNetworkParameters,
+};
 use onoc_units::Celsius;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +46,48 @@ use crate::packet::{Message, MessageId};
 use crate::stats::SimStats;
 use crate::time::SimTime;
 use crate::traffic::TrafficGenerator;
+
+/// Per-ONI fabrication variation of a feedback fleet: every destination
+/// channel becomes its own chip instance, with ring offsets sampled from
+/// `sigma_nm` under a seed derived from `seed` and the ONI index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingVariationConfig {
+    /// Standard deviation of the per-ring resonance offsets, in nm.
+    pub sigma_nm: f64,
+    /// Base seed; each ONI derives its own chip seed from it.
+    pub seed: u64,
+    /// Tuning mode of every ONI's bank (pure heater or barrel shift).
+    pub mode: BankTuningMode,
+}
+
+impl RingVariationConfig {
+    /// Checks σ and the tuning mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        FabricationVariation {
+            sigma_nm: self.sigma_nm,
+            seed: self.seed,
+        }
+        .validate()?;
+        self.mode.validate()
+    }
+
+    /// The chip instance of destination `oni`.
+    #[must_use]
+    pub fn oni_variation(&self, oni: usize) -> FabricationVariation {
+        // SplitMix64 of (seed, oni) so neighbouring ONIs get uncorrelated
+        // chips while the whole fleet stays reproducible.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FabricationVariation::new(self.sigma_nm, z ^ (z >> 31))
+    }
+}
 
 /// Configuration of one closed-loop (activity-driven heating) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +114,13 @@ pub struct FeedbackConfig {
     /// that switched to the coded path, dropped its power and *cooled* from
     /// flapping straight back to the uncoded path it just escaped.
     pub revert_hysteresis_k: f64,
+    /// Optional custom thermal stack (drift slope, heater, tune policy) for
+    /// every ONI's link; `None` uses the paper default.
+    pub stack: Option<ThermalLinkStack>,
+    /// Optional per-ONI fabrication variation: `Some` makes the fleet
+    /// heterogeneous (one seeded chip instance per destination channel),
+    /// `None` keeps the homogeneous per-bank model.
+    pub variation: Option<RingVariationConfig>,
 }
 
 impl Default for FeedbackConfig {
@@ -81,6 +132,8 @@ impl Default for FeedbackConfig {
             quantization_k: 0.5,
             hysteresis_k: 1.5,
             revert_hysteresis_k: 10.0,
+            stack: None,
+            variation: None,
         }
     }
 }
@@ -125,9 +178,35 @@ impl FeedbackConfig {
                 });
             }
         }
+        if let Some(stack) = &self.stack {
+            stack
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
+        if let Some(variation) = &self.variation {
+            variation
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
         self.network
             .validate()
             .map_err(|reason| SimulationError::InvalidConfiguration { reason })
+    }
+
+    /// The link of destination `oni` under this configuration: the base
+    /// stack (custom or paper default) plus, for heterogeneous fleets, that
+    /// ONI's own chip instance and tuning mode.
+    fn oni_link(&self, oni: usize) -> NanophotonicLink {
+        let mut link = NanophotonicLink::paper_link();
+        if let Some(stack) = self.stack {
+            link = link.with_thermal_stack(stack);
+        }
+        if let Some(variation) = &self.variation {
+            link = link
+                .with_fabrication_variation(variation.oni_variation(oni))
+                .with_bank_tuning_mode(variation.mode);
+        }
+        link
     }
 
     fn bucket(&self, temperature_c: f64) -> i64 {
@@ -189,7 +268,8 @@ pub struct OniFeedbackReport {
 pub struct FeedbackReport {
     /// The configuration that was simulated.
     pub config: FeedbackConfig,
-    /// Scheme of the initial (package-ambient) operating point.
+    /// Scheme of the initial (package-ambient) operating point (of ONI 0's
+    /// chip instance when the fleet is heterogeneous).
     pub baseline_scheme: EccScheme,
     /// Aggregate traffic statistics (energy includes the static share).
     pub stats: SimStats,
@@ -233,6 +313,9 @@ impl FeedbackReport {
 #[derive(Debug, Clone, Copy)]
 struct ChannelState {
     params: DecisionParams,
+    /// Scheme of this channel's own ambient baseline (with a heterogeneous
+    /// fleet, different ONIs can legitimately start on different schemes).
+    baseline_scheme: EccScheme,
     /// Temperature (bucket centre) of the last decision, in °C.
     decision_temperature_c: f64,
     /// Most recent scheme switch: the scheme switched *away from* and the
@@ -250,8 +333,12 @@ struct ChannelState {
 #[derive(Debug)]
 pub struct FeedbackSimulation {
     config: FeedbackConfig,
-    manager: LinkManager,
-    baseline: DecisionParams,
+    /// One manager per destination ONI for heterogeneous fleets, or a
+    /// single shared manager (and operating-point cache) when every channel
+    /// is the same chip.
+    managers: Vec<LinkManager>,
+    /// Ambient baselines, index-aligned with `managers`.
+    baselines: Vec<DecisionParams>,
     messages: HashMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
@@ -270,20 +357,35 @@ impl FeedbackSimulation {
     ///   cannot be served at the package ambient.
     pub fn new(config: FeedbackConfig) -> Result<Self, SimulationError> {
         config.validate()?;
-        let manager = LinkManager::new(
-            NanophotonicLink::paper_link(),
-            EccScheme::paper_schemes().to_vec(),
-            config.sim.nominal_ber,
-        );
+        // A homogeneous fleet shares one manager (and one operating-point
+        // cache); a heterogeneous fleet gets one chip instance per ONI.
+        let manager_count = if config.variation.is_some() {
+            config.sim.oni_count
+        } else {
+            1
+        };
+        let managers: Vec<LinkManager> = (0..manager_count)
+            .map(|oni| {
+                LinkManager::new(
+                    config.oni_link(oni),
+                    EccScheme::paper_schemes().to_vec(),
+                    config.sim.nominal_ber,
+                )
+            })
+            .collect();
         let ambient_bucket = config.bucket(config.network.ambient.value());
-        let baseline = manager
-            .configure_at(
-                config.sim.class,
-                Celsius::new(config.bucket_temperature(ambient_bucket)),
-            )
-            .ok_or(SimulationError::NoFeasibleConfiguration {
-                class: config.sim.class,
-            })?;
+        let ambient = Celsius::new(config.bucket_temperature(ambient_bucket));
+        let baselines: Vec<DecisionParams> = managers
+            .iter()
+            .map(|manager| {
+                manager
+                    .configure_at(config.sim.class, ambient)
+                    .map(|decision| DecisionParams::from_decision(&decision))
+                    .ok_or(SimulationError::NoFeasibleConfiguration {
+                        class: config.sim.class,
+                    })
+            })
+            .collect::<Result<_, _>>()?;
         let generated = TrafficGenerator::new(
             config.sim.pattern,
             config.sim.oni_count,
@@ -298,9 +400,9 @@ impl FeedbackSimulation {
         let messages = generated.into_iter().map(|m| (m.id, m)).collect();
         Ok(Self {
             rng: StdRng::seed_from_u64(config.sim.seed ^ 0xC0FF_EE00),
-            baseline: DecisionParams::from_decision(&baseline),
             config,
-            manager,
+            managers,
+            baselines,
             messages,
             injection_order,
         })
@@ -310,6 +412,24 @@ impl FeedbackSimulation {
     #[must_use]
     pub fn message_count(&self) -> usize {
         self.messages.len()
+    }
+
+    /// The manager serving destination `oni`.
+    fn manager_for(&self, oni: usize) -> &LinkManager {
+        if self.managers.len() == 1 {
+            &self.managers[0]
+        } else {
+            &self.managers[oni]
+        }
+    }
+
+    /// The ambient baseline of destination `oni`.
+    fn baseline_for(&self, oni: usize) -> DecisionParams {
+        if self.baselines.len() == 1 {
+            self.baselines[0]
+        } else {
+            self.baselines[oni]
+        }
     }
 
     /// Runs the closed loop to completion.
@@ -322,17 +442,20 @@ impl FeedbackSimulation {
         let decision_temperature_c = self
             .config
             .bucket_temperature(self.config.bucket(ambient_c));
-        let mut channels: Vec<ChannelState> = vec![
-            ChannelState {
-                params: self.baseline,
-                decision_temperature_c,
-                last_switch: None,
-                active: None,
-                peak_temperature_c: ambient_c,
-                switches: 0,
-            };
-            n
-        ];
+        let mut channels: Vec<ChannelState> = (0..n)
+            .map(|oni| {
+                let baseline = self.baseline_for(oni);
+                ChannelState {
+                    params: baseline,
+                    baseline_scheme: baseline.scheme,
+                    decision_temperature_c,
+                    last_switch: None,
+                    active: None,
+                    peak_temperature_c: ambient_c,
+                    switches: 0,
+                }
+            })
+            .collect();
 
         let mut stats = SimStats {
             injected_messages: self.messages.len() as u64,
@@ -493,7 +616,7 @@ impl FeedbackSimulation {
                     let bucket_t = self.config.bucket_temperature(self.config.bucket(t_now));
                     decisions += 1;
                     match self
-                        .manager
+                        .manager_for(oni)
                         .configure_at(self.config.sim.class, Celsius::new(bucket_t))
                     {
                         Some(decision) => {
@@ -545,7 +668,7 @@ impl FeedbackSimulation {
                     max_temperature_c: env.hottest().value(),
                     reconfigured_onis: channels
                         .iter()
-                        .filter(|c| c.params.scheme != self.baseline.scheme)
+                        .filter(|c| c.params.scheme != c.baseline_scheme)
                         .count(),
                 });
             }
@@ -565,8 +688,18 @@ impl FeedbackSimulation {
                 scheme_switches: c.switches,
             })
             .collect();
+        let solver_cache =
+            self.managers
+                .iter()
+                .fold(CacheCounters::default(), |mut total, manager| {
+                    let counters = manager.link().cache_counters();
+                    total.hits += counters.hits;
+                    total.misses += counters.misses;
+                    total.entries += counters.entries;
+                    total
+                });
         FeedbackReport {
-            baseline_scheme: self.baseline.scheme,
+            baseline_scheme: self.baselines[0].scheme,
             stats,
             per_oni,
             epochs,
@@ -574,7 +707,7 @@ impl FeedbackSimulation {
             infeasible_requests,
             switch_log,
             trajectory,
-            solver_cache: self.manager.link().cache_counters(),
+            solver_cache,
             config: self.config,
         }
     }
@@ -770,6 +903,154 @@ mod tests {
             .unwrap()
             .run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_sigma_fleet_reproduces_the_homogeneous_run_bit_identically() {
+        let homogeneous = FeedbackSimulation::new(latency_first_config())
+            .unwrap()
+            .run();
+        let trivially_varied = FeedbackSimulation::new(FeedbackConfig {
+            variation: Some(RingVariationConfig {
+                sigma_nm: 0.0,
+                seed: 1234,
+                mode: BankTuningMode::PureHeater,
+            }),
+            ..latency_first_config()
+        })
+        .unwrap()
+        .run();
+        // Per-ONI managers with σ = 0 chips take bit-identical decisions;
+        // only the aggregated cache counters and the config itself differ.
+        assert_eq!(homogeneous.stats, trivially_varied.stats);
+        assert_eq!(homogeneous.per_oni, trivially_varied.per_oni);
+        assert_eq!(homogeneous.switch_log, trivially_varied.switch_log);
+        assert_eq!(homogeneous.trajectory, trivially_varied.trajectory);
+        assert_eq!(
+            homogeneous.baseline_scheme,
+            trivially_varied.baseline_scheme
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleets_take_heterogeneous_decisions() {
+        let report = FeedbackSimulation::new(FeedbackConfig {
+            variation: Some(RingVariationConfig {
+                sigma_nm: 0.04,
+                seed: 7,
+                mode: BankTuningMode::PureHeater,
+            }),
+            ..latency_first_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(
+            report.stats.delivered_messages,
+            report.stats.injected_messages
+        );
+        // Different chip instances pay different bills: the final channel
+        // powers must not all be equal across the fleet.
+        let powers: Vec<u64> = report
+            .per_oni
+            .iter()
+            .map(|o| o.channel_power_mw.to_bits())
+            .collect();
+        assert!(
+            powers.windows(2).any(|w| w[0] != w[1]),
+            "heterogeneous fleet produced identical channels: {powers:?}"
+        );
+        // And the runs stay reproducible.
+        let again = FeedbackSimulation::new(FeedbackConfig {
+            variation: Some(RingVariationConfig {
+                sigma_nm: 0.04,
+                seed: 7,
+                mode: BankTuningMode::PureHeater,
+            }),
+            ..latency_first_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn barrel_shift_fleet_spends_less_tuning_power_than_pure_heater() {
+        // Bulk traffic stays on H(71,64) throughout, so the two runs differ
+        // only in how the heaters fight the self-heating drift — no scheme
+        // switches to confound the comparison.
+        let run = |mode: BankTuningMode| {
+            FeedbackSimulation::new(FeedbackConfig {
+                sim: SimulationConfig {
+                    class: TrafficClass::Bulk,
+                    ..latency_first_config().sim
+                },
+                variation: Some(RingVariationConfig {
+                    sigma_nm: 0.04,
+                    seed: 7,
+                    mode,
+                }),
+                ..FeedbackConfig::default()
+            })
+            .unwrap()
+            .run()
+        };
+        let pure = run(BankTuningMode::PureHeater);
+        let barrel = run(BankTuningMode::full_barrel_shift(16));
+        assert_eq!(pure.total_switches(), 0);
+        assert_eq!(barrel.total_switches(), 0);
+        // Cheaper tuning at the same scheme means less dissipated energy and
+        // a cooler fleet.
+        assert!(barrel.stats.energy_pj <= pure.stats.energy_pj);
+        let peak = |r: &FeedbackReport| {
+            r.per_oni
+                .iter()
+                .map(|o| o.peak_temperature_c)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(peak(&barrel) <= peak(&pure) + 1e-9);
+    }
+
+    #[test]
+    fn invalid_variation_and_stack_are_rejected_as_configuration_errors() {
+        let mut config = latency_first_config();
+        config.variation = Some(RingVariationConfig {
+            sigma_nm: -0.01,
+            seed: 0,
+            mode: BankTuningMode::PureHeater,
+        });
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("sigma"), "{err}");
+
+        let mut config = latency_first_config();
+        config.variation = Some(RingVariationConfig {
+            sigma_nm: f64::NAN,
+            seed: 0,
+            mode: BankTuningMode::PureHeater,
+        });
+        assert!(FeedbackSimulation::new(config).is_err());
+
+        let mut config = latency_first_config();
+        config.variation = Some(RingVariationConfig {
+            sigma_nm: 0.04,
+            seed: 0,
+            mode: BankTuningMode::BarrelShift { max_shift: 0 },
+        });
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("barrel-shift"), "{err}");
+
+        let mut config = latency_first_config();
+        let mut stack = onoc_link::ThermalLinkStack::paper_default();
+        stack.rings.drift_nm_per_kelvin = f64::NAN;
+        config.stack = Some(stack);
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("drift slope"), "{err}");
+
+        let mut config = latency_first_config();
+        let mut stack = onoc_link::ThermalLinkStack::paper_default();
+        stack.tuner.max_power_per_ring = onoc_units::Microwatts::new(1.0) * f64::INFINITY;
+        config.stack = Some(stack);
+        let err = FeedbackSimulation::new(config).unwrap_err();
+        assert!(err.to_string().contains("saturation"), "{err}");
     }
 
     #[test]

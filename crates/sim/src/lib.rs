@@ -58,7 +58,7 @@ pub mod traffic;
 pub use engine::{Simulation, SimulationConfig, SimulationError, SimulationReport};
 pub use feedback::{
     EpochSample, FeedbackConfig, FeedbackReport, FeedbackSimulation, OniFeedbackReport,
-    SchemeSwitch,
+    RingVariationConfig, SchemeSwitch,
 };
 pub use packet::{Message, MessageId};
 pub use stats::SimStats;

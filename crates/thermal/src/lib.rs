@@ -29,7 +29,14 @@
 //! * [`ActivityCoupledEnvironment`] — the *closed-loop* alternative to the
 //!   prescribed traces: a per-ONI thermal RC network driven by the power the
 //!   interconnect itself dissipates, stepped epoch by epoch by the NoC
-//!   simulator's feedback engine.
+//!   simulator's feedback engine;
+//! * [`RingBankState`] / [`FabricationVariation`] — the per-ring spectral
+//!   state: a deterministic, seeded fabrication offset per ring on top of
+//!   the common-mode thermal drift, so different wavelengths of one lane
+//!   detune differently;
+//! * [`BankTuningMode`] — pure per-ring heating, or barrel-shift channel
+//!   hopping (re-map logical wavelengths to the nearest-resonant rings and
+//!   heat only the residual; cf. Cooling Codes).
 //!
 //! The photonic consequences (how many dB of penalty a nanometre of residual
 //! drift costs) are computed by `onoc-photonics` from its Lorentzian ring
@@ -59,11 +66,13 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod bank;
 pub mod drift;
 pub mod environment;
 pub mod tuning;
 
 pub use activity::{ActivityCoupledEnvironment, RcNetworkParameters};
+pub use bank::{BankCompensation, BankTuningMode, FabricationVariation, RingBankState};
 pub use drift::{ResonanceDrift, RingThermalModel};
 pub use environment::ThermalEnvironment;
 pub use tuning::{ThermalCompensation, ThermalTuner, TuningPolicy};

@@ -4,7 +4,8 @@
 //! integration tests and downstream users can depend on a single crate:
 //!
 //! * [`units`] — physical-quantity newtypes,
-//! * [`thermal`] — micro-ring thermal drift, heater tuning, chip thermal
+//! * [`thermal`] — micro-ring thermal drift, per-ring fabrication variation,
+//!   heater tuning and barrel-shift channel hopping, chip thermal
 //!   environments,
 //! * [`ecc`] — the Hamming code family and BER transfer functions,
 //! * [`ber`] — erfc math, SNR/BER conversions, the Eq. 4 detection model,

@@ -190,6 +190,82 @@ proptest! {
         }
     }
 
+    /// σ = 0 regression guard for the per-ring refactor: a link whose stack
+    /// carries an explicit zero-variation chip under the pure-heater mode is
+    /// bit-identical to the untouched per-bank link for every scheme, BER
+    /// and temperature — including on infeasibility.
+    #[test]
+    fn zero_sigma_per_ring_pipeline_is_bit_identical_to_per_bank(
+        scheme_index in 0usize..3,
+        ber_exponent in 3.0f64..12.0,
+        temperature in 25.0f64..85.0,
+        seed in 0u64..1000,
+    ) {
+        use onoc_ecc::thermal::{BankTuningMode, FabricationVariation};
+        use onoc_ecc::units::Celsius;
+        let scheme = EccScheme::paper_schemes()[scheme_index];
+        let ber = 10f64.powf(-ber_exponent);
+        let per_bank = NanophotonicLink::paper_link();
+        let per_ring = NanophotonicLink::paper_link()
+            .with_fabrication_variation(FabricationVariation::new(0.0, seed))
+            .with_bank_tuning_mode(BankTuningMode::PureHeater);
+        let a = per_bank.operating_point_at(scheme, ber, Celsius::new(temperature));
+        let b = per_ring.operating_point_at(scheme, ber, Celsius::new(temperature));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Barrel-shift tuning never spends more heater power than pure heating
+    /// for the same spectral state: the shift search includes k = 0, which
+    /// *is* pure heating.
+    #[test]
+    fn barrel_shift_tuning_power_never_exceeds_pure_heater(
+        sigma_pm in 0.0f64..100.0,
+        seed in 0u64..1000,
+        dt in -35.0f64..60.0,
+    ) {
+        use onoc_ecc::thermal::{
+            BankTuningMode, FabricationVariation, RingBankState, ThermalTuner,
+        };
+        use onoc_ecc::units::KelvinDelta;
+        let tuner = ThermalTuner::paper_heater();
+        let offsets = FabricationVariation::new(sigma_pm * 1e-3, seed).offsets_nm(16);
+        let state = RingBankState::new(offsets, KelvinDelta::new(dt));
+        let pure = tuner.compensate_bank(&state, 0.8, 0.1, BankTuningMode::PureHeater);
+        let barrel =
+            tuner.compensate_bank(&state, 0.8, 0.1, BankTuningMode::full_barrel_shift(16));
+        prop_assert!(
+            barrel.total_heater_power().value() <= pure.total_heater_power().value() + 1e-12
+        );
+    }
+
+    /// The memoized cache never serves a variation-mismatched operating
+    /// point: after swapping the thermal stack for a different chip
+    /// instance, every memoized answer equals a fresh solve under the *new*
+    /// stack even though the old entries are still in the map.
+    #[test]
+    fn memoized_cache_never_serves_a_variation_mismatched_point(
+        scheme_index in 0usize..3,
+        temperature in 25.0f64..85.0,
+        seed in 0u64..1000,
+    ) {
+        use onoc_ecc::thermal::FabricationVariation;
+        use onoc_ecc::units::Celsius;
+        let scheme = EccScheme::paper_schemes()[scheme_index];
+        let t = Celsius::new(temperature);
+        let link = NanophotonicLink::paper_link();
+        let _ = link.operating_point_memoized(scheme, 1e-11, t);
+        let misses_before = link.cache_counters().misses;
+        let swapped = link.with_fabrication_variation(FabricationVariation::new(0.04, seed));
+        prop_assert!(swapped.cache_counters().entries >= 1, "old entries persist");
+        let memoized = swapped.operating_point_memoized(scheme, 1e-11, t);
+        // The fingerprint in the key forced a fresh solve (no aliasing)…
+        prop_assert_eq!(swapped.cache_counters().misses, misses_before + 1);
+        // …and the memoized answer is the new stack's answer, bit for bit.
+        let snapped = swapped.cache_bucket_temperature(t);
+        let fresh = swapped.operating_point_at(scheme, 1e-11, snapped);
+        prop_assert_eq!(&memoized, &fresh);
+    }
+
     /// A hot operating point never beats the calibration-ambient one: the
     /// channel power at 25 + ΔT °C is at least the 25 °C figure, and the
     /// thermal terms appear exactly when ΔT > 0.

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use onoc_link::TrafficClass;
 use onoc_sim::traffic::TrafficPattern;
-use onoc_sim::{Simulation, SimulationConfig};
+use onoc_sim::{ScenarioBuilder, ScenarioConfig};
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("noc_simulation");
@@ -24,23 +24,28 @@ fn bench_simulation(c: &mut Criterion) {
             },
         ),
     ] {
-        let config = SimulationConfig {
-            oni_count: 12,
-            pattern,
-            class: TrafficClass::Bulk,
-            words_per_message: 16,
-            mean_inter_arrival_ns: 3.0,
-            deadline_slack_ns: None,
-            nominal_ber: 1e-11,
-            seed: 5,
-            thermal: None,
-        };
-        let messages = Simulation::new(config.clone())
+        let config: ScenarioConfig = ScenarioBuilder::new()
+            .oni_count(12)
+            .pattern(pattern)
+            .class(TrafficClass::Bulk)
+            .words_per_message(16)
+            .mean_inter_arrival_ns(3.0)
+            .nominal_ber(1e-11)
+            .seed(5)
+            .config()
+            .clone();
+        let messages = ScenarioBuilder::from_config(config.clone())
+            .build()
             .expect("valid config")
             .message_count() as u64;
         group.throughput(Throughput::Elements(messages));
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
-            b.iter(|| Simulation::new(cfg.clone()).expect("valid config").run());
+            b.iter(|| {
+                ScenarioBuilder::from_config(cfg.clone())
+                    .build()
+                    .expect("valid config")
+                    .run()
+            });
         });
     }
     group.finish();

@@ -11,26 +11,24 @@ use onoc_bench::{banner, default_shards, parallel_map, print_table};
 use onoc_link::report::TextTable;
 use onoc_link::TrafficClass;
 use onoc_sim::traffic::TrafficPattern;
-use onoc_sim::{FeedbackConfig, FeedbackSimulation, RingVariationConfig, SimulationConfig};
-use onoc_thermal::BankTuningMode;
+use onoc_sim::{DecisionPolicy, RingVariationConfig, ScenarioBuilder, ScenarioConfig};
+use onoc_thermal::{BankTuningMode, RcNetworkParameters, ThermalModelSpec};
 
-fn config() -> FeedbackConfig {
-    FeedbackConfig {
-        sim: SimulationConfig {
-            oni_count: 12,
-            pattern: TrafficPattern::UniformRandom {
-                messages_per_node: 150,
-            },
-            class: TrafficClass::LatencyFirst,
-            words_per_message: 16,
-            mean_inter_arrival_ns: 10.0,
-            deadline_slack_ns: None,
-            nominal_ber: 1e-11,
-            seed: 17,
-            thermal: None,
-        },
-        ..FeedbackConfig::default()
-    }
+fn base_config() -> ScenarioConfig {
+    ScenarioBuilder::new()
+        .oni_count(12)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 150,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(10.0)
+        .nominal_ber(1e-11)
+        .seed(17)
+        .activity_coupled(RcNetworkParameters::paper_package())
+        .policy(DecisionPolicy::epoch_gated())
+        .config()
+        .clone()
 }
 
 fn main() {
@@ -38,44 +36,54 @@ fn main() {
         "Thermal feedback",
         "activity-driven heating: the link's own dissipation drives the scheme choice",
     );
-    let config = config();
+    let config = base_config();
+    let ThermalModelSpec::ActivityCoupled { network } = config.thermal else {
+        unreachable!("the base config is activity-coupled");
+    };
+    let DecisionPolicy::EpochGated {
+        epoch_ns,
+        quantization_k,
+        hysteresis_k,
+        revert_hysteresis_k,
+    } = config.resolved_policy()
+    else {
+        unreachable!("the base config is epoch-gated");
+    };
     println!(
         "RC package: R_amb = {} K/mW, R_couple = {} K/mW, C = {} pJ/K (tau = {:.0} ns);",
-        config.network.ambient_resistance_k_per_mw,
-        config.network.coupling_resistance_k_per_mw,
-        config.network.heat_capacity_pj_per_k,
-        config.network.time_constant_ns(),
+        network.ambient_resistance_k_per_mw,
+        network.coupling_resistance_k_per_mw,
+        network.heat_capacity_pj_per_k,
+        network.time_constant_ns(),
     );
     println!(
-        "epoch {} ns, {} K decision buckets, {} K deadband, {} K revert hysteresis.",
-        config.epoch_ns, config.quantization_k, config.hysteresis_k, config.revert_hysteresis_k,
+        "epoch {epoch_ns} ns, {quantization_k} K decision buckets, {hysteresis_k} K deadband, \
+         {revert_hysteresis_k} K revert hysteresis.",
     );
     println!();
 
     // The homogeneous baseline and the two heterogeneous (sigma = 40 pm)
     // fleets are independent closed-loop runs: evaluate them on parallel
     // shards and merge in order.
-    let variation = |mode| {
-        Some(RingVariationConfig {
-            sigma_nm: 0.040,
-            seed: 42,
-            mode,
-        })
+    let varied = |mode| {
+        ScenarioBuilder::from_config(base_config())
+            .variation(RingVariationConfig {
+                sigma_nm: 0.040,
+                seed: 42,
+                mode,
+            })
+            .config()
+            .clone()
     };
     let configs = [
-        config.clone(),
-        FeedbackConfig {
-            variation: variation(BankTuningMode::PureHeater),
-            ..config.clone()
-        },
-        FeedbackConfig {
-            variation: variation(BankTuningMode::full_barrel_shift(16)),
-            ..config
-        },
+        config,
+        varied(BankTuningMode::PureHeater),
+        varied(BankTuningMode::full_barrel_shift(16)),
     ];
     let mut reports = parallel_map(&configs, default_shards(), |c| {
-        FeedbackSimulation::new(c.clone())
-            .expect("valid feedback configuration")
+        ScenarioBuilder::from_config(c.clone())
+            .build()
+            .expect("valid feedback scenario")
             .run()
     })
     .into_iter();

@@ -7,26 +7,26 @@ use onoc_bench::{banner, print_table};
 use onoc_link::report::TextTable;
 use onoc_link::TrafficClass;
 use onoc_sim::traffic::TrafficPattern;
-use onoc_sim::{Simulation, SimulationConfig};
+use onoc_sim::{RunReport, ScenarioBuilder};
 
 fn run(
     class: TrafficClass,
     pattern: TrafficPattern,
     deadline: Option<f64>,
-) -> Option<(String, onoc_sim::SimulationReport)> {
-    let config = SimulationConfig {
-        oni_count: 12,
-        pattern,
-        class,
-        words_per_message: 16,
-        mean_inter_arrival_ns: 4.0,
-        deadline_slack_ns: deadline,
-        nominal_ber: 1e-11,
-        seed: 2024,
-        thermal: None,
-    };
+) -> Option<(String, RunReport)> {
     let label = format!("{class:?} / {pattern:?}");
-    Simulation::new(config).ok().map(|s| (label, s.run()))
+    ScenarioBuilder::new()
+        .oni_count(12)
+        .pattern(pattern)
+        .class(class)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(4.0)
+        .deadline_slack_ns(deadline)
+        .nominal_ber(1e-11)
+        .seed(2024)
+        .build()
+        .ok()
+        .map(|scenario| (label, scenario.run()))
 }
 
 fn main() {
@@ -84,8 +84,8 @@ fn main() {
         let (label, report) = scenario;
         table.push_row(vec![
             label,
-            report.scheme.to_string(),
-            format!("{:.1}", report.channel_power_mw),
+            report.baseline_scheme.to_string(),
+            format!("{:.1}", report.baseline_channel_power_mw),
             format!("{:.1}", report.stats.mean_latency_ns()),
             format!("{:.1}", report.stats.max_latency_ns),
             format!("{:.1}", report.stats.throughput_gbps()),

@@ -26,6 +26,11 @@ pub enum LinkError {
         /// The offending scheme.
         scheme: EccScheme,
     },
+    /// A link-level knob was set to a structurally invalid value.
+    InvalidConfiguration {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LinkError {
@@ -36,6 +41,9 @@ impl std::fmt::Display for LinkError {
                 f,
                 "the optical channel cannot sustain {scheme} at the IP word rate"
             ),
+            Self::InvalidConfiguration { reason } => {
+                write!(f, "invalid link configuration: {reason}")
+            }
         }
     }
 }
@@ -301,13 +309,23 @@ impl NanophotonicLink {
     /// cache, in buckets per kelvin (default 20, i.e. 0.05 K buckets), and
     /// clears any cached entries.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `buckets_per_kelvin` is not positive and finite.
-    #[must_use]
-    pub fn with_cache_resolution(mut self, buckets_per_kelvin: f64) -> Self {
+    /// [`LinkError::InvalidConfiguration`] when `buckets_per_kelvin` is
+    /// zero, negative or not finite — a non-positive resolution would snap
+    /// every temperature onto one bucket (or divide by zero), silently
+    /// serving one operating point for the whole sweep.
+    pub fn with_cache_resolution(mut self, buckets_per_kelvin: f64) -> Result<Self, LinkError> {
+        if !(buckets_per_kelvin > 0.0 && buckets_per_kelvin.is_finite()) {
+            return Err(LinkError::InvalidConfiguration {
+                reason: format!(
+                    "cache resolution must be positive and finite, got {buckets_per_kelvin} \
+                     buckets per kelvin"
+                ),
+            });
+        }
         self.cache = OperatingPointCache::new(buckets_per_kelvin);
-        self
+        Ok(self)
     }
 
     /// Replaces the thermal stack (ring drift model, heater, variation,
@@ -868,8 +886,22 @@ mod tests {
         l.clear_cache();
         assert_eq!(l.cache_counters(), CacheCounters::default());
         // A custom resolution snaps more coarsely.
-        let coarse = link().with_cache_resolution(1.0);
+        let coarse = link().with_cache_resolution(1.0).unwrap();
         assert!((coarse.cache_bucket_temperature(Celsius::new(55.4)).value() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_resolution_rejects_degenerate_values() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = link().with_cache_resolution(bad).unwrap_err();
+            assert!(
+                matches!(err, LinkError::InvalidConfiguration { .. }),
+                "{bad} must be rejected"
+            );
+            assert!(err.to_string().contains("cache resolution"), "{bad}: {err}");
+        }
+        // A valid resolution still goes through.
+        assert!(link().with_cache_resolution(4.0).is_ok());
     }
 
     #[test]

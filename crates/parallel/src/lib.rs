@@ -1,0 +1,72 @@
+//! Deterministic fork/join helpers shared across the workspace.
+//!
+//! The sweep binaries of `onoc-bench` and the many-ONI epoch loops of
+//! `onoc-sim` both need the same primitive: evaluate independent work items
+//! on a handful of `std::thread` workers and merge the results back **in
+//! input order**, so the parallel run is bit-identical to the serial one.
+//! This crate holds that primitive at the bottom of the dependency graph,
+//! where both the simulator and the benchmark harness can reach it without
+//! depending on each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Maps `f` over `items` in parallel: the slice is split into contiguous
+/// chunks, one `std::thread` scope worker per chunk, and the results are
+/// merged back **in input order** — the output is indistinguishable from a
+/// serial `items.iter().map(f).collect()`, just faster.
+///
+/// `shards` is clamped to `[1, items.len()]`; pass
+/// [`std::thread::available_parallelism`] (or [`default_shards`]) for one
+/// shard per core.
+pub fn parallel_map<T, R, F>(items: &[T], shards: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, items.len());
+    let chunk_size = items.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        // Joining in spawn order is the ordered merge: chunk i's results
+        // land before chunk i+1's.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
+/// The shard count the sweep binaries and the simulator use by default: one
+/// per available core.
+#[must_use]
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for shards in [1, 2, 3, 8, 97, 200] {
+            assert_eq!(
+                parallel_map(&items, shards, |&x| x * x),
+                expected,
+                "{shards} shards"
+            );
+        }
+        assert!(parallel_map(&[] as &[u64], 4, |&x| x).is_empty());
+        assert!(default_shards() >= 1);
+    }
+}

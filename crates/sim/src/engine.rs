@@ -1,28 +1,36 @@
-//! The event-driven simulation engine.
+//! The legacy simulation entry point and the engine-shared primitives.
 //!
 //! The engine models one MWSR interconnect: every destination ONI owns a
-//! channel guarded by a [`TokenArbiter`]; messages request the destination
+//! channel guarded by a token arbiter; messages request the destination
 //! channel, transmit for `codec latency + words × serialization time`
 //! nanoseconds at the operating point chosen by the link manager, and are
 //! delivered with stochastic residual errors derived from the operating
 //! point's decoded BER.
+//!
+//! The run loops now live in [`crate::scenario`]; [`Simulation`] survives as
+//! a thin deprecated shim over [`crate::ScenarioBuilder`], pinned
+//! bit-identical by `tests/scenario_migration.rs`.  This module keeps the
+//! shared primitives both engines use ([`SimulationError`], the event and
+//! decision-parameter types) and the legacy configuration/report types.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+// This is a legacy-shim module: it intentionally uses the deprecated entry
+// points it provides.
+#![allow(deprecated)]
 
 use onoc_ecc_codes::EccScheme;
-use onoc_link::{LinkManager, ManagerDecision, NanophotonicLink, TrafficClass};
-use onoc_units::Celsius;
+use onoc_link::{ManagerDecision, TrafficClass};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::arbiter::TokenArbiter;
-use crate::packet::{Message, MessageId};
+use crate::packet::MessageId;
+use crate::scenario::{DecisionPolicy, ScenarioBuilder};
 use crate::stats::SimStats;
 use crate::thermal::{OniThermalReport, ThermalRunReport, ThermalScenario};
 use crate::time::SimTime;
-use crate::traffic::{TrafficGenerator, TrafficPattern};
+use crate::traffic::TrafficPattern;
+
+use crate::scenario::Scenario;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -272,17 +280,21 @@ pub(crate) fn conditional_corrupted_bits(rng: &mut StdRng, bits: u32, ber: f64) 
     u64::from(k)
 }
 
-/// An event-driven simulation of the optical NoC.
+/// An event-driven simulation of the optical NoC (legacy entry point).
+///
+/// This is now a thin shim over [`ScenarioBuilder`]: the configuration is
+/// translated into a [`Scenario`] with a prescribed thermal model and the
+/// per-message decision policy, and the unified run report is mapped back
+/// onto [`SimulationReport`].  Golden tests pin the two paths bit-identical.
+#[deprecated(
+    since = "0.1.0",
+    note = "use onoc_sim::ScenarioBuilder (prescribed thermal model + per-message policy); \
+            see the README migration table"
+)]
 #[derive(Debug)]
 pub struct Simulation {
+    scenario: Scenario,
     config: SimulationConfig,
-    /// Baseline decision at the calibration ambient (index 0 of `decisions`).
-    decisions: Vec<ManagerDecision>,
-    /// Decision index per message; messages not present use the baseline.
-    assignment: HashMap<MessageId, usize>,
-    messages: HashMap<MessageId, Message>,
-    injection_order: Vec<MessageId>,
-    rng: StdRng,
 }
 
 impl Simulation {
@@ -297,74 +309,25 @@ impl Simulation {
     ///   serve the requested class at the nominal BER.
     pub fn new(config: SimulationConfig) -> Result<Self, SimulationError> {
         config.validate()?;
-        let manager = LinkManager::new(
-            NanophotonicLink::paper_link(),
-            EccScheme::paper_schemes().to_vec(),
-            config.nominal_ber,
-        );
-        let baseline =
-            manager
-                .configure(config.class)
-                .ok_or(SimulationError::NoFeasibleConfiguration {
-                    class: config.class,
-                })?;
-
-        let generated = TrafficGenerator::new(
-            config.pattern,
-            config.oni_count,
-            config.words_per_message,
-            config.class,
-            config.mean_inter_arrival_ns,
-            config.deadline_slack_ns,
-            config.seed,
-        )
-        .generate();
-
-        // With a thermal scenario, every message is configured at the
-        // (quantized) temperature of its destination channel at injection
-        // time; identical buckets share one operating point.
-        let mut decisions = vec![baseline];
-        let mut assignment: HashMap<MessageId, usize> = HashMap::new();
-        if let Some(scenario) = config.thermal {
-            // The decision depends only on the (quantized) temperature, so
-            // the cache is keyed by bucket alone: a uniform environment
-            // solves the link once, not once per destination.
-            let mut cache: HashMap<i64, usize> = HashMap::new();
-            for message in &generated {
-                let temperature = scenario.environment.temperature_at(
-                    message.destination,
-                    config.oni_count,
-                    message.injected_at.as_nanos(),
-                );
-                let bucket = scenario.bucket(temperature.value());
-                let index = match cache.get(&bucket) {
-                    Some(&index) => index,
-                    None => {
-                        let bucket_temperature = Celsius::new(scenario.bucket_temperature(bucket));
-                        let decision = manager
-                            .configure_at(config.class, bucket_temperature)
-                            .ok_or(SimulationError::NoFeasibleConfiguration {
-                                class: config.class,
-                            })?;
-                        decisions.push(decision);
-                        cache.insert(bucket, decisions.len() - 1);
-                        decisions.len() - 1
-                    }
-                };
-                assignment.insert(message.id, index);
-            }
+        let mut builder = ScenarioBuilder::new()
+            .oni_count(config.oni_count)
+            .pattern(config.pattern)
+            .class(config.class)
+            .words_per_message(config.words_per_message)
+            .mean_inter_arrival_ns(config.mean_inter_arrival_ns)
+            .deadline_slack_ns(config.deadline_slack_ns)
+            .nominal_ber(config.nominal_ber)
+            .seed(config.seed);
+        if let Some(scenario) = &config.thermal {
+            builder = builder
+                .prescribed(scenario.environment)
+                .policy(DecisionPolicy::PerMessage {
+                    quantization_k: scenario.quantization_k,
+                });
         }
-
-        let injection_order = generated.iter().map(|m| m.id).collect();
-        let messages = generated.into_iter().map(|m| (m.id, m)).collect();
-
         Ok(Self {
-            rng: StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
+            scenario: builder.build()?,
             config,
-            decisions,
-            assignment,
-            messages,
-            injection_order,
         })
     }
 
@@ -372,222 +335,45 @@ impl Simulation {
     /// manager for this run's traffic class.
     #[must_use]
     pub fn decision(&self) -> &ManagerDecision {
-        &self.decisions[0]
+        self.scenario.baseline_decision()
     }
 
     /// All distinct operating points in use (baseline first).
     #[must_use]
     pub fn decisions(&self) -> &[ManagerDecision] {
-        &self.decisions
+        self.scenario.decisions()
     }
 
     /// Number of messages that will be injected.
     #[must_use]
     pub fn message_count(&self) -> usize {
-        self.messages.len()
-    }
-
-    /// Decision-parameter index of a message (baseline when unassigned).
-    fn params_index(&self, id: MessageId) -> usize {
-        self.assignment.get(&id).copied().unwrap_or(0)
+        self.scenario.message_count()
     }
 
     /// Runs the simulation to completion and returns the report.
     #[must_use]
-    pub fn run(mut self) -> SimulationReport {
-        let params: Vec<DecisionParams> = self
-            .decisions
-            .iter()
-            .map(DecisionParams::from_decision)
-            .collect();
-        let baseline = params[0];
-
-        let mut stats = SimStats {
-            injected_messages: self.messages.len() as u64,
-            ..SimStats::default()
-        };
-        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
-        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut sequence = 0u64;
-
-        for &id in &self.injection_order {
-            let message = self.messages[&id];
-            queue.push(Reverse(Event {
-                time: message.injected_at,
-                sequence,
-                kind: EventKind::Inject,
-                message: id,
-            }));
-            sequence += 1;
-        }
-
-        let mut busy: HashMap<usize, bool> = HashMap::new();
-        let mut makespan = SimTime::ZERO;
-        // Static-power residency: every destination channel holds a decision
-        // (initially the baseline) from t = 0; its laser + heater power
-        // burns over wall-clock time regardless of occupancy.  Intervals are
-        // closed lazily, whenever a transfer starts on a decision with a
-        // different static power and at the end of the run.
-        let mut statics: Vec<(usize, SimTime)> = vec![(0, SimTime::ZERO); self.config.oni_count];
-        // Thermal bookkeeping: last decision per destination, and how many
-        // messages ran on a non-baseline scheme.
-        let mut last_per_oni: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut reconfigured_messages = 0u64;
-
-        while let Some(Reverse(event)) = queue.pop() {
-            makespan = makespan.max_time(event.time);
-            let message = self.messages[&event.message];
-            let point = params[self.params_index(event.message)];
-            match event.kind {
-                EventKind::Inject => {
-                    let arbiter = arbiters.entry(message.destination).or_default();
-                    arbiter.request(message.source, message.id);
-                    Self::try_start(
-                        message.destination,
-                        event.time,
-                        &mut arbiters,
-                        &mut busy,
-                        &mut queue,
-                        &mut sequence,
-                        &self.messages,
-                        &params,
-                        &self.assignment,
-                        &mut statics,
-                        &mut stats,
-                    );
-                }
-                EventKind::Complete => {
-                    let duration_ns = point.transfer_duration(message.words).value();
-                    stats.delivered_messages += 1;
-                    stats.delivered_bits += message.payload_bits();
-                    stats.channel_busy_ns += duration_ns;
-                    // Only the transfer-gated share is charged per transfer;
-                    // the static share accrues over wall-clock residency.
-                    stats.energy_pj += point.dynamic_power_mw * duration_ns;
-                    let latency = event.time.since(message.injected_at).value();
-                    stats.total_latency_ns += latency;
-                    stats.max_latency_ns = stats.max_latency_ns.max(latency);
-                    if message.misses_deadline(event.time) {
-                        stats.deadline_misses += 1;
-                    }
-                    for _ in 0..message.words {
-                        if self
-                            .rng
-                            .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
-                        {
-                            stats.corrupted_words += 1;
-                            stats.corrupted_bits +=
-                                conditional_corrupted_bits(&mut self.rng, 64, point.decoded_ber);
-                        }
-                        if self
-                            .rng
-                            .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
-                        {
-                            stats.corrected_words += 1;
-                        }
-                    }
-                    last_per_oni.insert(message.destination, self.params_index(event.message));
-                    if point.scheme != baseline.scheme {
-                        reconfigured_messages += 1;
-                    }
-                    let arbiter = arbiters
-                        .get_mut(&message.destination)
-                        .expect("completion implies a prior grant");
-                    arbiter.release(message.id);
-                    busy.insert(message.destination, false);
-                    Self::try_start(
-                        message.destination,
-                        event.time,
-                        &mut arbiters,
-                        &mut busy,
-                        &mut queue,
-                        &mut sequence,
-                        &self.messages,
-                        &params,
-                        &self.assignment,
-                        &mut statics,
-                        &mut stats,
-                    );
-                }
-            }
-        }
-
-        // Close the static-power residency of every destination channel at
-        // the end of the run: an idle channel's laser and heaters are not
-        // free.  A zero-traffic run has zero makespan and charges nothing.
-        for &(index, since) in &statics {
-            let residency_pj = params[index].static_power_mw * makespan.since(since).value();
-            stats.energy_pj += residency_pj;
-            stats.static_energy_pj += residency_pj;
-        }
-
-        stats.makespan_ns = makespan.as_nanos();
-        let thermal = self.config.thermal.map(|_| ThermalRunReport {
-            per_oni: last_per_oni
-                .iter()
-                .map(|(&oni, &index)| {
-                    let p = params[index];
-                    OniThermalReport {
-                        oni,
-                        temperature_c: p.temperature_c,
-                        scheme: p.scheme,
-                        channel_power_mw: p.channel_power_mw,
-                        tuning_power_mw_per_lane: p.tuning_power_mw,
-                    }
+    pub fn run(self) -> SimulationReport {
+        let run = self.scenario.run();
+        let thermal = self.config.thermal.as_ref().map(|_| ThermalRunReport {
+            per_oni: run
+                .active_onis()
+                .map(|o| OniThermalReport {
+                    oni: o.oni,
+                    temperature_c: o.final_temperature_c,
+                    scheme: o.scheme,
+                    channel_power_mw: o.channel_power_mw,
+                    tuning_power_mw_per_lane: o.tuning_power_mw_per_lane,
                 })
                 .collect(),
-            reconfigured_messages,
+            reconfigured_messages: run.reconfigured_messages,
         });
         SimulationReport {
-            config: self.config,
-            scheme: baseline.scheme,
-            channel_power_mw: baseline.channel_power_mw,
-            decoded_ber: self.decisions[0].point.target_ber(),
-            stats,
+            scheme: run.baseline_scheme,
+            channel_power_mw: run.baseline_channel_power_mw,
+            decoded_ber: run.baseline_decoded_ber,
+            stats: run.stats,
             thermal,
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn try_start(
-        destination: usize,
-        now: SimTime,
-        arbiters: &mut HashMap<usize, TokenArbiter>,
-        busy: &mut HashMap<usize, bool>,
-        queue: &mut BinaryHeap<Reverse<Event>>,
-        sequence: &mut u64,
-        messages: &HashMap<MessageId, Message>,
-        params: &[DecisionParams],
-        assignment: &HashMap<MessageId, usize>,
-        statics: &mut [(usize, SimTime)],
-        stats: &mut SimStats,
-    ) {
-        if *busy.get(&destination).unwrap_or(&false) {
-            return;
-        }
-        let arbiter = arbiters.entry(destination).or_default();
-        if let Some((_, id)) = arbiter.grant() {
-            let message = messages[&id];
-            let index = assignment.get(&id).copied().unwrap_or(0);
-            let point = params[index];
-            // Applying a decision with a different static power re-bases the
-            // destination's residency interval at the transfer start.
-            let (current, since) = statics[destination];
-            if params[current].static_power_mw != point.static_power_mw {
-                let residency_pj = params[current].static_power_mw * now.since(since).value();
-                stats.energy_pj += residency_pj;
-                stats.static_energy_pj += residency_pj;
-                statics[destination] = (index, now);
-            }
-            let duration = point.transfer_duration(message.words);
-            busy.insert(destination, true);
-            queue.push(Reverse(Event {
-                time: now.advanced_by(duration),
-                sequence: *sequence,
-                kind: EventKind::Complete,
-                message: id,
-            }));
-            *sequence += 1;
+            config: self.config,
         }
     }
 }
@@ -595,6 +381,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn quick_config() -> SimulationConfig {
         SimulationConfig {

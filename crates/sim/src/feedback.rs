@@ -1,93 +1,32 @@
-//! Closed-loop thermo-electrical co-simulation: activity-driven heating.
+//! The legacy closed-loop entry point: activity-driven heating.
 //!
-//! The [`crate::ThermalScenario`] machinery plays back *prescribed*
-//! temperature traces and precomputes one decision per message before the
-//! run starts.  [`FeedbackSimulation`] closes the loop instead: the heat
-//! comes from the link itself.  The run is divided into epochs; each epoch
+//! [`FeedbackSimulation`] pioneered the epoch-stepped electro-thermal loop:
+//! play the event queue for one epoch, integrate the electrical power each
+//! destination channel dissipated, deposit it into a per-ONI thermal RC
+//! network, and re-ask the runtime manager for ONIs whose temperature left
+//! its decision bucket — with deadband and scheme-revert hysteresis against
+//! oscillation.
 //!
-//! 1. plays the event queue forward (injections, arbitration, transfers)
-//!    with every destination channel at its *current* operating point,
-//! 2. integrates the electrical power each destination channel dissipated —
-//!    the always-on static share (laser + ring heaters) over the whole epoch
-//!    plus the transfer-gated dynamic share (modulation + codec) over the
-//!    busy time,
-//! 3. deposits that power into the per-ONI thermal RC network
-//!    ([`ActivityCoupledEnvironment`]) and steps it, and
-//! 4. re-asks the runtime manager for an operating point — but only for
-//!    ONIs whose temperature left the quantization bucket of their last
-//!    decision by more than a hysteresis deadband, so scheme choice cannot
-//!    oscillate at a bucket edge.
-//!
-//! The manager's queries go through the link's memoized operating-point
-//! cache, so the many re-asks of a long run collapse onto a handful of
-//! solver invocations (one per distinct `(scheme, BER, bucket)`).
-//!
-//! There is no per-message decision table: decisions live per destination
-//! and evolve with the temperature the traffic itself creates.
+//! That engine now lives in [`crate::scenario`] as the epoch-gated policy
+//! over any [`onoc_thermal::ThermalModel`]; this module keeps the legacy
+//! configuration/report types and a thin deprecated shim over
+//! [`crate::ScenarioBuilder`], pinned bit-identical by
+//! `tests/scenario_migration.rs`.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+// This is a legacy-shim module: it intentionally uses the deprecated entry
+// points it provides.
+#![allow(deprecated)]
 
 use onoc_ecc_codes::EccScheme;
-use onoc_link::{CacheCounters, LinkManager, NanophotonicLink, ThermalLinkStack};
-use onoc_thermal::{
-    ActivityCoupledEnvironment, BankTuningMode, FabricationVariation, RcNetworkParameters,
-};
-use onoc_units::Celsius;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use onoc_link::{CacheCounters, ThermalLinkStack};
+use onoc_thermal::RcNetworkParameters;
 use serde::{Deserialize, Serialize};
 
-use crate::arbiter::TokenArbiter;
-use crate::engine::{
-    conditional_corrupted_bits, DecisionParams, Event, EventKind, SimulationConfig, SimulationError,
-};
-use crate::packet::{Message, MessageId};
+use crate::engine::{SimulationConfig, SimulationError};
+use crate::scenario::{DecisionPolicy, ScenarioBuilder};
 use crate::stats::SimStats;
-use crate::time::SimTime;
-use crate::traffic::TrafficGenerator;
 
-/// Per-ONI fabrication variation of a feedback fleet: every destination
-/// channel becomes its own chip instance, with ring offsets sampled from
-/// `sigma_nm` under a seed derived from `seed` and the ONI index.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RingVariationConfig {
-    /// Standard deviation of the per-ring resonance offsets, in nm.
-    pub sigma_nm: f64,
-    /// Base seed; each ONI derives its own chip seed from it.
-    pub seed: u64,
-    /// Tuning mode of every ONI's bank (pure heater or barrel shift).
-    pub mode: BankTuningMode,
-}
-
-impl RingVariationConfig {
-    /// Checks σ and the tuning mode.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable reason for the first invalid parameter.
-    pub fn validate(&self) -> Result<(), String> {
-        FabricationVariation {
-            sigma_nm: self.sigma_nm,
-            seed: self.seed,
-        }
-        .validate()?;
-        self.mode.validate()
-    }
-
-    /// The chip instance of destination `oni`.
-    #[must_use]
-    pub fn oni_variation(&self, oni: usize) -> FabricationVariation {
-        // SplitMix64 of (seed, oni) so neighbouring ONIs get uncorrelated
-        // chips while the whole fleet stays reproducible.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        FabricationVariation::new(self.sigma_nm, z ^ (z >> 31))
-    }
-}
+pub use crate::scenario::{EpochSample, RingVariationConfig, SchemeSwitch};
 
 /// Configuration of one closed-loop (activity-driven heating) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,29 +94,7 @@ impl FeedbackConfig {
                     .into(),
             });
         }
-        if !(self.epoch_ns > 0.0 && self.epoch_ns.is_finite()) {
-            return Err(SimulationError::InvalidConfiguration {
-                reason: format!("epoch must be positive and finite, got {}", self.epoch_ns),
-            });
-        }
-        if !(self.quantization_k > 0.0 && self.quantization_k.is_finite()) {
-            return Err(SimulationError::InvalidConfiguration {
-                reason: format!(
-                    "thermal quantization step must be positive and finite, got {}",
-                    self.quantization_k
-                ),
-            });
-        }
-        for (name, value) in [
-            ("hysteresis", self.hysteresis_k),
-            ("revert hysteresis", self.revert_hysteresis_k),
-        ] {
-            if !(value >= 0.0 && value.is_finite()) {
-                return Err(SimulationError::InvalidConfiguration {
-                    reason: format!("{name} must be non-negative and finite, got {value}"),
-                });
-            }
-        }
+        self.policy().validate()?;
         if let Some(stack) = &self.stack {
             stack
                 .validate()
@@ -193,57 +110,16 @@ impl FeedbackConfig {
             .map_err(|reason| SimulationError::InvalidConfiguration { reason })
     }
 
-    /// The link of destination `oni` under this configuration: the base
-    /// stack (custom or paper default) plus, for heterogeneous fleets, that
-    /// ONI's own chip instance and tuning mode.
-    fn oni_link(&self, oni: usize) -> NanophotonicLink {
-        let mut link = NanophotonicLink::paper_link();
-        if let Some(stack) = self.stack {
-            link = link.with_thermal_stack(stack);
+    /// The epoch-gated decision policy this configuration describes.
+    #[must_use]
+    fn policy(&self) -> DecisionPolicy {
+        DecisionPolicy::EpochGated {
+            epoch_ns: self.epoch_ns,
+            quantization_k: self.quantization_k,
+            hysteresis_k: self.hysteresis_k,
+            revert_hysteresis_k: self.revert_hysteresis_k,
         }
-        if let Some(variation) = &self.variation {
-            link = link
-                .with_fabrication_variation(variation.oni_variation(oni))
-                .with_bank_tuning_mode(variation.mode);
-        }
-        link
     }
-
-    fn bucket(&self, temperature_c: f64) -> i64 {
-        crate::thermal::bucket_index(temperature_c, self.quantization_k)
-    }
-
-    fn bucket_temperature(&self, bucket: i64) -> f64 {
-        crate::thermal::bucket_centre(bucket, self.quantization_k)
-    }
-}
-
-/// One scheme change taken by the feedback loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SchemeSwitch {
-    /// Simulated time of the switch, in nanoseconds.
-    pub time_ns: f64,
-    /// Destination ONI whose channel switched.
-    pub oni: usize,
-    /// Scheme before the switch.
-    pub from: EccScheme,
-    /// Scheme after the switch.
-    pub to: EccScheme,
-    /// Node temperature that triggered the re-decision, in °C.
-    pub temperature_c: f64,
-}
-
-/// Temperature envelope of the interconnect at one epoch boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct EpochSample {
-    /// End of the epoch, in nanoseconds.
-    pub time_ns: f64,
-    /// Coolest node temperature, in °C.
-    pub min_temperature_c: f64,
-    /// Hottest node temperature, in °C.
-    pub max_temperature_c: f64,
-    /// Number of destination channels currently on a non-baseline scheme.
-    pub reconfigured_onis: usize,
 }
 
 /// Final state of one destination channel after a feedback run.
@@ -309,39 +185,23 @@ impl FeedbackReport {
     }
 }
 
-/// Per-destination live state during a feedback run.
-#[derive(Debug, Clone, Copy)]
-struct ChannelState {
-    params: DecisionParams,
-    /// Scheme of this channel's own ambient baseline (with a heterogeneous
-    /// fleet, different ONIs can legitimately start on different schemes).
-    baseline_scheme: EccScheme,
-    /// Temperature (bucket centre) of the last decision, in °C.
-    decision_temperature_c: f64,
-    /// Most recent scheme switch: the scheme switched *away from* and the
-    /// node temperature at the switch (the revert-hysteresis anchor).
-    last_switch: Option<(EccScheme, f64)>,
-    /// Transfer in flight: operating point captured at grant time, and when
-    /// it started.
-    active: Option<(DecisionParams, SimTime)>,
-    peak_temperature_c: f64,
-    switches: u64,
-}
-
-/// The closed-loop simulation: event-driven traffic over an epoch-stepped
-/// thermal plant.
+/// The closed-loop simulation (legacy entry point): event-driven traffic
+/// over an epoch-stepped thermal plant.
+///
+/// This is now a thin shim over [`ScenarioBuilder`]: the configuration is
+/// translated into a [`crate::Scenario`] with an activity-coupled thermal
+/// model and the epoch-gated decision policy, and the unified run report is
+/// mapped back onto [`FeedbackReport`].  Golden tests pin the two paths
+/// bit-identical.
+#[deprecated(
+    since = "0.1.0",
+    note = "use onoc_sim::ScenarioBuilder (activity-coupled thermal model + epoch-gated \
+            policy); see the README migration table"
+)]
 #[derive(Debug)]
 pub struct FeedbackSimulation {
+    scenario: crate::scenario::Scenario,
     config: FeedbackConfig,
-    /// One manager per destination ONI for heterogeneous fleets, or a
-    /// single shared manager (and operating-point cache) when every channel
-    /// is the same chip.
-    managers: Vec<LinkManager>,
-    /// Ambient baselines, index-aligned with `managers`.
-    baselines: Vec<DecisionParams>,
-    messages: HashMap<MessageId, Message>,
-    injection_order: Vec<MessageId>,
-    rng: StdRng,
 }
 
 impl FeedbackSimulation {
@@ -357,387 +217,61 @@ impl FeedbackSimulation {
     ///   cannot be served at the package ambient.
     pub fn new(config: FeedbackConfig) -> Result<Self, SimulationError> {
         config.validate()?;
-        // A homogeneous fleet shares one manager (and one operating-point
-        // cache); a heterogeneous fleet gets one chip instance per ONI.
-        let manager_count = if config.variation.is_some() {
-            config.sim.oni_count
-        } else {
-            1
-        };
-        let managers: Vec<LinkManager> = (0..manager_count)
-            .map(|oni| {
-                LinkManager::new(
-                    config.oni_link(oni),
-                    EccScheme::paper_schemes().to_vec(),
-                    config.sim.nominal_ber,
-                )
-            })
-            .collect();
-        let ambient_bucket = config.bucket(config.network.ambient.value());
-        let ambient = Celsius::new(config.bucket_temperature(ambient_bucket));
-        let baselines: Vec<DecisionParams> = managers
-            .iter()
-            .map(|manager| {
-                manager
-                    .configure_at(config.sim.class, ambient)
-                    .map(|decision| DecisionParams::from_decision(&decision))
-                    .ok_or(SimulationError::NoFeasibleConfiguration {
-                        class: config.sim.class,
-                    })
-            })
-            .collect::<Result<_, _>>()?;
-        let generated = TrafficGenerator::new(
-            config.sim.pattern,
-            config.sim.oni_count,
-            config.sim.words_per_message,
-            config.sim.class,
-            config.sim.mean_inter_arrival_ns,
-            config.sim.deadline_slack_ns,
-            config.sim.seed,
-        )
-        .generate();
-        let injection_order = generated.iter().map(|m| m.id).collect();
-        let messages = generated.into_iter().map(|m| (m.id, m)).collect();
+        let mut builder = ScenarioBuilder::new()
+            .oni_count(config.sim.oni_count)
+            .pattern(config.sim.pattern)
+            .class(config.sim.class)
+            .words_per_message(config.sim.words_per_message)
+            .mean_inter_arrival_ns(config.sim.mean_inter_arrival_ns)
+            .deadline_slack_ns(config.sim.deadline_slack_ns)
+            .nominal_ber(config.sim.nominal_ber)
+            .seed(config.sim.seed)
+            .activity_coupled(config.network)
+            .policy(config.policy());
+        if let Some(stack) = config.stack {
+            builder = builder.stack(stack);
+        }
+        if let Some(variation) = config.variation {
+            builder = builder.variation(variation);
+        }
         Ok(Self {
-            rng: StdRng::seed_from_u64(config.sim.seed ^ 0xC0FF_EE00),
+            scenario: builder.build()?,
             config,
-            managers,
-            baselines,
-            messages,
-            injection_order,
         })
     }
 
     /// Number of messages that will be injected.
     #[must_use]
     pub fn message_count(&self) -> usize {
-        self.messages.len()
-    }
-
-    /// The manager serving destination `oni`.
-    fn manager_for(&self, oni: usize) -> &LinkManager {
-        if self.managers.len() == 1 {
-            &self.managers[0]
-        } else {
-            &self.managers[oni]
-        }
-    }
-
-    /// The ambient baseline of destination `oni`.
-    fn baseline_for(&self, oni: usize) -> DecisionParams {
-        if self.baselines.len() == 1 {
-            self.baselines[0]
-        } else {
-            self.baselines[oni]
-        }
+        self.scenario.message_count()
     }
 
     /// Runs the closed loop to completion.
     #[must_use]
-    #[allow(clippy::too_many_lines)]
-    pub fn run(mut self) -> FeedbackReport {
-        let n = self.config.sim.oni_count;
-        let mut env = ActivityCoupledEnvironment::new(n, self.config.network);
-        let ambient_c = self.config.network.ambient.value();
-        let decision_temperature_c = self
-            .config
-            .bucket_temperature(self.config.bucket(ambient_c));
-        let mut channels: Vec<ChannelState> = (0..n)
-            .map(|oni| {
-                let baseline = self.baseline_for(oni);
-                ChannelState {
-                    params: baseline,
-                    baseline_scheme: baseline.scheme,
-                    decision_temperature_c,
-                    last_switch: None,
-                    active: None,
-                    peak_temperature_c: ambient_c,
-                    switches: 0,
-                }
-            })
-            .collect();
-
-        let mut stats = SimStats {
-            injected_messages: self.messages.len() as u64,
-            ..SimStats::default()
-        };
-        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
-        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut sequence = 0u64;
-        for &id in &self.injection_order {
-            queue.push(Reverse(Event {
-                time: self.messages[&id].injected_at,
-                sequence,
-                kind: EventKind::Inject,
-                message: id,
-            }));
-            sequence += 1;
-        }
-
-        let mut makespan = SimTime::ZERO;
-        let mut epoch_start = SimTime::ZERO;
-        let mut epochs = 0u64;
-        let mut decisions = 0u64;
-        let mut infeasible_requests = 0u64;
-        let mut switch_log: Vec<SchemeSwitch> = Vec::new();
-        let mut trajectory: Vec<EpochSample> = Vec::new();
-        let mut deposited_pj = vec![0.0f64; n];
-
-        while let Some(&Reverse(next)) = queue.peek() {
-            // Nominal epoch boundary; long idle gaps are covered by a single
-            // stretched epoch ending at the next event (the RC step
-            // integrates the whole gap, so nothing is lost).
-            let mut epoch_end = SimTime::from_nanos(epoch_start.as_nanos() + self.config.epoch_ns);
-            if next.time > epoch_end {
-                epoch_end = next.time;
-            }
-
-            // 1. Play the event queue through this epoch.
-            while let Some(&Reverse(event)) = queue.peek() {
-                if event.time > epoch_end {
-                    break;
-                }
-                let Reverse(event) = queue.pop().expect("peeked");
-                makespan = makespan.max_time(event.time);
-                let message = self.messages[&event.message];
-                match event.kind {
-                    EventKind::Inject => {
-                        arbiters
-                            .entry(message.destination)
-                            .or_default()
-                            .request(message.source, message.id);
-                        Self::try_start(
-                            message.destination,
-                            event.time,
-                            &mut arbiters,
-                            &mut channels,
-                            &mut queue,
-                            &mut sequence,
-                            &self.messages,
-                        );
-                    }
-                    EventKind::Complete => {
-                        let (point, started) = channels[message.destination]
-                            .active
-                            .take()
-                            .expect("completion implies an active transfer");
-                        let duration_ns = point.transfer_duration(message.words).value();
-                        stats.delivered_messages += 1;
-                        stats.delivered_bits += message.payload_bits();
-                        stats.channel_busy_ns += duration_ns;
-                        // Dynamic energy for the part of the transfer inside
-                        // this epoch; earlier parts were charged at the
-                        // boundaries of the epochs they crossed.
-                        let from = started.max_time(epoch_start);
-                        let slice_pj = point.dynamic_power_mw * event.time.since(from).value();
-                        stats.energy_pj += slice_pj;
-                        deposited_pj[message.destination] += slice_pj;
-                        let latency = event.time.since(message.injected_at).value();
-                        stats.total_latency_ns += latency;
-                        stats.max_latency_ns = stats.max_latency_ns.max(latency);
-                        if message.misses_deadline(event.time) {
-                            stats.deadline_misses += 1;
-                        }
-                        for _ in 0..message.words {
-                            if self
-                                .rng
-                                .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
-                            {
-                                stats.corrupted_words += 1;
-                                stats.corrupted_bits += conditional_corrupted_bits(
-                                    &mut self.rng,
-                                    64,
-                                    point.decoded_ber,
-                                );
-                            }
-                            if self
-                                .rng
-                                .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
-                            {
-                                stats.corrected_words += 1;
-                            }
-                        }
-                        arbiters
-                            .get_mut(&message.destination)
-                            .expect("completion implies a prior grant")
-                            .release(message.id);
-                        Self::try_start(
-                            message.destination,
-                            event.time,
-                            &mut arbiters,
-                            &mut channels,
-                            &mut queue,
-                            &mut sequence,
-                            &self.messages,
-                        );
-                    }
-                }
-            }
-
-            // The run ends with the last event, not at the nominal epoch
-            // boundary: static power is charged for actual residency only.
-            let end = if queue.is_empty() {
-                makespan
-            } else {
-                epoch_end
-            };
-            let span_ns = end.since(epoch_start).value();
-            if span_ns > 0.0 {
-                // 2. Integrate the power deposited by each destination
-                // channel over this epoch.
-                for (oni, channel) in channels.iter_mut().enumerate() {
-                    if let Some((point, started)) = channel.active {
-                        let from = started.max_time(epoch_start);
-                        let slice_pj = point.dynamic_power_mw * end.since(from).value();
-                        stats.energy_pj += slice_pj;
-                        deposited_pj[oni] += slice_pj;
-                        // Re-base so the remainder is charged later.
-                        channel.active = Some((point, end));
-                    }
-                    let static_pj = channel.params.static_power_mw * span_ns;
-                    stats.energy_pj += static_pj;
-                    stats.static_energy_pj += static_pj;
-                    deposited_pj[oni] += static_pj;
-                }
-
-                // 3. Step the thermal plant with the average epoch power.
-                let powers_mw: Vec<f64> = deposited_pj.iter().map(|pj| pj / span_ns).collect();
-                env.step(&powers_mw, span_ns);
-                deposited_pj.iter_mut().for_each(|pj| *pj = 0.0);
-
-                // 4. Re-ask the manager, gated by quantization + hysteresis.
-                let deadband = self.config.quantization_k / 2.0 + self.config.hysteresis_k;
-                for (oni, channel) in channels.iter_mut().enumerate() {
-                    let t_now = env.temperature_of(oni).value();
-                    channel.peak_temperature_c = channel.peak_temperature_c.max(t_now);
-                    if (t_now - channel.decision_temperature_c).abs() <= deadband {
-                        continue;
-                    }
-                    let bucket_t = self.config.bucket_temperature(self.config.bucket(t_now));
-                    decisions += 1;
-                    match self
-                        .manager_for(oni)
-                        .configure_at(self.config.sim.class, Celsius::new(bucket_t))
-                    {
-                        Some(decision) => {
-                            let new_params = DecisionParams::from_decision(&decision);
-                            if new_params.scheme != channel.params.scheme {
-                                // Scheme-revert hysteresis: undoing the most
-                                // recent switch needs a temperature excursion
-                                // beyond its anchor, otherwise the channel
-                                // that just cooled by escaping to the coded
-                                // path would flap straight back.
-                                if let Some((from, at_temp)) = channel.last_switch {
-                                    if new_params.scheme == from
-                                        && (t_now - at_temp).abs() < self.config.revert_hysteresis_k
-                                    {
-                                        channel.decision_temperature_c = bucket_t;
-                                        continue;
-                                    }
-                                }
-                                channel.switches += 1;
-                                channel.last_switch = Some((channel.params.scheme, t_now));
-                                switch_log.push(SchemeSwitch {
-                                    time_ns: end.as_nanos(),
-                                    oni,
-                                    from: channel.params.scheme,
-                                    to: new_params.scheme,
-                                    temperature_c: t_now,
-                                });
-                            }
-                            channel.params = new_params;
-                            channel.decision_temperature_c = bucket_t;
-                        }
-                        None => {
-                            // Keep the previous operating point; the channel
-                            // stays up at its old configuration.
-                            infeasible_requests += 1;
-                            channel.decision_temperature_c = bucket_t;
-                        }
-                    }
-                }
-
-                epochs += 1;
-                trajectory.push(EpochSample {
-                    time_ns: end.as_nanos(),
-                    min_temperature_c: env
-                        .temperatures_c()
-                        .iter()
-                        .copied()
-                        .fold(f64::INFINITY, f64::min),
-                    max_temperature_c: env.hottest().value(),
-                    reconfigured_onis: channels
-                        .iter()
-                        .filter(|c| c.params.scheme != c.baseline_scheme)
-                        .count(),
-                });
-            }
-            epoch_start = end;
-        }
-
-        stats.makespan_ns = makespan.as_nanos();
-        let per_oni = channels
-            .iter()
-            .enumerate()
-            .map(|(oni, c)| OniFeedbackReport {
-                oni,
-                final_temperature_c: env.temperature_of(oni).value(),
-                peak_temperature_c: c.peak_temperature_c,
-                scheme: c.params.scheme,
-                channel_power_mw: c.params.channel_power_mw,
-                scheme_switches: c.switches,
-            })
-            .collect();
-        let solver_cache =
-            self.managers
-                .iter()
-                .fold(CacheCounters::default(), |mut total, manager| {
-                    let counters = manager.link().cache_counters();
-                    total.hits += counters.hits;
-                    total.misses += counters.misses;
-                    total.entries += counters.entries;
-                    total
-                });
+    pub fn run(self) -> FeedbackReport {
+        let run = self.scenario.run();
         FeedbackReport {
-            baseline_scheme: self.baselines[0].scheme,
-            stats,
-            per_oni,
-            epochs,
-            decisions,
-            infeasible_requests,
-            switch_log,
-            trajectory,
-            solver_cache,
+            baseline_scheme: run.baseline_scheme,
+            stats: run.stats,
+            per_oni: run
+                .per_oni
+                .iter()
+                .map(|o| OniFeedbackReport {
+                    oni: o.oni,
+                    final_temperature_c: o.final_temperature_c,
+                    peak_temperature_c: o.peak_temperature_c,
+                    scheme: o.scheme,
+                    channel_power_mw: o.channel_power_mw,
+                    scheme_switches: o.scheme_switches,
+                })
+                .collect(),
+            epochs: run.epochs,
+            decisions: run.decisions,
+            infeasible_requests: run.infeasible_requests,
+            switch_log: run.switch_log,
+            trajectory: run.trajectory,
+            solver_cache: run.solver_cache,
             config: self.config,
-        }
-    }
-
-    /// Grants the next pending transfer on `destination`, capturing the
-    /// channel's *current* operating point for the whole transfer.
-    fn try_start(
-        destination: usize,
-        now: SimTime,
-        arbiters: &mut HashMap<usize, TokenArbiter>,
-        channels: &mut [ChannelState],
-        queue: &mut BinaryHeap<Reverse<Event>>,
-        sequence: &mut u64,
-        messages: &HashMap<MessageId, Message>,
-    ) {
-        if channels[destination].active.is_some() {
-            return;
-        }
-        let arbiter = arbiters.entry(destination).or_default();
-        if let Some((_, id)) = arbiter.grant() {
-            let message = messages[&id];
-            let point = channels[destination].params;
-            channels[destination].active = Some((point, now));
-            queue.push(Reverse(Event {
-                time: now.advanced_by(point.transfer_duration(message.words)),
-                sequence: *sequence,
-                kind: EventKind::Complete,
-                message: id,
-            }));
-            *sequence += 1;
         }
     }
 }
@@ -747,6 +281,7 @@ mod tests {
     use super::*;
     use crate::traffic::TrafficPattern;
     use onoc_link::TrafficClass;
+    use onoc_thermal::BankTuningMode;
 
     fn latency_first_config() -> FeedbackConfig {
         FeedbackConfig {

@@ -14,31 +14,36 @@
 //! operating point, which the `onoc-ecc-codes` Monte-Carlo tests validate
 //! against bit-true decoding.
 //!
-//! Two thermal modes are available: [`ThermalScenario`] plays back
-//! *prescribed* temperature traces (uniform, hotspot, transient), while
-//! [`FeedbackSimulation`] closes the loop — an epoch-stepped engine deposits
-//! the link's own dissipated power into a per-ONI thermal RC network
-//! (`onoc_thermal::ActivityCoupledEnvironment`) and re-asks the manager as
-//! the self-heated temperatures cross quantization buckets, with hysteresis
-//! against oscillation.  Energy accounting charges the static share of the
-//! channel power (laser + ring heaters) over wall-clock residency and the
-//! dynamic share (modulation + codec) over transfer occupancy.
+//! All runs go through one surface: [`ScenarioBuilder`] composes traffic, a
+//! thermal model ([`onoc_thermal::ThermalModelSpec`]: prescribed traces, the
+//! activity-coupled RC network, or workload-heated compute clusters), a
+//! decision policy ([`DecisionPolicy`]: per-message or the epoch-gated
+//! feedback loop), the link fleet (stack, per-ONI fabrication variation,
+//! cache resolution) and a thread budget into a [`Scenario`] whose
+//! [`Scenario::run`] returns the unified [`RunReport`].  Energy accounting
+//! charges the static share of the channel power (laser + ring heaters) over
+//! wall-clock residency and the dynamic share (modulation + codec) over
+//! transfer occupancy.
+//!
+//! The legacy entry points — `Simulation` + `SimulationConfig`,
+//! `ThermalScenario` and `FeedbackSimulation` + `FeedbackConfig` — survive
+//! as thin `#[deprecated]` shims over the builder, pinned bit-identical by
+//! golden tests.
 //!
 //! # Example
 //!
 //! ```
-//! use onoc_sim::{Simulation, SimulationConfig, traffic::TrafficPattern};
+//! use onoc_sim::{ScenarioBuilder, traffic::TrafficPattern};
 //! use onoc_link::TrafficClass;
 //!
-//! let config = SimulationConfig {
-//!     oni_count: 4,
-//!     pattern: TrafficPattern::UniformRandom { messages_per_node: 20 },
-//!     class: TrafficClass::Bulk,
-//!     words_per_message: 8,
-//!     seed: 7,
-//!     ..SimulationConfig::default()
-//! };
-//! let report = Simulation::new(config)?.run();
+//! let report = ScenarioBuilder::new()
+//!     .oni_count(4)
+//!     .pattern(TrafficPattern::UniformRandom { messages_per_node: 20 })
+//!     .class(TrafficClass::Bulk)
+//!     .words_per_message(8)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
 //! assert_eq!(report.stats.delivered_messages, 4 * 20);
 //! # Ok::<(), onoc_sim::SimulationError>(())
 //! ```
@@ -50,17 +55,27 @@ pub mod arbiter;
 pub mod engine;
 pub mod feedback;
 pub mod packet;
+pub mod scenario;
 pub mod stats;
 pub mod thermal;
 pub mod time;
 pub mod traffic;
 
-pub use engine::{Simulation, SimulationConfig, SimulationError, SimulationReport};
-pub use feedback::{
-    EpochSample, FeedbackConfig, FeedbackReport, FeedbackSimulation, OniFeedbackReport,
-    RingVariationConfig, SchemeSwitch,
-};
+pub use engine::{SimulationConfig, SimulationError, SimulationReport};
+pub use feedback::{FeedbackConfig, FeedbackReport, OniFeedbackReport};
 pub use packet::{Message, MessageId};
+pub use scenario::{
+    DecisionPolicy, EpochSample, OniReport, RingVariationConfig, RunReport, Scenario,
+    ScenarioBuilder, ScenarioConfig, SchemeSwitch,
+};
 pub use stats::SimStats;
-pub use thermal::{OniThermalReport, ThermalRunReport, ThermalScenario};
+pub use thermal::{OniThermalReport, ThermalRunReport};
 pub use time::SimTime;
+
+// Legacy entry points, re-exported for the deprecated migration shims.
+#[allow(deprecated)]
+pub use engine::Simulation;
+#[allow(deprecated)]
+pub use feedback::FeedbackSimulation;
+#[allow(deprecated)]
+pub use thermal::ThermalScenario;

@@ -1,0 +1,1571 @@
+//! The unified simulation surface: one builder, one run, one report.
+//!
+//! Historically the simulator exposed three divergent entry points —
+//! `Simulation` + `SimulationConfig` (fixed-ambient and prescribed-trace
+//! playback), `ThermalScenario` (the prescribed-trace attachment) and
+//! `FeedbackSimulation` + `FeedbackConfig` (activity-coupled heating) — with
+//! two incompatible report types and duplicated knobs.  [`ScenarioBuilder`]
+//! replaces all of them: it composes
+//!
+//! * **traffic** (pattern, class, message geometry, arrival process, seed),
+//! * a **thermal model** ([`onoc_thermal::ThermalModelSpec`]: prescribed
+//!   environments, the activity-coupled RC network, or workload-heated
+//!   compute clusters),
+//! * a **decision policy** ([`DecisionPolicy`]: per-message decisions at
+//!   injection time, or the epoch-gated feedback loop with hysteresis),
+//! * the **link fleet** (thermal stack, per-ONI fabrication variation,
+//!   tuning mode, operating-point cache resolution), and
+//! * a **thread budget** for sharding independent per-ONI work
+//!
+//! into one [`Scenario`] whose [`Scenario::run`] returns the unified
+//! [`RunReport`] — per-ONI state (delivered traffic, temperatures, scheme,
+//! switches, energy split) plus run-level epochs, decisions, switch log,
+//! trajectory and solver-cache counters, whatever combination produced it.
+//!
+//! The legacy entry points survive as thin `#[deprecated]` shims over this
+//! builder and are pinned bit-identical by `tests/scenario_migration.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use onoc_link::TrafficClass;
+//! use onoc_sim::{traffic::TrafficPattern, ScenarioBuilder};
+//!
+//! let report = ScenarioBuilder::new()
+//!     .oni_count(4)
+//!     .pattern(TrafficPattern::UniformRandom { messages_per_node: 20 })
+//!     .class(TrafficClass::Bulk)
+//!     .words_per_message(8)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
+//! assert_eq!(report.stats.delivered_messages, 4 * 20);
+//! # Ok::<(), onoc_sim::SimulationError>(())
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use onoc_ecc_codes::EccScheme;
+use onoc_link::{
+    CacheCounters, LinkManager, ManagerDecision, NanophotonicLink, ThermalLinkStack, TrafficClass,
+};
+use onoc_parallel::{default_shards, parallel_map};
+use onoc_thermal::{
+    BankTuningMode, FabricationVariation, RcNetworkParameters, ThermalEnvironment, ThermalModel,
+    ThermalModelSpec, WorkloadTrace,
+};
+use onoc_units::Celsius;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::TokenArbiter;
+use crate::engine::{
+    conditional_corrupted_bits, DecisionParams, Event, EventKind, SimulationError,
+};
+use crate::packet::{Message, MessageId};
+use crate::stats::SimStats;
+use crate::thermal::{bucket_centre, bucket_index};
+use crate::time::SimTime;
+use crate::traffic::{TrafficGenerator, TrafficPattern};
+
+/// Per-ONI fabrication variation of a scenario's link fleet: every
+/// destination channel becomes its own chip instance, with ring offsets
+/// sampled from `sigma_nm` under a seed derived from `seed` and the ONI
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingVariationConfig {
+    /// Standard deviation of the per-ring resonance offsets, in nm.
+    pub sigma_nm: f64,
+    /// Base seed; each ONI derives its own chip seed from it.
+    pub seed: u64,
+    /// Tuning mode of every ONI's bank (pure heater or barrel shift).
+    pub mode: BankTuningMode,
+}
+
+impl RingVariationConfig {
+    /// Checks σ and the tuning mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        FabricationVariation {
+            sigma_nm: self.sigma_nm,
+            seed: self.seed,
+        }
+        .validate()?;
+        self.mode.validate()
+    }
+
+    /// The chip instance of destination `oni`.
+    #[must_use]
+    pub fn oni_variation(&self, oni: usize) -> FabricationVariation {
+        // SplitMix64 of (seed, oni) so neighbouring ONIs get uncorrelated
+        // chips while the whole fleet stays reproducible.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FabricationVariation::new(self.sigma_nm, z ^ (z >> 31))
+    }
+}
+
+/// One scheme change taken during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeSwitch {
+    /// Simulated time of the switch, in nanoseconds.
+    pub time_ns: f64,
+    /// Destination ONI whose channel switched.
+    pub oni: usize,
+    /// Scheme before the switch.
+    pub from: EccScheme,
+    /// Scheme after the switch.
+    pub to: EccScheme,
+    /// Channel temperature that triggered the re-decision, in °C.
+    pub temperature_c: f64,
+}
+
+/// Temperature envelope of the interconnect at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// End of the epoch, in nanoseconds.
+    pub time_ns: f64,
+    /// Coolest node temperature, in °C.
+    pub min_temperature_c: f64,
+    /// Hottest node temperature, in °C.
+    pub max_temperature_c: f64,
+    /// Number of destination channels currently on a non-baseline scheme.
+    pub reconfigured_onis: usize,
+}
+
+/// When and how the runtime manager re-decides a channel's operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionPolicy {
+    /// One decision per message, taken at injection time from the prescribed
+    /// temperature of the destination channel.  Only valid with a
+    /// [`ThermalModelSpec::Prescribed`] model — per-message precomputation
+    /// cannot see temperatures the traffic itself will create.
+    PerMessage {
+        /// Temperature quantization of the decision cache, in kelvin:
+        /// injections within the same bucket share one operating point.
+        quantization_k: f64,
+    },
+    /// The epoch-stepped feedback loop: play events for one epoch, deposit
+    /// the dissipated power into the thermal model, advance it, and re-ask
+    /// the manager for ONIs whose temperature left its decision bucket —
+    /// with deadband and scheme-revert hysteresis against oscillation.
+    /// Valid with every thermal model.
+    EpochGated {
+        /// Epoch length, in nanoseconds.
+        epoch_ns: f64,
+        /// Temperature quantization of manager decisions, in kelvin.
+        quantization_k: f64,
+        /// Hysteresis deadband, in kelvin, on top of half a bucket.
+        hysteresis_k: f64,
+        /// Scheme-revert hysteresis, in kelvin: undoing a channel's most
+        /// recent switch needs at least this much temperature excursion from
+        /// the switch point.
+        revert_hysteresis_k: f64,
+    },
+}
+
+impl DecisionPolicy {
+    /// The default per-message policy (0.5 K decision buckets).
+    #[must_use]
+    pub fn per_message() -> Self {
+        Self::PerMessage {
+            quantization_k: 0.5,
+        }
+    }
+
+    /// The default epoch-gated policy (25 ns epochs, 0.5 K buckets, 1.5 K
+    /// deadband, 10 K revert hysteresis — the values of the legacy feedback
+    /// engine).
+    #[must_use]
+    pub fn epoch_gated() -> Self {
+        Self::EpochGated {
+            epoch_ns: 25.0,
+            quantization_k: 0.5,
+            hysteresis_k: 1.5,
+            revert_hysteresis_k: 10.0,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), SimulationError> {
+        let quantization = match *self {
+            Self::PerMessage { quantization_k } | Self::EpochGated { quantization_k, .. } => {
+                quantization_k
+            }
+        };
+        if !(quantization > 0.0 && quantization.is_finite()) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: format!(
+                    "thermal quantization step must be positive and finite, got {quantization}"
+                ),
+            });
+        }
+        if let Self::EpochGated {
+            epoch_ns,
+            hysteresis_k,
+            revert_hysteresis_k,
+            ..
+        } = *self
+        {
+            if !(epoch_ns > 0.0 && epoch_ns.is_finite()) {
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: format!("epoch must be positive and finite, got {epoch_ns}"),
+                });
+            }
+            for (name, value) in [
+                ("hysteresis", hysteresis_k),
+                ("revert hysteresis", revert_hysteresis_k),
+            ] {
+                if !(value >= 0.0 && value.is_finite()) {
+                    return Err(SimulationError::InvalidConfiguration {
+                        reason: format!("{name} must be non-negative and finite, got {value}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The complete, serializable description of one scenario: everything
+/// [`ScenarioBuilder`] composes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of ONIs in the interconnect.
+    pub oni_count: usize,
+    /// Spatial/temporal traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Traffic class of every message (drives the manager's scheme choice).
+    pub class: TrafficClass,
+    /// Number of 64-bit words per message.
+    pub words_per_message: u64,
+    /// Mean inter-arrival time at each source, in nanoseconds.
+    pub mean_inter_arrival_ns: f64,
+    /// Deadline slack granted to each message, in nanoseconds (`None` = no
+    /// deadlines).
+    pub deadline_slack_ns: Option<f64>,
+    /// Nominal BER target the platform guarantees.
+    pub nominal_ber: f64,
+    /// RNG seed (traffic and error injection are fully reproducible).
+    pub seed: u64,
+    /// The thermal substrate the run plays over.
+    pub thermal: ThermalModelSpec,
+    /// Decision policy; `None` derives it from the thermal model
+    /// (prescribed → per-message, coupled → epoch-gated defaults).
+    pub policy: Option<DecisionPolicy>,
+    /// Optional custom thermal stack (drift slope, heater, tune policy) for
+    /// every ONI's link; `None` uses the paper default.
+    pub stack: Option<ThermalLinkStack>,
+    /// Optional per-ONI fabrication variation: `Some` makes the fleet
+    /// heterogeneous (one seeded chip instance per destination channel).
+    pub variation: Option<RingVariationConfig>,
+    /// Optional operating-point cache resolution override, in buckets per
+    /// kelvin (`None` keeps the link default of 20).
+    pub cache_buckets_per_kelvin: Option<f64>,
+    /// Thread budget for sharding independent per-ONI work (baseline solves
+    /// and epoch re-asks of heterogeneous fleets); `0` = one shard per core.
+    /// Any value produces bit-identical reports.
+    pub threads: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            oni_count: 12,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 10,
+            },
+            class: TrafficClass::Bulk,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 5.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 1,
+            thermal: ThermalModelSpec::paper_ambient(),
+            policy: None,
+            stack: None,
+            variation: None,
+            cache_buckets_per_kelvin: None,
+            threads: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The decision policy in effect: the explicit one, or the default
+    /// derived from the thermal model family.
+    #[must_use]
+    pub fn resolved_policy(&self) -> DecisionPolicy {
+        self.policy.unwrap_or({
+            if self.thermal.is_activity_coupled() {
+                DecisionPolicy::epoch_gated()
+            } else {
+                DecisionPolicy::per_message()
+            }
+        })
+    }
+
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::InvalidConfiguration`] for structural problems:
+    /// too few ONIs, empty messages, a BER outside (0, 0.5), a degenerate
+    /// arrival process, an invalid thermal model or policy, a per-message
+    /// policy over an activity-coupled model, an invalid stack/variation, or
+    /// a degenerate cache resolution.
+    pub fn validate(&self) -> Result<(), SimulationError> {
+        if self.oni_count < 2 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "at least two ONIs are required".into(),
+            });
+        }
+        if self.words_per_message == 0 {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "messages must carry at least one word".into(),
+            });
+        }
+        if !(self.nominal_ber > 0.0 && self.nominal_ber < 0.5) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "nominal BER must be in (0, 0.5)".into(),
+            });
+        }
+        if !(self.mean_inter_arrival_ns > 0.0 && self.mean_inter_arrival_ns.is_finite()) {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: format!(
+                    "mean inter-arrival time must be positive and finite, got {}",
+                    self.mean_inter_arrival_ns
+                ),
+            });
+        }
+        self.thermal
+            .validate(self.oni_count)
+            .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        let policy = self.resolved_policy();
+        policy.validate()?;
+        if matches!(policy, DecisionPolicy::PerMessage { .. }) && self.thermal.is_activity_coupled()
+        {
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "per-message decisions replay a prescribed thermal model; \
+                         activity-coupled and workload-heated models need the \
+                         epoch-gated policy"
+                    .into(),
+            });
+        }
+        if matches!(policy, DecisionPolicy::PerMessage { .. }) && self.variation.is_some() {
+            // The per-message engine keeps one fleet-wide baseline (ONI 0's
+            // chip) for static-power residency and switch bookkeeping; a
+            // heterogeneous fleet needs the per-ONI baselines only the
+            // epoch-gated engine maintains.
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "per-ONI fabrication variation requires the epoch-gated policy".into(),
+            });
+        }
+        if let Some(stack) = &self.stack {
+            stack
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
+        if let Some(variation) = &self.variation {
+            variation
+                .validate()
+                .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+        }
+        if let Some(buckets) = self.cache_buckets_per_kelvin {
+            if !(buckets > 0.0 && buckets.is_finite()) {
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: format!(
+                        "cache resolution must be positive and finite, got {buckets} \
+                         buckets per kelvin"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The link of destination `oni` under this configuration: the base
+    /// stack (custom or paper default) plus, for heterogeneous fleets, that
+    /// ONI's own chip instance and tuning mode.
+    fn oni_link(&self, oni: usize) -> NanophotonicLink {
+        let mut link = NanophotonicLink::paper_link();
+        if let Some(stack) = self.stack {
+            link = link.with_thermal_stack(stack);
+        }
+        if let Some(variation) = &self.variation {
+            link = link
+                .with_fabrication_variation(variation.oni_variation(oni))
+                .with_bank_tuning_mode(variation.mode);
+        }
+        if let Some(buckets) = self.cache_buckets_per_kelvin {
+            link = link
+                .with_cache_resolution(buckets)
+                .expect("validated cache resolution");
+        }
+        link
+    }
+
+    fn shards(&self) -> usize {
+        if self.threads == 0 {
+            default_shards()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Builder over [`ScenarioConfig`]: every knob is a chainable setter, and
+/// the setters commute — the report depends only on the final configuration,
+/// never on the order the fields were set in (property-tested).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    config: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// Starts from the default configuration (12 ONIs, bulk uniform-random
+    /// traffic, the paper's fixed 25 °C ambient, per-message decisions).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration.
+    #[must_use]
+    pub fn from_config(config: ScenarioConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration built so far.
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Sets the number of ONIs.
+    #[must_use]
+    pub fn oni_count(mut self, oni_count: usize) -> Self {
+        self.config.oni_count = oni_count;
+        self
+    }
+
+    /// Sets the traffic pattern.
+    #[must_use]
+    pub fn pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.config.pattern = pattern;
+        self
+    }
+
+    /// Sets the traffic class.
+    #[must_use]
+    pub fn class(mut self, class: TrafficClass) -> Self {
+        self.config.class = class;
+        self
+    }
+
+    /// Sets the number of 64-bit words per message.
+    #[must_use]
+    pub fn words_per_message(mut self, words: u64) -> Self {
+        self.config.words_per_message = words;
+        self
+    }
+
+    /// Sets the mean inter-arrival time per source, in nanoseconds.
+    #[must_use]
+    pub fn mean_inter_arrival_ns(mut self, mean_ns: f64) -> Self {
+        self.config.mean_inter_arrival_ns = mean_ns;
+        self
+    }
+
+    /// Grants every message a deadline `slack_ns` after its injection.
+    #[must_use]
+    pub fn deadline_slack_ns(mut self, slack_ns: Option<f64>) -> Self {
+        self.config.deadline_slack_ns = slack_ns;
+        self
+    }
+
+    /// Sets the nominal BER target.
+    #[must_use]
+    pub fn nominal_ber(mut self, ber: f64) -> Self {
+        self.config.nominal_ber = ber;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the thermal model spec directly.
+    #[must_use]
+    pub fn thermal_model(mut self, spec: ThermalModelSpec) -> Self {
+        self.config.thermal = spec;
+        self
+    }
+
+    /// Plays the run over a prescribed temperature trace.
+    #[must_use]
+    pub fn prescribed(self, environment: ThermalEnvironment) -> Self {
+        self.thermal_model(ThermalModelSpec::Prescribed { environment })
+    }
+
+    /// Heats the run with the link's own dissipation through a per-ONI RC
+    /// network.
+    #[must_use]
+    pub fn activity_coupled(self, network: RcNetworkParameters) -> Self {
+        self.thermal_model(ThermalModelSpec::ActivityCoupled { network })
+    }
+
+    /// Heats the run with the link's dissipation *plus* per-ONI workload
+    /// heat-injection traces (one per ONI).
+    #[must_use]
+    pub fn workload_heated(self, network: RcNetworkParameters, traces: Vec<WorkloadTrace>) -> Self {
+        self.thermal_model(ThermalModelSpec::WorkloadHeated { network, traces })
+    }
+
+    /// Sets the decision policy explicitly (the default follows the thermal
+    /// model: prescribed → per-message, coupled → epoch-gated).
+    #[must_use]
+    pub fn policy(mut self, policy: DecisionPolicy) -> Self {
+        self.config.policy = Some(policy);
+        self
+    }
+
+    /// Replaces the thermal stack of every ONI's link.
+    #[must_use]
+    pub fn stack(mut self, stack: ThermalLinkStack) -> Self {
+        self.config.stack = Some(stack);
+        self
+    }
+
+    /// Gives the fleet per-ONI fabrication variation (one chip instance and
+    /// manager per destination channel).
+    #[must_use]
+    pub fn variation(mut self, variation: RingVariationConfig) -> Self {
+        self.config.variation = Some(variation);
+        self
+    }
+
+    /// Overrides the operating-point cache resolution, in buckets per
+    /// kelvin.  Degenerate values are rejected by
+    /// [`ScenarioBuilder::build`] as
+    /// [`SimulationError::InvalidConfiguration`].
+    #[must_use]
+    pub fn cache_resolution(mut self, buckets_per_kelvin: f64) -> Self {
+        self.config.cache_buckets_per_kelvin = Some(buckets_per_kelvin);
+        self
+    }
+
+    /// Sets the thread budget for sharding independent per-ONI work
+    /// (`0` = one shard per core).  Reports are bit-identical at any value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates the configuration and prepares the scenario: builds the
+    /// manager fleet, generates the traffic, and solves the initial
+    /// operating points.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::InvalidConfiguration`] — see
+    ///   [`ScenarioConfig::validate`];
+    /// * [`SimulationError::NoFeasibleConfiguration`] when the traffic class
+    ///   cannot be served at some required temperature.
+    pub fn build(self) -> Result<Scenario, SimulationError> {
+        Scenario::new(self.config)
+    }
+}
+
+/// Final state of one destination channel after a run: the unified per-ONI
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OniReport {
+    /// Destination ONI index.
+    pub oni: usize,
+    /// Messages delivered to this destination.
+    pub delivered_messages: u64,
+    /// Channel temperature at the end of the run, in °C.  Under the
+    /// per-message policy this is the temperature of the last decision
+    /// applied to the channel (the ambient baseline when it saw no
+    /// traffic).
+    pub final_temperature_c: f64,
+    /// Hottest temperature the channel saw, in °C (same caveat).
+    pub peak_temperature_c: f64,
+    /// Scheme the channel ended the run on.
+    pub scheme: EccScheme,
+    /// Channel power of the final operating point, in mW.
+    pub channel_power_mw: f64,
+    /// Thermal-tuning share of the final per-lane power, in mW.
+    pub tuning_power_mw_per_lane: f64,
+    /// Number of scheme changes the channel went through.
+    pub scheme_switches: u64,
+    /// Static (laser + ring heater) energy charged to this channel, in pJ.
+    pub static_energy_pj: f64,
+    /// Dynamic (modulation + codec) energy charged to this channel, in pJ.
+    pub dynamic_energy_pj: f64,
+}
+
+/// Outcome of one scenario run: the unified report of every entry point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The configuration that was simulated.
+    pub config: ScenarioConfig,
+    /// Scheme of the initial operating point of ONI 0's channel.
+    pub baseline_scheme: EccScheme,
+    /// Channel power of that baseline point, in mW.
+    pub baseline_channel_power_mw: f64,
+    /// Decoded BER of that baseline point.
+    pub baseline_decoded_ber: f64,
+    /// Aggregate traffic statistics (energy includes the static share).
+    pub stats: SimStats,
+    /// Final per-destination state, sorted by ONI index (one entry per ONI).
+    pub per_oni: Vec<OniReport>,
+    /// Number of epochs stepped (0 under the per-message policy).
+    pub epochs: u64,
+    /// Manager queries: epoch-gated re-asks, or distinct per-message
+    /// decision solves beyond the baseline.
+    pub decisions: u64,
+    /// Epoch-gated re-asks the manager could not serve (the channel kept its
+    /// previous operating point).
+    pub infeasible_requests: u64,
+    /// Messages delivered on a scheme other than their destination's
+    /// baseline.
+    pub reconfigured_messages: u64,
+    /// Every scheme change, in time order.
+    pub switch_log: Vec<SchemeSwitch>,
+    /// Temperature envelope per epoch (empty under the per-message policy).
+    pub trajectory: Vec<EpochSample>,
+    /// Aggregated operating-point cache counters of the manager fleet:
+    /// `misses` is the number of actual photonic-solver invocations.
+    pub solver_cache: CacheCounters,
+}
+
+impl RunReport {
+    /// Total scheme switches across the interconnect.
+    #[must_use]
+    pub fn total_switches(&self) -> u64 {
+        self.switch_log.len() as u64
+    }
+
+    /// Number of distinct schemes in use at the end of the run.
+    #[must_use]
+    pub fn distinct_final_schemes(&self) -> usize {
+        self.per_oni
+            .iter()
+            .map(|o| o.scheme)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// The per-ONI entries that actually received traffic.
+    pub fn active_onis(&self) -> impl Iterator<Item = &OniReport> {
+        self.per_oni.iter().filter(|o| o.delivered_messages > 0)
+    }
+}
+
+/// Per-destination live state during an epoch-gated run.
+#[derive(Debug, Clone, Copy)]
+struct ChannelState {
+    params: DecisionParams,
+    /// Scheme of this channel's own initial baseline (with a heterogeneous
+    /// fleet, different ONIs can legitimately start on different schemes).
+    baseline_scheme: EccScheme,
+    /// Temperature (bucket centre) of the last decision, in °C.
+    decision_temperature_c: f64,
+    /// Most recent scheme switch: the scheme switched *away from* and the
+    /// channel temperature at the switch (the revert-hysteresis anchor).
+    last_switch: Option<(EccScheme, f64)>,
+    /// Transfer in flight: operating point captured at grant time, and when
+    /// it started.
+    active: Option<(DecisionParams, SimTime)>,
+    peak_temperature_c: f64,
+    switches: u64,
+}
+
+/// Per-ONI bookkeeping shared by both run loops.
+#[derive(Debug, Clone, Default)]
+struct OniAccumulators {
+    delivered: Vec<u64>,
+    static_pj: Vec<f64>,
+    dynamic_pj: Vec<f64>,
+}
+
+impl OniAccumulators {
+    fn new(oni_count: usize) -> Self {
+        Self {
+            delivered: vec![0; oni_count],
+            static_pj: vec![0.0; oni_count],
+            dynamic_pj: vec![0.0; oni_count],
+        }
+    }
+}
+
+/// A fully-prepared scenario, ready to [`Scenario::run`].
+#[derive(Debug)]
+pub struct Scenario {
+    config: ScenarioConfig,
+    policy: DecisionPolicy,
+    /// One manager per destination ONI for heterogeneous fleets, or a
+    /// single shared manager (and operating-point cache) when every channel
+    /// is the same chip.
+    managers: Vec<LinkManager>,
+    /// Distinct operating-point decisions: the baseline of ONI 0 first,
+    /// then (per-message policy) one entry per distinct decision bucket.
+    decisions: Vec<ManagerDecision>,
+    /// Per-message policy: decision index per message (baseline when
+    /// absent).
+    assignment: HashMap<MessageId, usize>,
+    /// Per-message policy: manager solves performed during precomputation.
+    precompute_queries: u64,
+    /// Epoch-gated policy: initial operating point per ONI.
+    baselines: Vec<DecisionParams>,
+    /// Epoch-gated policy: the instantiated thermal model.
+    model: Option<Box<dyn ThermalModel>>,
+    messages: HashMap<MessageId, Message>,
+    injection_order: Vec<MessageId>,
+    rng: StdRng,
+}
+
+impl Scenario {
+    /// Validates `config` and prepares the run (manager fleet, traffic,
+    /// initial operating points).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioBuilder::build`].
+    pub fn new(config: ScenarioConfig) -> Result<Self, SimulationError> {
+        config.validate()?;
+        let policy = config.resolved_policy();
+        let n = config.oni_count;
+        // A homogeneous fleet shares one manager (and one operating-point
+        // cache); a heterogeneous fleet gets one chip instance per ONI.
+        let manager_count = if config.variation.is_some() { n } else { 1 };
+        let managers: Vec<LinkManager> = (0..manager_count)
+            .map(|oni| {
+                LinkManager::new(
+                    config.oni_link(oni),
+                    EccScheme::paper_schemes().to_vec(),
+                    config.nominal_ber,
+                )
+            })
+            .collect();
+
+        let generated = TrafficGenerator::new(
+            config.pattern,
+            config.oni_count,
+            config.words_per_message,
+            config.class,
+            config.mean_inter_arrival_ns,
+            config.deadline_slack_ns,
+            config.seed,
+        )
+        .generate();
+
+        let mut decisions: Vec<ManagerDecision> = Vec::new();
+        let mut assignment: HashMap<MessageId, usize> = HashMap::new();
+        let mut precompute_queries = 0u64;
+        let mut baselines: Vec<DecisionParams> = Vec::new();
+        let mut model: Option<Box<dyn ThermalModel>> = None;
+
+        let infeasible = || SimulationError::NoFeasibleConfiguration {
+            class: config.class,
+        };
+        let manager_index = |oni: usize| if manager_count == 1 { 0 } else { oni };
+
+        match policy {
+            DecisionPolicy::PerMessage { quantization_k } => {
+                // The baseline of ONI 0's chip at the calibration ambient,
+                // then one decision per distinct (manager, temperature
+                // bucket) a message injection touches.
+                let baseline = managers[0].configure(config.class).ok_or_else(infeasible)?;
+                decisions.push(baseline);
+                let ThermalModelSpec::Prescribed { environment } = &config.thermal else {
+                    unreachable!("validated: per-message policy implies a prescribed model");
+                };
+                let mut cache: HashMap<(usize, i64), usize> = HashMap::new();
+                for message in &generated {
+                    let temperature = environment.temperature_at(
+                        message.destination,
+                        config.oni_count,
+                        message.injected_at.as_nanos(),
+                    );
+                    let bucket = bucket_index(temperature.value(), quantization_k);
+                    let key = (manager_index(message.destination), bucket);
+                    let index = match cache.get(&key) {
+                        Some(&index) => index,
+                        None => {
+                            let bucket_temperature =
+                                Celsius::new(bucket_centre(bucket, quantization_k));
+                            let decision = managers[key.0]
+                                .configure_at(config.class, bucket_temperature)
+                                .ok_or_else(infeasible)?;
+                            precompute_queries += 1;
+                            decisions.push(decision);
+                            cache.insert(key, decisions.len() - 1);
+                            decisions.len() - 1
+                        }
+                    };
+                    assignment.insert(message.id, index);
+                }
+            }
+            DecisionPolicy::EpochGated { quantization_k, .. } => {
+                let built = config.thermal.instantiate(n);
+                // Initial operating point per ONI at its own (bucketed)
+                // starting temperature; distinct (manager, bucket) pairs are
+                // solved once.
+                let initial: Vec<(usize, i64)> = (0..n)
+                    .map(|oni| {
+                        let t0 = built.temperature_of(oni).value();
+                        (manager_index(oni), bucket_index(t0, quantization_k))
+                    })
+                    .collect();
+                let solve = |&(midx, bucket): &(usize, i64)| {
+                    managers[midx]
+                        .configure_at(
+                            config.class,
+                            Celsius::new(bucket_centre(bucket, quantization_k)),
+                        )
+                        .ok_or_else(infeasible)
+                };
+                let solved: Vec<ManagerDecision> =
+                    if manager_count == n && n > 1 && config.shards() > 1 {
+                        // Heterogeneous fleet: every ONI owns its manager and
+                        // cache, so the expensive first solves shard cleanly.
+                        parallel_map(&initial, config.shards(), solve)
+                            .into_iter()
+                            .collect::<Result<_, _>>()?
+                    } else {
+                        // Shared manager: solve each distinct bucket once, in
+                        // ONI order (identical values, deterministic counters).
+                        let mut memo: HashMap<(usize, i64), ManagerDecision> = HashMap::new();
+                        let mut out = Vec::with_capacity(n);
+                        for key in &initial {
+                            let decision = match memo.get(key) {
+                                Some(&decision) => decision,
+                                None => {
+                                    let decision = solve(key)?;
+                                    memo.insert(*key, decision);
+                                    decision
+                                }
+                            };
+                            out.push(decision);
+                        }
+                        out
+                    };
+                decisions.push(solved[0]);
+                baselines = solved.iter().map(DecisionParams::from_decision).collect();
+                model = Some(built);
+            }
+        }
+
+        let injection_order = generated.iter().map(|m| m.id).collect();
+        let messages = generated.into_iter().map(|m| (m.id, m)).collect();
+        Ok(Self {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
+            policy,
+            config,
+            managers,
+            decisions,
+            assignment,
+            precompute_queries,
+            baselines,
+            model,
+            messages,
+            injection_order,
+        })
+    }
+
+    /// The configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The decision policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> DecisionPolicy {
+        self.policy
+    }
+
+    /// Number of messages that will be injected.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// The initial operating point of ONI 0's channel.
+    #[must_use]
+    pub fn baseline_decision(&self) -> &ManagerDecision {
+        &self.decisions[0]
+    }
+
+    /// All distinct operating points prepared before the run (baseline
+    /// first; per-message policy adds one entry per decision bucket).
+    #[must_use]
+    pub fn decisions(&self) -> &[ManagerDecision] {
+        &self.decisions
+    }
+
+    /// The manager serving destination `oni`.
+    fn manager_for(&self, oni: usize) -> &LinkManager {
+        if self.managers.len() == 1 {
+            &self.managers[0]
+        } else {
+            &self.managers[oni]
+        }
+    }
+
+    /// Aggregated operating-point cache counters across the manager fleet.
+    fn cache_counters(&self) -> CacheCounters {
+        self.managers
+            .iter()
+            .fold(CacheCounters::default(), |mut total, manager| {
+                let counters = manager.link().cache_counters();
+                total.hits += counters.hits;
+                total.misses += counters.misses;
+                total.entries += counters.entries;
+                total
+            })
+    }
+
+    /// Runs the scenario to completion.
+    #[must_use]
+    pub fn run(self) -> RunReport {
+        match self.policy {
+            DecisionPolicy::PerMessage { .. } => self.run_per_message(),
+            DecisionPolicy::EpochGated { .. } => self.run_epoch_gated(),
+        }
+    }
+
+    /// The per-message engine: every message rides the decision precomputed
+    /// for its injection-time destination temperature.
+    #[allow(clippy::too_many_lines)]
+    fn run_per_message(mut self) -> RunReport {
+        let n = self.config.oni_count;
+        let params: Vec<DecisionParams> = self
+            .decisions
+            .iter()
+            .map(DecisionParams::from_decision)
+            .collect();
+        let baseline = params[0];
+
+        let mut stats = SimStats {
+            injected_messages: self.messages.len() as u64,
+            ..SimStats::default()
+        };
+        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut sequence = 0u64;
+        for &id in &self.injection_order {
+            let message = self.messages[&id];
+            queue.push(Reverse(Event {
+                time: message.injected_at,
+                sequence,
+                kind: EventKind::Inject,
+                message: id,
+            }));
+            sequence += 1;
+        }
+
+        let mut busy: HashMap<usize, bool> = HashMap::new();
+        let mut makespan = SimTime::ZERO;
+        // Static-power residency: every destination channel holds a decision
+        // (initially the baseline) from t = 0; its laser + heater power
+        // burns over wall-clock time regardless of occupancy.  Intervals are
+        // closed lazily, whenever a transfer starts on a decision with a
+        // different static power and at the end of the run.
+        let mut statics: Vec<(usize, SimTime)> = vec![(0, SimTime::ZERO); n];
+        let mut acc = OniAccumulators::new(n);
+        // Last decision applied per destination, switch bookkeeping, and how
+        // many messages ran on a non-baseline scheme.
+        let mut last_per_oni: Vec<Option<usize>> = vec![None; n];
+        let mut peak_t: Vec<f64> = vec![baseline.temperature_c; n];
+        let mut switches: Vec<u64> = vec![0; n];
+        let mut switch_log: Vec<SchemeSwitch> = Vec::new();
+        let mut reconfigured_messages = 0u64;
+
+        while let Some(Reverse(event)) = queue.pop() {
+            makespan = makespan.max_time(event.time);
+            let message = self.messages[&event.message];
+            let index = self.assignment.get(&event.message).copied().unwrap_or(0);
+            let point = params[index];
+            match event.kind {
+                EventKind::Inject => {
+                    let arbiter = arbiters.entry(message.destination).or_default();
+                    arbiter.request(message.source, message.id);
+                    Self::per_message_try_start(
+                        message.destination,
+                        event.time,
+                        &mut arbiters,
+                        &mut busy,
+                        &mut queue,
+                        &mut sequence,
+                        &self.messages,
+                        &params,
+                        &self.assignment,
+                        &mut statics,
+                        &mut stats,
+                        &mut acc,
+                    );
+                }
+                EventKind::Complete => {
+                    let destination = message.destination;
+                    let duration_ns = point.transfer_duration(message.words).value();
+                    stats.delivered_messages += 1;
+                    stats.delivered_bits += message.payload_bits();
+                    stats.channel_busy_ns += duration_ns;
+                    // Only the transfer-gated share is charged per transfer;
+                    // the static share accrues over wall-clock residency.
+                    stats.energy_pj += point.dynamic_power_mw * duration_ns;
+                    acc.dynamic_pj[destination] += point.dynamic_power_mw * duration_ns;
+                    acc.delivered[destination] += 1;
+                    let latency = event.time.since(message.injected_at).value();
+                    stats.total_latency_ns += latency;
+                    stats.max_latency_ns = stats.max_latency_ns.max(latency);
+                    if message.misses_deadline(event.time) {
+                        stats.deadline_misses += 1;
+                    }
+                    for _ in 0..message.words {
+                        if self
+                            .rng
+                            .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
+                        {
+                            stats.corrupted_words += 1;
+                            stats.corrupted_bits +=
+                                conditional_corrupted_bits(&mut self.rng, 64, point.decoded_ber);
+                        }
+                        if self
+                            .rng
+                            .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
+                        {
+                            stats.corrected_words += 1;
+                        }
+                    }
+                    // Unified switch bookkeeping: a delivery on a different
+                    // scheme than the destination's previous delivery is a
+                    // per-message-mode scheme switch.
+                    let previous_scheme = last_per_oni[destination]
+                        .map_or(baseline.scheme, |last| params[last].scheme);
+                    if point.scheme != previous_scheme {
+                        switches[destination] += 1;
+                        switch_log.push(SchemeSwitch {
+                            time_ns: event.time.as_nanos(),
+                            oni: destination,
+                            from: previous_scheme,
+                            to: point.scheme,
+                            temperature_c: point.temperature_c,
+                        });
+                    }
+                    peak_t[destination] = peak_t[destination].max(point.temperature_c);
+                    last_per_oni[destination] = Some(index);
+                    if point.scheme != baseline.scheme {
+                        reconfigured_messages += 1;
+                    }
+                    let arbiter = arbiters
+                        .get_mut(&destination)
+                        .expect("completion implies a prior grant");
+                    arbiter.release(message.id);
+                    busy.insert(destination, false);
+                    Self::per_message_try_start(
+                        destination,
+                        event.time,
+                        &mut arbiters,
+                        &mut busy,
+                        &mut queue,
+                        &mut sequence,
+                        &self.messages,
+                        &params,
+                        &self.assignment,
+                        &mut statics,
+                        &mut stats,
+                        &mut acc,
+                    );
+                }
+            }
+        }
+
+        // Close the static-power residency of every destination channel at
+        // the end of the run: an idle channel's laser and heaters are not
+        // free.  A zero-traffic run has zero makespan and charges nothing.
+        for (oni, &(index, since)) in statics.iter().enumerate() {
+            let residency_pj = params[index].static_power_mw * makespan.since(since).value();
+            stats.energy_pj += residency_pj;
+            stats.static_energy_pj += residency_pj;
+            acc.static_pj[oni] += residency_pj;
+        }
+
+        stats.makespan_ns = makespan.as_nanos();
+        let per_oni = (0..n)
+            .map(|oni| {
+                let p = last_per_oni[oni].map_or(baseline, |last| params[last]);
+                OniReport {
+                    oni,
+                    delivered_messages: acc.delivered[oni],
+                    final_temperature_c: p.temperature_c,
+                    peak_temperature_c: peak_t[oni],
+                    scheme: p.scheme,
+                    channel_power_mw: p.channel_power_mw,
+                    tuning_power_mw_per_lane: p.tuning_power_mw,
+                    scheme_switches: switches[oni],
+                    static_energy_pj: acc.static_pj[oni],
+                    dynamic_energy_pj: acc.dynamic_pj[oni],
+                }
+            })
+            .collect();
+        RunReport {
+            baseline_scheme: baseline.scheme,
+            baseline_channel_power_mw: baseline.channel_power_mw,
+            baseline_decoded_ber: baseline.decoded_ber,
+            stats,
+            per_oni,
+            epochs: 0,
+            decisions: self.precompute_queries,
+            infeasible_requests: 0,
+            reconfigured_messages,
+            switch_log,
+            trajectory: Vec::new(),
+            solver_cache: self.cache_counters(),
+            config: self.config,
+        }
+    }
+
+    /// Grants the next pending transfer on `destination` (per-message mode),
+    /// re-basing the destination's static-power residency when the granted
+    /// decision carries a different static power.
+    #[allow(clippy::too_many_arguments)]
+    fn per_message_try_start(
+        destination: usize,
+        now: SimTime,
+        arbiters: &mut HashMap<usize, TokenArbiter>,
+        busy: &mut HashMap<usize, bool>,
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        sequence: &mut u64,
+        messages: &HashMap<MessageId, Message>,
+        params: &[DecisionParams],
+        assignment: &HashMap<MessageId, usize>,
+        statics: &mut [(usize, SimTime)],
+        stats: &mut SimStats,
+        acc: &mut OniAccumulators,
+    ) {
+        if *busy.get(&destination).unwrap_or(&false) {
+            return;
+        }
+        let arbiter = arbiters.entry(destination).or_default();
+        if let Some((_, id)) = arbiter.grant() {
+            let message = messages[&id];
+            let index = assignment.get(&id).copied().unwrap_or(0);
+            let point = params[index];
+            // Applying a decision with a different static power re-bases the
+            // destination's residency interval at the transfer start.
+            let (current, since) = statics[destination];
+            if params[current].static_power_mw != point.static_power_mw {
+                let residency_pj = params[current].static_power_mw * now.since(since).value();
+                stats.energy_pj += residency_pj;
+                stats.static_energy_pj += residency_pj;
+                acc.static_pj[destination] += residency_pj;
+                statics[destination] = (index, now);
+            }
+            let duration = point.transfer_duration(message.words);
+            busy.insert(destination, true);
+            queue.push(Reverse(Event {
+                time: now.advanced_by(duration),
+                sequence: *sequence,
+                kind: EventKind::Complete,
+                message: id,
+            }));
+            *sequence += 1;
+        }
+    }
+
+    /// One epoch-gated re-ask for `channel` (destination `oni`) at
+    /// temperature `t_now`, after the (cheap, serial) deadband gate has
+    /// already fired: quantization, the scheme-revert hysteresis and the
+    /// infeasibility handling of the feedback loop.  Pure in everything but
+    /// the manager's memoized cache, so heterogeneous fleets shard it
+    /// across threads with bit-identical results.
+    fn reask(
+        &self,
+        mut channel: ChannelState,
+        oni: usize,
+        t_now: f64,
+        end_ns: f64,
+    ) -> (ChannelState, Option<SchemeSwitch>, u64) {
+        let DecisionPolicy::EpochGated {
+            quantization_k,
+            revert_hysteresis_k,
+            ..
+        } = self.policy
+        else {
+            unreachable!("re-asks only happen under the epoch-gated policy");
+        };
+        let bucket_t = bucket_centre(bucket_index(t_now, quantization_k), quantization_k);
+        match self
+            .manager_for(oni)
+            .configure_at(self.config.class, Celsius::new(bucket_t))
+        {
+            Some(decision) => {
+                let new_params = DecisionParams::from_decision(&decision);
+                let mut switch = None;
+                if new_params.scheme != channel.params.scheme {
+                    // Scheme-revert hysteresis: undoing the most recent
+                    // switch needs a temperature excursion beyond its
+                    // anchor, otherwise a channel that just cooled by
+                    // escaping to the coded path would flap straight back.
+                    if let Some((from, at_temp)) = channel.last_switch {
+                        if new_params.scheme == from
+                            && (t_now - at_temp).abs() < revert_hysteresis_k
+                        {
+                            channel.decision_temperature_c = bucket_t;
+                            return (channel, None, 0);
+                        }
+                    }
+                    channel.switches += 1;
+                    channel.last_switch = Some((channel.params.scheme, t_now));
+                    switch = Some(SchemeSwitch {
+                        time_ns: end_ns,
+                        oni,
+                        from: channel.params.scheme,
+                        to: new_params.scheme,
+                        temperature_c: t_now,
+                    });
+                }
+                channel.params = new_params;
+                channel.decision_temperature_c = bucket_t;
+                (channel, switch, 0)
+            }
+            None => {
+                // Keep the previous operating point; the channel stays up at
+                // its old configuration.
+                channel.decision_temperature_c = bucket_t;
+                (channel, None, 1)
+            }
+        }
+    }
+
+    /// The epoch-gated engine: event-driven traffic over an epoch-stepped
+    /// [`ThermalModel`].
+    #[allow(clippy::too_many_lines)]
+    fn run_epoch_gated(mut self) -> RunReport {
+        let n = self.config.oni_count;
+        let DecisionPolicy::EpochGated {
+            epoch_ns,
+            quantization_k,
+            hysteresis_k,
+            ..
+        } = self.policy
+        else {
+            unreachable!("run_epoch_gated implies the epoch-gated policy");
+        };
+        let deadband = quantization_k / 2.0 + hysteresis_k;
+        let mut model = self
+            .model
+            .take()
+            .expect("epoch-gated scenarios hold a model");
+        let mut channels: Vec<ChannelState> = (0..n)
+            .map(|oni| {
+                let baseline = self.baselines[oni];
+                let t0 = model.temperature_of(oni).value();
+                ChannelState {
+                    params: baseline,
+                    baseline_scheme: baseline.scheme,
+                    decision_temperature_c: bucket_centre(
+                        bucket_index(t0, quantization_k),
+                        quantization_k,
+                    ),
+                    last_switch: None,
+                    active: None,
+                    peak_temperature_c: t0,
+                    switches: 0,
+                }
+            })
+            .collect();
+
+        let mut stats = SimStats {
+            injected_messages: self.messages.len() as u64,
+            ..SimStats::default()
+        };
+        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut sequence = 0u64;
+        for &id in &self.injection_order {
+            queue.push(Reverse(Event {
+                time: self.messages[&id].injected_at,
+                sequence,
+                kind: EventKind::Inject,
+                message: id,
+            }));
+            sequence += 1;
+        }
+
+        let mut makespan = SimTime::ZERO;
+        let mut epoch_start = SimTime::ZERO;
+        let mut epochs = 0u64;
+        let mut decisions = 0u64;
+        let mut infeasible_requests = 0u64;
+        let mut reconfigured_messages = 0u64;
+        let mut switch_log: Vec<SchemeSwitch> = Vec::new();
+        let mut trajectory: Vec<EpochSample> = Vec::new();
+        let mut deposited_pj = vec![0.0f64; n];
+        let mut acc = OniAccumulators::new(n);
+        // Per-ONI re-asks shard across threads only when every ONI owns its
+        // manager (and memoized cache); a shared cache stays serial so its
+        // hit/miss counters remain deterministic.
+        let shards = self.config.shards();
+        let shard_reasks = self.managers.len() == n && n > 1 && shards > 1;
+
+        while let Some(&Reverse(next)) = queue.peek() {
+            // Nominal epoch boundary; long idle gaps are covered by a single
+            // stretched epoch ending at the next event (the model step
+            // integrates the whole gap, so nothing is lost).
+            let mut epoch_end = SimTime::from_nanos(epoch_start.as_nanos() + epoch_ns);
+            if next.time > epoch_end {
+                epoch_end = next.time;
+            }
+
+            // 1. Play the event queue through this epoch.
+            while let Some(&Reverse(event)) = queue.peek() {
+                if event.time > epoch_end {
+                    break;
+                }
+                let Reverse(event) = queue.pop().expect("peeked");
+                makespan = makespan.max_time(event.time);
+                let message = self.messages[&event.message];
+                match event.kind {
+                    EventKind::Inject => {
+                        arbiters
+                            .entry(message.destination)
+                            .or_default()
+                            .request(message.source, message.id);
+                        Self::epoch_try_start(
+                            message.destination,
+                            event.time,
+                            &mut arbiters,
+                            &mut channels,
+                            &mut queue,
+                            &mut sequence,
+                            &self.messages,
+                        );
+                    }
+                    EventKind::Complete => {
+                        let (point, started) = channels[message.destination]
+                            .active
+                            .take()
+                            .expect("completion implies an active transfer");
+                        let duration_ns = point.transfer_duration(message.words).value();
+                        stats.delivered_messages += 1;
+                        stats.delivered_bits += message.payload_bits();
+                        stats.channel_busy_ns += duration_ns;
+                        // Dynamic energy for the part of the transfer inside
+                        // this epoch; earlier parts were charged at the
+                        // boundaries of the epochs they crossed.
+                        let from = started.max_time(epoch_start);
+                        let slice_pj = point.dynamic_power_mw * event.time.since(from).value();
+                        stats.energy_pj += slice_pj;
+                        deposited_pj[message.destination] += slice_pj;
+                        acc.dynamic_pj[message.destination] += slice_pj;
+                        acc.delivered[message.destination] += 1;
+                        if point.scheme != channels[message.destination].baseline_scheme {
+                            reconfigured_messages += 1;
+                        }
+                        let latency = event.time.since(message.injected_at).value();
+                        stats.total_latency_ns += latency;
+                        stats.max_latency_ns = stats.max_latency_ns.max(latency);
+                        if message.misses_deadline(event.time) {
+                            stats.deadline_misses += 1;
+                        }
+                        for _ in 0..message.words {
+                            if self
+                                .rng
+                                .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
+                            {
+                                stats.corrupted_words += 1;
+                                stats.corrupted_bits += conditional_corrupted_bits(
+                                    &mut self.rng,
+                                    64,
+                                    point.decoded_ber,
+                                );
+                            }
+                            if self
+                                .rng
+                                .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
+                            {
+                                stats.corrected_words += 1;
+                            }
+                        }
+                        arbiters
+                            .get_mut(&message.destination)
+                            .expect("completion implies a prior grant")
+                            .release(message.id);
+                        Self::epoch_try_start(
+                            message.destination,
+                            event.time,
+                            &mut arbiters,
+                            &mut channels,
+                            &mut queue,
+                            &mut sequence,
+                            &self.messages,
+                        );
+                    }
+                }
+            }
+
+            // The run ends with the last event, not at the nominal epoch
+            // boundary: static power is charged for actual residency only.
+            let end = if queue.is_empty() {
+                makespan
+            } else {
+                epoch_end
+            };
+            let span_ns = end.since(epoch_start).value();
+            if span_ns > 0.0 {
+                // 2. Integrate the power deposited by each destination
+                // channel over this epoch.
+                for (oni, channel) in channels.iter_mut().enumerate() {
+                    if let Some((point, started)) = channel.active {
+                        let from = started.max_time(epoch_start);
+                        let slice_pj = point.dynamic_power_mw * end.since(from).value();
+                        stats.energy_pj += slice_pj;
+                        deposited_pj[oni] += slice_pj;
+                        acc.dynamic_pj[oni] += slice_pj;
+                        // Re-base so the remainder is charged later.
+                        channel.active = Some((point, end));
+                    }
+                    let static_pj = channel.params.static_power_mw * span_ns;
+                    stats.energy_pj += static_pj;
+                    stats.static_energy_pj += static_pj;
+                    deposited_pj[oni] += static_pj;
+                    acc.static_pj[oni] += static_pj;
+                }
+
+                // 3. Advance the thermal model with the average epoch power.
+                let powers_mw: Vec<f64> = deposited_pj.iter().map(|pj| pj / span_ns).collect();
+                model.advance(&powers_mw, span_ns);
+                deposited_pj.iter_mut().for_each(|pj| *pj = 0.0);
+
+                // 4. Re-ask the manager, gated by quantization + hysteresis.
+                // The deadband gate is a handful of float comparisons, so it
+                // runs serially; only the ONIs that actually need a solver
+                // query fan out across threads (most epochs none do, and
+                // spawning workers for an empty batch would dominate).
+                let temps: Vec<f64> = (0..n)
+                    .map(|oni| model.temperature_of(oni).value())
+                    .collect();
+                let end_ns = end.as_nanos();
+                let mut pending: Vec<usize> = Vec::new();
+                for (oni, channel) in channels.iter_mut().enumerate() {
+                    channel.peak_temperature_c = channel.peak_temperature_c.max(temps[oni]);
+                    if (temps[oni] - channel.decision_temperature_c).abs() > deadband {
+                        pending.push(oni);
+                    }
+                }
+                decisions += pending.len() as u64;
+                let outcomes: Vec<(ChannelState, Option<SchemeSwitch>, u64)> =
+                    if shard_reasks && pending.len() > 1 {
+                        parallel_map(&pending, shards, |&oni| {
+                            self.reask(channels[oni], oni, temps[oni], end_ns)
+                        })
+                    } else {
+                        pending
+                            .iter()
+                            .map(|&oni| self.reask(channels[oni], oni, temps[oni], end_ns))
+                            .collect()
+                    };
+                for (&oni, (state, switch, infeasible)) in pending.iter().zip(outcomes) {
+                    channels[oni] = state;
+                    if let Some(switch) = switch {
+                        switch_log.push(switch);
+                    }
+                    infeasible_requests += infeasible;
+                }
+
+                epochs += 1;
+                trajectory.push(EpochSample {
+                    time_ns: end.as_nanos(),
+                    min_temperature_c: temps.iter().copied().fold(f64::INFINITY, f64::min),
+                    max_temperature_c: temps.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    reconfigured_onis: channels
+                        .iter()
+                        .filter(|c| c.params.scheme != c.baseline_scheme)
+                        .count(),
+                });
+            }
+            epoch_start = end;
+        }
+
+        stats.makespan_ns = makespan.as_nanos();
+        let per_oni = channels
+            .iter()
+            .enumerate()
+            .map(|(oni, c)| OniReport {
+                oni,
+                delivered_messages: acc.delivered[oni],
+                final_temperature_c: model.temperature_of(oni).value(),
+                peak_temperature_c: c.peak_temperature_c,
+                scheme: c.params.scheme,
+                channel_power_mw: c.params.channel_power_mw,
+                tuning_power_mw_per_lane: c.params.tuning_power_mw,
+                scheme_switches: c.switches,
+                static_energy_pj: acc.static_pj[oni],
+                dynamic_energy_pj: acc.dynamic_pj[oni],
+            })
+            .collect();
+        let baseline = self.baselines[0];
+        RunReport {
+            baseline_scheme: baseline.scheme,
+            baseline_channel_power_mw: baseline.channel_power_mw,
+            baseline_decoded_ber: baseline.decoded_ber,
+            stats,
+            per_oni,
+            epochs,
+            decisions,
+            infeasible_requests,
+            reconfigured_messages,
+            switch_log,
+            trajectory,
+            solver_cache: self.cache_counters(),
+            config: self.config,
+        }
+    }
+
+    /// Grants the next pending transfer on `destination` (epoch mode),
+    /// capturing the channel's *current* operating point for the whole
+    /// transfer.
+    fn epoch_try_start(
+        destination: usize,
+        now: SimTime,
+        arbiters: &mut HashMap<usize, TokenArbiter>,
+        channels: &mut [ChannelState],
+        queue: &mut BinaryHeap<Reverse<Event>>,
+        sequence: &mut u64,
+        messages: &HashMap<MessageId, Message>,
+    ) {
+        if channels[destination].active.is_some() {
+            return;
+        }
+        let arbiter = arbiters.entry(destination).or_default();
+        if let Some((_, id)) = arbiter.grant() {
+            let message = messages[&id];
+            let point = channels[destination].params;
+            channels[destination].active = Some((point, now));
+            queue.push(Reverse(Event {
+                time: now.advanced_by(point.transfer_duration(message.words)),
+                sequence: *sequence,
+                kind: EventKind::Complete,
+                message: id,
+            }));
+            *sequence += 1;
+        }
+    }
+}

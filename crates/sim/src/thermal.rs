@@ -1,4 +1,4 @@
-//! Thermal scenario playback for the NoC simulator.
+//! Legacy thermal scenario playback for the NoC simulator.
 //!
 //! A [`ThermalScenario`] attaches a [`ThermalEnvironment`] to a simulation
 //! run: before a message is injected, the engine samples the temperature of
@@ -8,6 +8,16 @@
 //! configurable temperature quantization so that static scenarios resolve
 //! each ONI exactly once and transient traces do not re-solve the link for
 //! every microkelvin of drift.
+//!
+//! The type is deprecated: the unified surface expresses the same run as a
+//! prescribed [`onoc_thermal::ThermalModelSpec`] plus the per-message
+//! [`crate::DecisionPolicy`] on [`crate::ScenarioBuilder`].  The shared
+//! bucket-grid helpers live here so the legacy and unified decision grids
+//! can never diverge.
+
+// This is a legacy-shim module: it intentionally defines and uses the
+// deprecated scenario type it provides.
+#![allow(deprecated)]
 
 use onoc_thermal::ThermalEnvironment;
 use serde::{Deserialize, Serialize};
@@ -27,6 +37,11 @@ pub(crate) fn bucket_centre(bucket: i64, step_k: f64) -> f64 {
 }
 
 /// A thermal environment plus the sampling granularity the engine uses.
+#[deprecated(
+    since = "0.1.0",
+    note = "use onoc_sim::ScenarioBuilder::prescribed with DecisionPolicy::PerMessage; \
+            see the README migration table"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalScenario {
     /// The temperature field over the ONIs.

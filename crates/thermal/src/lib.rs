@@ -36,7 +36,13 @@
 //!   detune differently;
 //! * [`BankTuningMode`] — pure per-ring heating, or barrel-shift channel
 //!   hopping (re-map logical wavelengths to the nearest-resonant rings and
-//!   heat only the residual; cf. Cooling Codes).
+//!   heat only the residual; cf. Cooling Codes);
+//! * [`ThermalModel`] — the unified stepping contract over all of the above:
+//!   prescribed traces ([`PrescribedEnvironment`]), the activity-coupled RC
+//!   network, and [`WorkloadHeatedEnvironment`] (per-ONI compute-cluster
+//!   heat injection superimposed on the link's own dissipation), with
+//!   [`ThermalModelSpec`] as the serializable description a scenario
+//!   configuration carries.
 //!
 //! The photonic consequences (how many dB of penalty a nanometre of residual
 //! drift costs) are computed by `onoc-photonics` from its Lorentzian ring
@@ -69,10 +75,14 @@ pub mod activity;
 pub mod bank;
 pub mod drift;
 pub mod environment;
+pub mod model;
 pub mod tuning;
 
 pub use activity::{ActivityCoupledEnvironment, RcNetworkParameters};
 pub use bank::{BankCompensation, BankTuningMode, FabricationVariation, RingBankState};
 pub use drift::{ResonanceDrift, RingThermalModel};
 pub use environment::ThermalEnvironment;
+pub use model::{
+    PrescribedEnvironment, ThermalModel, ThermalModelSpec, WorkloadHeatedEnvironment, WorkloadTrace,
+};
 pub use tuning::{ThermalCompensation, ThermalTuner, TuningPolicy};

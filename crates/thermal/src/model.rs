@@ -1,0 +1,640 @@
+//! The unified thermal substrate of a simulation: the [`ThermalModel`]
+//! trait, its three implementations, and the serializable
+//! [`ThermalModelSpec`] a scenario configuration carries.
+//!
+//! Before this module the workspace had two incompatible ways of producing a
+//! temperature per ONI: the *prescribed* [`ThermalEnvironment`] traces
+//! (sampled at arbitrary instants, blind to what the link dissipates) and
+//! the *activity-coupled* [`ActivityCoupledEnvironment`] RC network (driven
+//! by deposited power, stepped epoch by epoch).  The trait unifies them
+//! behind one stepping contract so a single simulation engine can drive
+//! either — and adds the third family neither could express:
+//!
+//! * [`PrescribedEnvironment`] — a [`ThermalEnvironment`] bound to an ONI
+//!   count and a clock; deposited power is ignored;
+//! * [`ActivityCoupledEnvironment`] — the per-ONI RC network heated solely
+//!   by the link's own dissipation;
+//! * [`WorkloadHeatedEnvironment`] — the RC network with per-ONI
+//!   *compute-cluster* heat-injection traces superimposed on the link's
+//!   dissipation: a hot accelerator under one corner of the interposer
+//!   warms the channels near it while the link's own power still closes the
+//!   feedback loop.
+//!
+//! The contract is deliberately minimal: a model knows how many ONIs it
+//! covers, reports the current temperature of each, and advances by a time
+//! step during which the simulator deposited a given electrical power into
+//! each node.  Prescribed models simply move their clock.
+
+use onoc_units::Celsius;
+use serde::{Deserialize, Serialize};
+
+use crate::activity::{ActivityCoupledEnvironment, RcNetworkParameters};
+use crate::environment::ThermalEnvironment;
+
+/// A stepped temperature field over the ONIs: the single substrate the NoC
+/// simulator's epoch engine drives, whatever physics produces the
+/// temperatures.
+///
+/// Time only moves through [`ThermalModel::advance`]; temperatures are read
+/// *between* steps.  `advance` receives the electrical power the simulator
+/// deposited into each node over the step — activity-coupled models
+/// integrate it, prescribed models ignore it.
+///
+/// `Send + Sync` are supertraits so simulation engines can read
+/// temperatures from sharded per-ONI workers between steps.
+pub trait ThermalModel: std::fmt::Debug + Send + Sync {
+    /// Number of ONIs the model covers.
+    fn oni_count(&self) -> usize;
+
+    /// Current temperature of node `oni`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oni` is out of range.
+    fn temperature_of(&self, oni: usize) -> Celsius;
+
+    /// Advances the model by `dt_ns` nanoseconds with `deposited_power_mw`
+    /// milliwatts of link dissipation per node over that interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deposited_power_mw` does not carry one entry per node or
+    /// `dt_ns` is negative or not finite.
+    fn advance(&mut self, deposited_power_mw: &[f64], dt_ns: f64);
+
+    /// Whether deposited power influences the temperatures (`true` for the
+    /// RC-network models, `false` for prescribed traces).
+    fn is_activity_coupled(&self) -> bool;
+}
+
+/// A prescribed [`ThermalEnvironment`] bound to an ONI count and a clock:
+/// the [`ThermalModel`] adapter for uniform/hotspot/transient traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrescribedEnvironment {
+    environment: ThermalEnvironment,
+    oni_count: usize,
+    time_ns: f64,
+}
+
+impl PrescribedEnvironment {
+    /// Binds `environment` to `oni_count` ONIs with the clock at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oni_count` is zero or the environment is invalid (see
+    /// [`ThermalEnvironment::validate`]).
+    #[must_use]
+    pub fn new(environment: ThermalEnvironment, oni_count: usize) -> Self {
+        assert!(oni_count > 0, "at least one ONI is required");
+        environment
+            .validate()
+            .unwrap_or_else(|reason| panic!("invalid thermal environment: {reason}"));
+        Self {
+            environment,
+            oni_count,
+            time_ns: 0.0,
+        }
+    }
+
+    /// The wrapped environment.
+    #[must_use]
+    pub fn environment(&self) -> &ThermalEnvironment {
+        &self.environment
+    }
+
+    /// Current simulated time, in nanoseconds.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        self.time_ns
+    }
+}
+
+impl ThermalModel for PrescribedEnvironment {
+    fn oni_count(&self) -> usize {
+        self.oni_count
+    }
+
+    fn temperature_of(&self, oni: usize) -> Celsius {
+        self.environment
+            .temperature_at(oni, self.oni_count, self.time_ns)
+    }
+
+    fn advance(&mut self, deposited_power_mw: &[f64], dt_ns: f64) {
+        assert_eq!(
+            deposited_power_mw.len(),
+            self.oni_count,
+            "one power entry per ONI is required"
+        );
+        assert!(
+            dt_ns >= 0.0 && dt_ns.is_finite(),
+            "step duration must be non-negative and finite"
+        );
+        self.time_ns += dt_ns;
+    }
+
+    fn is_activity_coupled(&self) -> bool {
+        false
+    }
+}
+
+impl ThermalModel for ActivityCoupledEnvironment {
+    fn oni_count(&self) -> usize {
+        self.oni_count()
+    }
+
+    fn temperature_of(&self, oni: usize) -> Celsius {
+        self.temperature_of(oni)
+    }
+
+    fn advance(&mut self, deposited_power_mw: &[f64], dt_ns: f64) {
+        self.step(deposited_power_mw, dt_ns);
+    }
+
+    fn is_activity_coupled(&self) -> bool {
+        true
+    }
+}
+
+/// The compute-cluster heat a workload injects into one ONI's node over
+/// time: a steady baseline plus one burst window, both in milliwatts.
+///
+/// The trace is analytic, so an epoch of any length integrates it exactly:
+/// [`WorkloadTrace::mean_power_mw`] returns the time-average over an
+/// arbitrary interval with no sampling error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Steady injected power, in mW (the always-on share of the cluster).
+    pub baseline_mw: f64,
+    /// Additional power during the burst window, in mW.
+    pub burst_mw: f64,
+    /// Burst window start, in nanoseconds.
+    pub burst_start_ns: f64,
+    /// Burst window end, in nanoseconds (`f64::INFINITY` for an open-ended
+    /// burst).
+    pub burst_stop_ns: f64,
+}
+
+impl WorkloadTrace {
+    /// A node that receives no workload heat.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self::constant(0.0)
+    }
+
+    /// A steady `power_mw` injection with no burst.
+    #[must_use]
+    pub fn constant(power_mw: f64) -> Self {
+        Self {
+            baseline_mw: power_mw,
+            burst_mw: 0.0,
+            burst_start_ns: 0.0,
+            burst_stop_ns: 0.0,
+        }
+    }
+
+    /// A `power_mw` burst over `[start_ns, stop_ns)` on top of a zero
+    /// baseline.
+    #[must_use]
+    pub fn burst(power_mw: f64, start_ns: f64, stop_ns: f64) -> Self {
+        Self {
+            baseline_mw: 0.0,
+            burst_mw: power_mw,
+            burst_start_ns: start_ns,
+            burst_stop_ns: stop_ns,
+        }
+    }
+
+    /// Instantaneous injected power at `time_ns`, in mW.
+    #[must_use]
+    pub fn power_at(&self, time_ns: f64) -> f64 {
+        let bursting = time_ns >= self.burst_start_ns && time_ns < self.burst_stop_ns;
+        self.baseline_mw + if bursting { self.burst_mw } else { 0.0 }
+    }
+
+    /// Exact time-average of the injected power over `[from_ns, to_ns]`, in
+    /// mW (equal to [`WorkloadTrace::power_at`] for a degenerate interval).
+    #[must_use]
+    pub fn mean_power_mw(&self, from_ns: f64, to_ns: f64) -> f64 {
+        let span = to_ns - from_ns;
+        if span <= 0.0 {
+            return self.power_at(from_ns);
+        }
+        let overlap = (to_ns.min(self.burst_stop_ns) - from_ns.max(self.burst_start_ns)).max(0.0);
+        self.baseline_mw + self.burst_mw * (overlap.min(span) / span)
+    }
+
+    /// Checks the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a power is negative or not
+    /// finite, or the burst window is malformed.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("workload baseline power", self.baseline_mw),
+            ("workload burst power", self.burst_mw),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(format!(
+                    "{name} must be non-negative and finite, got {value}"
+                ));
+            }
+        }
+        if self.burst_start_ns.is_nan() || self.burst_stop_ns.is_nan() {
+            return Err("workload burst window must not be NaN".into());
+        }
+        if self.burst_stop_ns < self.burst_start_ns {
+            return Err(format!(
+                "workload burst window must not end before it starts, got [{}, {})",
+                self.burst_start_ns, self.burst_stop_ns
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-ONI traces of a hot compute cluster centred at ONI `center`
+    /// of `oni_count`: `peak_mw` of steady injection at the centre, decaying
+    /// geometrically with ring-topology hop distance (mirroring
+    /// [`ThermalEnvironment::Hotspot`]'s spatial shape, but as *power in*
+    /// rather than temperature prescribed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oni_count` is zero or `decay_per_hop` is outside `[0, 1)`.
+    #[must_use]
+    pub fn hot_cluster(
+        oni_count: usize,
+        center: usize,
+        peak_mw: f64,
+        decay_per_hop: f64,
+    ) -> Vec<Self> {
+        assert!(oni_count > 0, "at least one ONI is required");
+        assert!(
+            (0.0..1.0).contains(&decay_per_hop),
+            "cluster decay per hop must be in [0, 1)"
+        );
+        let center = center % oni_count;
+        (0..oni_count)
+            .map(|oni| {
+                let direct = oni.abs_diff(center);
+                let hops = direct.min(oni_count - direct);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                Self::constant(peak_mw * decay_per_hop.powi(hops as i32))
+            })
+            .collect()
+    }
+}
+
+/// The RC network of [`ActivityCoupledEnvironment`] with per-ONI workload
+/// heat-injection traces superimposed on the link's own dissipation: the
+/// model for spatially non-uniform *workload* heating that still closes the
+/// electro-thermal feedback loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadHeatedEnvironment {
+    network: ActivityCoupledEnvironment,
+    traces: Vec<WorkloadTrace>,
+    time_ns: f64,
+}
+
+impl WorkloadHeatedEnvironment {
+    /// Creates the network with one workload trace per ONI, every node at
+    /// the package ambient and the clock at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty, a trace is invalid (see
+    /// [`WorkloadTrace::validate`]) or the network parameters are invalid.
+    #[must_use]
+    pub fn new(parameters: RcNetworkParameters, traces: Vec<WorkloadTrace>) -> Self {
+        assert!(!traces.is_empty(), "at least one ONI is required");
+        for (oni, trace) in traces.iter().enumerate() {
+            trace
+                .validate()
+                .unwrap_or_else(|reason| panic!("invalid workload trace for ONI {oni}: {reason}"));
+        }
+        Self {
+            network: ActivityCoupledEnvironment::new(traces.len(), parameters),
+            traces,
+            time_ns: 0.0,
+        }
+    }
+
+    /// The underlying RC network.
+    #[must_use]
+    pub fn network(&self) -> &ActivityCoupledEnvironment {
+        &self.network
+    }
+
+    /// The per-ONI workload traces.
+    #[must_use]
+    pub fn traces(&self) -> &[WorkloadTrace] {
+        &self.traces
+    }
+
+    /// Current simulated time, in nanoseconds.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        self.time_ns
+    }
+}
+
+impl ThermalModel for WorkloadHeatedEnvironment {
+    fn oni_count(&self) -> usize {
+        self.network.oni_count()
+    }
+
+    fn temperature_of(&self, oni: usize) -> Celsius {
+        self.network.temperature_of(oni)
+    }
+
+    fn advance(&mut self, deposited_power_mw: &[f64], dt_ns: f64) {
+        assert_eq!(
+            deposited_power_mw.len(),
+            self.traces.len(),
+            "one power entry per ONI is required"
+        );
+        let to_ns = self.time_ns + dt_ns;
+        let powers: Vec<f64> = deposited_power_mw
+            .iter()
+            .zip(&self.traces)
+            .map(|(&link_mw, trace)| link_mw + trace.mean_power_mw(self.time_ns, to_ns))
+            .collect();
+        self.network.step(&powers, dt_ns);
+        self.time_ns = to_ns;
+    }
+
+    fn is_activity_coupled(&self) -> bool {
+        true
+    }
+}
+
+/// The serializable description of a [`ThermalModel`]: what a scenario
+/// configuration carries, instantiated into the stateful model when the run
+/// starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ThermalModelSpec {
+    /// A prescribed temperature trace (uniform / hotspot / transient).
+    Prescribed {
+        /// The temperature field over the ONIs.
+        environment: ThermalEnvironment,
+    },
+    /// The per-ONI RC network heated by the link's own dissipation.
+    ActivityCoupled {
+        /// Physical parameters of the RC network.
+        network: RcNetworkParameters,
+    },
+    /// The RC network with per-ONI workload heat injection superimposed.
+    WorkloadHeated {
+        /// Physical parameters of the RC network.
+        network: RcNetworkParameters,
+        /// One heat-injection trace per ONI.
+        traces: Vec<WorkloadTrace>,
+    },
+}
+
+impl ThermalModelSpec {
+    /// The paper's fixed evaluation point: a prescribed uniform 25 °C.
+    #[must_use]
+    pub fn paper_ambient() -> Self {
+        Self::Prescribed {
+            environment: ThermalEnvironment::paper_ambient(),
+        }
+    }
+
+    /// Whether the described model feeds deposited power back into its
+    /// temperatures.
+    #[must_use]
+    pub fn is_activity_coupled(&self) -> bool {
+        !matches!(self, Self::Prescribed { .. })
+    }
+
+    /// Checks the spec against the scenario's ONI count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the wrapped environment, network
+    /// or traces are invalid, or a workload spec does not carry exactly one
+    /// trace per ONI.
+    pub fn validate(&self, oni_count: usize) -> Result<(), String> {
+        match self {
+            Self::Prescribed { environment } => environment.validate(),
+            Self::ActivityCoupled { network } => network.validate(),
+            Self::WorkloadHeated { network, traces } => {
+                network.validate()?;
+                if traces.len() != oni_count {
+                    return Err(format!(
+                        "workload heating needs one trace per ONI: got {} traces for {} ONIs",
+                        traces.len(),
+                        oni_count
+                    ));
+                }
+                for trace in traces {
+                    trace.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the stateful model for `oni_count` ONIs, with prescribed
+    /// clocks at zero and RC nodes at their package ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`ThermalModelSpec::validate`]).
+    #[must_use]
+    pub fn instantiate(&self, oni_count: usize) -> Box<dyn ThermalModel> {
+        self.validate(oni_count)
+            .unwrap_or_else(|reason| panic!("invalid thermal model spec: {reason}"));
+        match self {
+            Self::Prescribed { environment } => {
+                Box::new(PrescribedEnvironment::new(*environment, oni_count))
+            }
+            Self::ActivityCoupled { network } => {
+                Box::new(ActivityCoupledEnvironment::new(oni_count, *network))
+            }
+            Self::WorkloadHeated { network, traces } => {
+                Box::new(WorkloadHeatedEnvironment::new(*network, traces.clone()))
+            }
+        }
+    }
+}
+
+impl Default for ThermalModelSpec {
+    fn default() -> Self {
+        Self::paper_ambient()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prescribed_model_plays_its_clock_and_ignores_power() {
+        let mut model = PrescribedEnvironment::new(
+            ThermalEnvironment::Transient {
+                start: Celsius::new(25.0),
+                target: Celsius::new(85.0),
+                time_constant_ns: 1000.0,
+            },
+            4,
+        );
+        assert_eq!(ThermalModel::oni_count(&model), 4);
+        assert!(!model.is_activity_coupled());
+        assert!((ThermalModel::temperature_of(&model, 0).value() - 25.0).abs() < 1e-12);
+        // Huge deposited power changes nothing; only the clock moves.
+        model.advance(&[1e6; 4], 1000.0);
+        let one_tau = ThermalModel::temperature_of(&model, 0).value();
+        assert!((one_tau - (85.0 - 60.0 * (-1.0f64).exp())).abs() < 1e-9);
+        assert!((model.time_ns() - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_coupled_model_integrates_power_through_the_trait() {
+        let params = RcNetworkParameters::paper_package();
+        let mut boxed: Box<dyn ThermalModel> = Box::new(ActivityCoupledEnvironment::new(1, params));
+        assert!(boxed.is_activity_coupled());
+        boxed.advance(&[200.0], params.time_constant_ns() * 40.0);
+        let expected = 25.0 + params.steady_state_excess_k(200.0);
+        assert!((boxed.temperature_of(0).value() - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn workload_traces_average_exactly() {
+        let trace = WorkloadTrace {
+            baseline_mw: 10.0,
+            burst_mw: 100.0,
+            burst_start_ns: 50.0,
+            burst_stop_ns: 150.0,
+        };
+        assert!((trace.power_at(0.0) - 10.0).abs() < 1e-12);
+        assert!((trace.power_at(100.0) - 110.0).abs() < 1e-12);
+        assert!((trace.power_at(150.0) - 10.0).abs() < 1e-12);
+        // Full overlap, half overlap, no overlap.
+        assert!((trace.mean_power_mw(50.0, 150.0) - 110.0).abs() < 1e-12);
+        assert!((trace.mean_power_mw(0.0, 100.0) - 60.0).abs() < 1e-12);
+        assert!((trace.mean_power_mw(200.0, 300.0) - 10.0).abs() < 1e-12);
+        // Degenerate interval falls back to the instantaneous power.
+        assert!((trace.mean_power_mw(100.0, 100.0) - 110.0).abs() < 1e-12);
+        // Open-ended bursts integrate too.
+        let open = WorkloadTrace {
+            burst_stop_ns: f64::INFINITY,
+            ..trace
+        };
+        assert!((open.mean_power_mw(50.0, 150.0) - 110.0).abs() < 1e-12);
+        assert!(open.validate().is_ok());
+    }
+
+    #[test]
+    fn workload_heating_warms_the_cluster_without_any_link_power() {
+        let params = RcNetworkParameters::paper_package();
+        let traces = WorkloadTrace::hot_cluster(8, 2, 300.0, 0.4);
+        let mut model = WorkloadHeatedEnvironment::new(params, traces);
+        assert_eq!(ThermalModel::oni_count(&model), 8);
+        assert!(model.is_activity_coupled());
+        model.advance(&[0.0; 8], params.time_constant_ns() * 40.0);
+        let centre = ThermalModel::temperature_of(&model, 2).value();
+        let near = ThermalModel::temperature_of(&model, 3).value();
+        let far = ThermalModel::temperature_of(&model, 6).value();
+        assert!(centre > near && near > far, "{centre} / {near} / {far}");
+        assert!(far > 25.0, "spreading reaches the far side");
+        assert!((model.time_ns() - params.time_constant_ns() * 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_heat_superimposes_on_link_dissipation() {
+        let params = RcNetworkParameters::paper_package();
+        let with_workload = {
+            let mut m =
+                WorkloadHeatedEnvironment::new(params, vec![WorkloadTrace::constant(100.0)]);
+            m.advance(&[100.0], params.time_constant_ns() * 40.0);
+            ThermalModel::temperature_of(&m, 0).value()
+        };
+        // 100 mW of link + 100 mW of workload = the 200 mW steady state.
+        let expected = 25.0 + params.steady_state_excess_k(200.0);
+        assert!((with_workload - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn burst_windows_heat_and_release() {
+        let params = RcNetworkParameters::paper_package();
+        let horizon = params.time_constant_ns() * 40.0;
+        let mut model =
+            WorkloadHeatedEnvironment::new(params, vec![WorkloadTrace::burst(250.0, 0.0, horizon)]);
+        model.advance(&[0.0], horizon);
+        let hot = ThermalModel::temperature_of(&model, 0).value();
+        assert!(hot > 45.0, "burst must heat the node, got {hot}");
+        // After the burst the node relaxes back to the ambient.
+        model.advance(&[0.0], horizon);
+        let cooled = ThermalModel::temperature_of(&model, 0).value();
+        assert!((cooled - 25.0).abs() < 0.1, "got {cooled}");
+    }
+
+    #[test]
+    fn trace_validation_catches_bad_parameters() {
+        assert!(WorkloadTrace::constant(-1.0)
+            .validate()
+            .unwrap_err()
+            .contains("baseline"));
+        assert!(WorkloadTrace::burst(f64::NAN, 0.0, 1.0)
+            .validate()
+            .unwrap_err()
+            .contains("burst power"));
+        assert!(WorkloadTrace::burst(1.0, 10.0, 5.0)
+            .validate()
+            .unwrap_err()
+            .contains("end before it starts"));
+        assert!(WorkloadTrace::burst(1.0, f64::NAN, 5.0)
+            .validate()
+            .unwrap_err()
+            .contains("NaN"));
+        assert!(WorkloadTrace::idle().validate().is_ok());
+    }
+
+    #[test]
+    fn spec_validation_and_instantiation_cover_all_families() {
+        let prescribed = ThermalModelSpec::paper_ambient();
+        assert!(prescribed.validate(4).is_ok());
+        assert!(!prescribed.is_activity_coupled());
+        assert_eq!(prescribed.instantiate(4).oni_count(), 4);
+
+        let coupled = ThermalModelSpec::ActivityCoupled {
+            network: RcNetworkParameters::paper_package(),
+        };
+        assert!(coupled.validate(4).is_ok());
+        assert!(coupled.is_activity_coupled());
+        assert!(coupled.instantiate(4).is_activity_coupled());
+
+        let workload = ThermalModelSpec::WorkloadHeated {
+            network: RcNetworkParameters::paper_package(),
+            traces: WorkloadTrace::hot_cluster(4, 0, 100.0, 0.5),
+        };
+        assert!(workload.validate(4).is_ok());
+        assert!(workload
+            .validate(5)
+            .unwrap_err()
+            .contains("one trace per ONI"));
+        assert!(workload.instantiate(4).is_activity_coupled());
+
+        let bad_network = ThermalModelSpec::ActivityCoupled {
+            network: RcNetworkParameters {
+                heat_capacity_pj_per_k: 0.0,
+                ..RcNetworkParameters::paper_package()
+            },
+        };
+        assert!(bad_network
+            .validate(4)
+            .unwrap_err()
+            .contains("heat capacity"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload trace")]
+    fn invalid_trace_panics_at_construction() {
+        let _ = WorkloadHeatedEnvironment::new(
+            RcNetworkParameters::paper_package(),
+            vec![WorkloadTrace::constant(f64::INFINITY)],
+        );
+    }
+}

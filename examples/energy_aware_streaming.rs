@@ -7,7 +7,7 @@
 
 use onoc_ecc::link::{LinkManager, TrafficClass};
 use onoc_ecc::sim::traffic::TrafficPattern;
-use onoc_ecc::sim::{Simulation, SimulationConfig};
+use onoc_ecc::sim::ScenarioBuilder;
 use onoc_ecc::units::Milliwatts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,28 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "nominal BER", "scheme", "Pchannel (mW)", "energy (pJ/bit)", "observed BER"
     );
     for &ber in &[1e-11, 1e-9, 1e-6, 1e-4] {
-        let config = SimulationConfig {
-            oni_count: 12,
-            pattern: TrafficPattern::Streaming {
+        let report = ScenarioBuilder::new()
+            .oni_count(12)
+            .pattern(TrafficPattern::Streaming {
                 source: 0,
                 destination: 6,
                 bursts: 10,
                 burst_messages: 24,
-            },
-            class: TrafficClass::Multimedia,
-            words_per_message: 32,
-            mean_inter_arrival_ns: 5.0,
-            deadline_slack_ns: None,
-            nominal_ber: ber,
-            seed: 7,
-            thermal: None,
-        };
-        let report = Simulation::new(config)?.run();
+            })
+            .class(TrafficClass::Multimedia)
+            .words_per_message(32)
+            .mean_inter_arrival_ns(5.0)
+            .nominal_ber(ber)
+            .seed(7)
+            .build()?
+            .run();
         println!(
             "{:<14.0e} {:>10} {:>14.1} {:>16.2} {:>16.2e}",
             ber,
-            report.scheme.to_string(),
-            report.channel_power_mw,
+            report.baseline_scheme.to_string(),
+            report.baseline_channel_power_mw,
             report.stats.energy_per_bit_pj(),
             report.stats.observed_ber(),
         );

@@ -7,7 +7,7 @@
 
 use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;
-use onoc_ecc::sim::{Simulation, SimulationConfig};
+use onoc_ecc::sim::ScenarioBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patterns = [
@@ -49,23 +49,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (name, pattern) in patterns {
         for class in classes {
-            let config = SimulationConfig {
-                oni_count: 12,
-                pattern,
-                class,
-                words_per_message: 16,
-                mean_inter_arrival_ns: 3.0,
-                deadline_slack_ns: None,
-                nominal_ber: 1e-9,
-                seed: 13,
-                thermal: None,
-            };
-            let report = Simulation::new(config)?.run();
+            let report = ScenarioBuilder::new()
+                .oni_count(12)
+                .pattern(pattern)
+                .class(class)
+                .words_per_message(16)
+                .mean_inter_arrival_ns(3.0)
+                .nominal_ber(1e-9)
+                .seed(13)
+                .build()?
+                .run();
             println!(
                 "{:<12} {:<12} {:>9} {:>14.1} {:>14.1} {:>14.2} {:>12}",
                 name,
                 format!("{class:?}"),
-                report.scheme.to_string(),
+                report.baseline_scheme.to_string(),
                 report.stats.mean_latency_ns(),
                 report.stats.throughput_gbps(),
                 report.stats.energy_per_bit_pj(),

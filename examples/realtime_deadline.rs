@@ -8,7 +8,7 @@
 
 use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;
-use onoc_ecc::sim::{Simulation, SimulationConfig};
+use onoc_ecc::sim::ScenarioBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Real-time traffic with a 60 ns deadline, increasing hotspot pressure:\n");
@@ -17,25 +17,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "load (msgs/node)", "scheme", "mean lat (ns)", "max lat (ns)", "deadline misses"
     );
     for &messages_per_node in &[5u64, 15, 30, 60] {
-        let config = SimulationConfig {
-            oni_count: 12,
-            pattern: TrafficPattern::Hotspot {
+        let report = ScenarioBuilder::new()
+            .oni_count(12)
+            .pattern(TrafficPattern::Hotspot {
                 destination: 4,
                 messages_per_node,
-            },
-            class: TrafficClass::RealTime,
-            words_per_message: 16,
-            mean_inter_arrival_ns: 2.0,
-            deadline_slack_ns: Some(60.0),
-            nominal_ber: 1e-11,
-            seed: 99,
-            thermal: None,
-        };
-        let report = Simulation::new(config)?.run();
+            })
+            .class(TrafficClass::RealTime)
+            .words_per_message(16)
+            .mean_inter_arrival_ns(2.0)
+            .deadline_slack_ns(Some(60.0))
+            .nominal_ber(1e-11)
+            .seed(99)
+            .build()?
+            .run();
         println!(
             "{:<28} {:>10} {:>14.1} {:>14.1} {:>10} / {:<5}",
             messages_per_node,
-            report.scheme.to_string(),
+            report.baseline_scheme.to_string(),
             report.stats.mean_latency_ns(),
             report.stats.max_latency_ns,
             report.stats.deadline_misses,
@@ -46,26 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("The manager keeps real-time flows on the uncoded path (CT = 1.0);");
     println!("deadline misses appear only when the hotspot channel saturates.");
 
-    // What would happen if the OS forced the real-time class onto H(7,4)?
-    let forced = SimulationConfig {
-        oni_count: 12,
-        pattern: TrafficPattern::Hotspot {
+    // What would happen if the OS forced the real-time class onto a coded
+    // scheme?  The multimedia class makes the manager pick one.
+    let report = ScenarioBuilder::new()
+        .oni_count(12)
+        .pattern(TrafficPattern::Hotspot {
             destination: 4,
             messages_per_node: 30,
-        },
-        class: TrafficClass::Multimedia, // manager picks a coded scheme
-        words_per_message: 16,
-        mean_inter_arrival_ns: 2.0,
-        deadline_slack_ns: Some(60.0),
-        nominal_ber: 1e-11,
-        seed: 99,
-        thermal: None,
-    };
-    let report = Simulation::new(forced)?.run();
+        })
+        .class(TrafficClass::Multimedia)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(2.0)
+        .deadline_slack_ns(Some(60.0))
+        .nominal_ber(1e-11)
+        .seed(99)
+        .build()?
+        .run();
     println!(
         "\nSame load on the coded path ({}): {} deadline misses out of {} messages — \
          the latency cost of the redundancy bits is visible under congestion.",
-        report.scheme, report.stats.deadline_misses, report.stats.delivered_messages
+        report.baseline_scheme, report.stats.deadline_misses, report.stats.delivered_messages
     );
     Ok(())
 }

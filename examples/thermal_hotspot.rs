@@ -9,7 +9,7 @@
 
 use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;
-use onoc_ecc::sim::{Simulation, SimulationConfig, ThermalScenario};
+use onoc_ecc::sim::ScenarioBuilder;
 use onoc_ecc::thermal::ThermalEnvironment;
 use onoc_ecc::units::Celsius;
 
@@ -21,25 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         decay_per_hop: 0.55,
     };
 
-    let config = SimulationConfig {
-        oni_count: 12,
-        pattern: TrafficPattern::UniformRandom {
+    let report = ScenarioBuilder::new()
+        .oni_count(12)
+        .pattern(TrafficPattern::UniformRandom {
             messages_per_node: 40,
-        },
-        class: TrafficClass::LatencyFirst,
-        words_per_message: 16,
-        mean_inter_arrival_ns: 3.0,
-        deadline_slack_ns: None,
-        nominal_ber: 1e-11,
-        seed: 7,
-        thermal: Some(ThermalScenario::new(environment)),
-    };
-
-    let report = Simulation::new(config)?.run();
-    let thermal = report
-        .thermal
-        .as_ref()
-        .expect("a thermal scenario was configured");
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(3.0)
+        .nominal_ber(1e-11)
+        .seed(7)
+        .prescribed(environment)
+        .build()?
+        .run();
 
     println!("Hotspot at ONI 3 (85 degC peak over a 30 degC base), LatencyFirst traffic:");
     println!();
@@ -47,11 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<6} {:>10} {:>12} {:>16} {:>16}",
         "ONI", "T (degC)", "scheme", "Pchannel (mW)", "Ptune (mW/lane)"
     );
-    for oni in &thermal.per_oni {
+    for oni in report.active_onis() {
         println!(
             "{:<6} {:>10.1} {:>12} {:>16.1} {:>16.2}",
             oni.oni,
-            oni.temperature_c,
+            oni.final_temperature_c,
             oni.scheme.to_string(),
             oni.channel_power_mw,
             oni.tuning_power_mw_per_lane,
@@ -60,9 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "{} of {} messages ran on a non-baseline scheme; {} distinct schemes in use.",
-        thermal.reconfigured_messages,
+        report.reconfigured_messages,
         report.stats.delivered_messages,
-        thermal.distinct_schemes(),
+        report.distinct_final_schemes(),
     );
     println!(
         "Mean latency {:.1} ns, throughput {:.1} Gb/s, {:.2} pJ/bit.",

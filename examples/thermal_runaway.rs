@@ -22,27 +22,26 @@
 
 use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;
-use onoc_ecc::sim::{FeedbackConfig, FeedbackSimulation, SimulationConfig};
+use onoc_ecc::sim::{DecisionPolicy, ScenarioBuilder};
+use onoc_ecc::thermal::RcNetworkParameters;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = FeedbackConfig {
-        sim: SimulationConfig {
-            oni_count: 8,
-            pattern: TrafficPattern::UniformRandom {
-                messages_per_node: 180,
-            },
-            class: TrafficClass::LatencyFirst,
-            words_per_message: 16,
-            mean_inter_arrival_ns: 8.0,
-            deadline_slack_ns: None,
-            nominal_ber: 1e-11,
-            seed: 23,
-            thermal: None,
-        },
-        ..FeedbackConfig::default()
-    };
-    let tau = config.network.time_constant_ns();
-    let report = FeedbackSimulation::new(config)?.run();
+    let network = RcNetworkParameters::paper_package();
+    let tau = network.time_constant_ns();
+    let report = ScenarioBuilder::new()
+        .oni_count(8)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 180,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(8.0)
+        .nominal_ber(1e-11)
+        .seed(23)
+        .activity_coupled(network)
+        .policy(DecisionPolicy::epoch_gated())
+        .build()?
+        .run();
 
     let first_switch = report
         .switch_log
@@ -110,9 +109,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Hysteresis holds: the uncoded path is feasible again at {:.1} degC, but undoing",
         last.max_temperature_c
     );
+    let DecisionPolicy::EpochGated {
+        revert_hysteresis_k,
+        ..
+    } = report.config.resolved_policy()
+    else {
+        unreachable!("this run is epoch-gated");
+    };
     println!(
-        "the switch needs a {:.0} K excursion from the {:.1} degC switch point — otherwise",
-        report.config.revert_hysteresis_k, first_switch.temperature_c
+        "the switch needs a {revert_hysteresis_k:.0} K excursion from the {:.1} degC switch \
+         point — otherwise",
+        first_switch.temperature_c
     );
     println!("the channel would reheat, collapse, switch, cool and flap forever.");
     println!();

@@ -2,6 +2,10 @@
 //! noisy optical channel (BSC at the solver's raw BER) → deserializer →
 //! decoder → IP word, across the crate boundaries.
 
+// one pin below intentionally exercises the deprecated `Simulation` shim;
+// the builder path is pinned equivalent in tests/scenario_migration.rs.
+#![allow(deprecated)]
+
 use onoc_ecc::ecc::monte_carlo::BinarySymmetricChannel;
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::interface::{InterfaceConfig, Receiver, Transmitter};

@@ -2,6 +2,10 @@
 //! activity-driven heating, the epoch engine's hysteresis, and the memoized
 //! operating-point cache that keeps the loop affordable.
 
+// these pins intentionally exercise the deprecated `FeedbackSimulation` shim;
+// the builder path is pinned equivalent in tests/scenario_migration.rs.
+#![allow(deprecated)]
+
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::link::TrafficClass;
 use onoc_ecc::sim::traffic::TrafficPattern;

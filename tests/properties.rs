@@ -1,5 +1,9 @@
 //! Property-based tests on the cross-crate invariants.
 
+// some properties intentionally exercise the deprecated simulation shims;
+// the builder path is pinned equivalent in tests/scenario_migration.rs.
+#![allow(deprecated)]
+
 use onoc_ecc::ber::{erfc, erfc_inv};
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::interface::{InterfaceConfig, Receiver, Transmitter};

@@ -1,0 +1,387 @@
+//! Golden migration tests for the unified scenario surface: the deprecated
+//! entry points (`Simulation` + `ThermalScenario`, `FeedbackSimulation`)
+//! must produce reports **bit-identical** to the same scenario composed
+//! through `ScenarioBuilder`, and the builder itself must be insensitive to
+//! the order its fields are set in.
+
+// The whole point of this file is to exercise the deprecated shims against
+// the builder, so the deprecation lint is silenced here.
+#![allow(deprecated)]
+
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{
+    DecisionPolicy, FeedbackConfig, FeedbackSimulation, RingVariationConfig, RunReport,
+    ScenarioBuilder, Simulation, SimulationConfig, ThermalScenario,
+};
+use onoc_ecc::thermal::{BankTuningMode, RcNetworkParameters, ThermalEnvironment};
+use onoc_ecc::units::Celsius;
+use proptest::prelude::*;
+
+/// The builder composition equivalent to a legacy `SimulationConfig`.
+fn builder_from_sim(config: &SimulationConfig) -> ScenarioBuilder {
+    let mut builder = ScenarioBuilder::new()
+        .oni_count(config.oni_count)
+        .pattern(config.pattern)
+        .class(config.class)
+        .words_per_message(config.words_per_message)
+        .mean_inter_arrival_ns(config.mean_inter_arrival_ns)
+        .deadline_slack_ns(config.deadline_slack_ns)
+        .nominal_ber(config.nominal_ber)
+        .seed(config.seed);
+    if let Some(scenario) = &config.thermal {
+        builder = builder
+            .prescribed(scenario.environment)
+            .policy(DecisionPolicy::PerMessage {
+                quantization_k: scenario.quantization_k,
+            });
+    }
+    builder
+}
+
+/// The builder composition equivalent to a legacy `FeedbackConfig`.
+fn builder_from_feedback(config: &FeedbackConfig) -> ScenarioBuilder {
+    let mut builder = builder_from_sim(&config.sim)
+        .activity_coupled(config.network)
+        .policy(DecisionPolicy::EpochGated {
+            epoch_ns: config.epoch_ns,
+            quantization_k: config.quantization_k,
+            hysteresis_k: config.hysteresis_k,
+            revert_hysteresis_k: config.revert_hysteresis_k,
+        });
+    if let Some(stack) = config.stack {
+        builder = builder.stack(stack);
+    }
+    if let Some(variation) = config.variation {
+        builder = builder.variation(variation);
+    }
+    builder
+}
+
+fn sim_config(thermal: Option<ThermalScenario>) -> SimulationConfig {
+    SimulationConfig {
+        oni_count: 8,
+        pattern: TrafficPattern::UniformRandom {
+            messages_per_node: 20,
+        },
+        class: TrafficClass::LatencyFirst,
+        words_per_message: 8,
+        mean_inter_arrival_ns: 4.0,
+        deadline_slack_ns: Some(80.0),
+        nominal_ber: 1e-11,
+        seed: 31,
+        thermal,
+    }
+}
+
+/// Pins the legacy `Simulation` report bit-identical to the builder run.
+fn assert_simulation_equivalent(config: SimulationConfig) {
+    let legacy = Simulation::new(config.clone()).unwrap().run();
+    let unified: RunReport = builder_from_sim(&config).build().unwrap().run();
+    assert_eq!(legacy.stats, unified.stats, "stats must be bit-identical");
+    assert_eq!(legacy.scheme, unified.baseline_scheme);
+    assert_eq!(
+        legacy.channel_power_mw.to_bits(),
+        unified.baseline_channel_power_mw.to_bits()
+    );
+    assert_eq!(
+        legacy.decoded_ber.to_bits(),
+        unified.baseline_decoded_ber.to_bits()
+    );
+    if let Some(thermal) = &legacy.thermal {
+        assert_eq!(thermal.reconfigured_messages, unified.reconfigured_messages);
+        let active: Vec<_> = unified.active_onis().collect();
+        assert_eq!(thermal.per_oni.len(), active.len());
+        for (legacy_oni, unified_oni) in thermal.per_oni.iter().zip(active) {
+            assert_eq!(legacy_oni.oni, unified_oni.oni);
+            assert_eq!(
+                legacy_oni.temperature_c.to_bits(),
+                unified_oni.final_temperature_c.to_bits()
+            );
+            assert_eq!(legacy_oni.scheme, unified_oni.scheme);
+            assert_eq!(
+                legacy_oni.channel_power_mw.to_bits(),
+                unified_oni.channel_power_mw.to_bits()
+            );
+            assert_eq!(
+                legacy_oni.tuning_power_mw_per_lane.to_bits(),
+                unified_oni.tuning_power_mw_per_lane.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_simulation_is_bit_identical_through_the_builder() {
+    assert_simulation_equivalent(sim_config(None));
+}
+
+#[test]
+fn ambient_thermal_scenario_is_bit_identical_through_the_builder() {
+    assert_simulation_equivalent(sim_config(Some(ThermalScenario::paper_ambient())));
+}
+
+#[test]
+fn hotspot_scenario_is_bit_identical_through_the_builder() {
+    assert_simulation_equivalent(sim_config(Some(ThermalScenario::new(
+        ThermalEnvironment::Hotspot {
+            base: Celsius::new(30.0),
+            peak: Celsius::new(85.0),
+            center: 2,
+            decay_per_hop: 0.4,
+        },
+    ))));
+}
+
+#[test]
+fn transient_scenario_is_bit_identical_through_the_builder() {
+    assert_simulation_equivalent(sim_config(Some(ThermalScenario::new(
+        ThermalEnvironment::Transient {
+            start: Celsius::new(25.0),
+            target: Celsius::new(85.0),
+            time_constant_ns: 150.0,
+        },
+    ))));
+}
+
+fn feedback_config(variation: Option<RingVariationConfig>) -> FeedbackConfig {
+    FeedbackConfig {
+        sim: SimulationConfig {
+            oni_count: 6,
+            pattern: TrafficPattern::UniformRandom {
+                messages_per_node: 80,
+            },
+            class: TrafficClass::LatencyFirst,
+            words_per_message: 16,
+            mean_inter_arrival_ns: 8.0,
+            deadline_slack_ns: None,
+            nominal_ber: 1e-11,
+            seed: 5,
+            thermal: None,
+        },
+        variation,
+        ..FeedbackConfig::default()
+    }
+}
+
+/// Pins the legacy `FeedbackSimulation` report bit-identical to the builder
+/// run.
+fn assert_feedback_equivalent(config: FeedbackConfig) {
+    let legacy = FeedbackSimulation::new(config.clone()).unwrap().run();
+    let unified: RunReport = builder_from_feedback(&config).build().unwrap().run();
+    assert_eq!(legacy.stats, unified.stats, "stats must be bit-identical");
+    assert_eq!(legacy.baseline_scheme, unified.baseline_scheme);
+    assert_eq!(legacy.epochs, unified.epochs);
+    assert_eq!(legacy.decisions, unified.decisions);
+    assert_eq!(legacy.infeasible_requests, unified.infeasible_requests);
+    assert_eq!(legacy.switch_log, unified.switch_log);
+    assert_eq!(legacy.trajectory, unified.trajectory);
+    assert_eq!(legacy.solver_cache, unified.solver_cache);
+    assert_eq!(legacy.per_oni.len(), unified.per_oni.len());
+    for (legacy_oni, unified_oni) in legacy.per_oni.iter().zip(&unified.per_oni) {
+        assert_eq!(legacy_oni.oni, unified_oni.oni);
+        assert_eq!(
+            legacy_oni.final_temperature_c.to_bits(),
+            unified_oni.final_temperature_c.to_bits()
+        );
+        assert_eq!(
+            legacy_oni.peak_temperature_c.to_bits(),
+            unified_oni.peak_temperature_c.to_bits()
+        );
+        assert_eq!(legacy_oni.scheme, unified_oni.scheme);
+        assert_eq!(
+            legacy_oni.channel_power_mw.to_bits(),
+            unified_oni.channel_power_mw.to_bits()
+        );
+        assert_eq!(legacy_oni.scheme_switches, unified_oni.scheme_switches);
+    }
+}
+
+#[test]
+fn homogeneous_feedback_is_bit_identical_through_the_builder() {
+    assert_feedback_equivalent(feedback_config(None));
+}
+
+#[test]
+fn heterogeneous_feedback_is_bit_identical_through_the_builder() {
+    assert_feedback_equivalent(feedback_config(Some(RingVariationConfig {
+        sigma_nm: 0.040,
+        seed: 11,
+        mode: BankTuningMode::PureHeater,
+    })));
+}
+
+#[test]
+fn sharded_reasks_are_bit_identical_to_the_serial_loop() {
+    // Heterogeneous fleets shard their per-ONI epoch re-asks across
+    // threads; the ordered merge must keep the whole report (including the
+    // aggregated cache counters) bit-identical at every thread count.
+    let config = feedback_config(Some(RingVariationConfig {
+        sigma_nm: 0.040,
+        seed: 11,
+        mode: BankTuningMode::PureHeater,
+    }));
+    let run = |threads: usize| {
+        builder_from_feedback(&config)
+            .threads(threads)
+            .build()
+            .unwrap()
+            .run()
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        let sharded = run(threads);
+        // The configs differ only in the thread budget, which must never
+        // leak into the physics.
+        assert_eq!(serial.stats, sharded.stats, "{threads} threads");
+        assert_eq!(serial.per_oni, sharded.per_oni, "{threads} threads");
+        assert_eq!(serial.switch_log, sharded.switch_log, "{threads} threads");
+        assert_eq!(serial.trajectory, sharded.trajectory, "{threads} threads");
+        assert_eq!(
+            serial.solver_cache, sharded.solver_cache,
+            "{threads} threads"
+        );
+        assert_eq!(serial.decisions, sharded.decisions, "{threads} threads");
+    }
+}
+
+#[test]
+fn epoch_gated_policy_now_drives_prescribed_models_too() {
+    // A combination neither legacy entry point could express: the feedback
+    // engine's hysteresis machinery over a *prescribed* transient trace.
+    let report = ScenarioBuilder::new()
+        .oni_count(6)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 60,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(6.0)
+        .seed(9)
+        .prescribed(ThermalEnvironment::Transient {
+            start: Celsius::new(25.0),
+            target: Celsius::new(85.0),
+            time_constant_ns: 500.0,
+        })
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(report.baseline_scheme, EccScheme::Uncoded);
+    assert!(report.epochs > 0);
+    assert!(
+        report.total_switches() > 0,
+        "the prescribed heat-up must force epoch-gated switches"
+    );
+    assert!(report
+        .per_oni
+        .iter()
+        .all(|o| o.scheme == EccScheme::Hamming7164));
+}
+
+#[test]
+fn builder_rejects_invalid_cache_resolutions() {
+    for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+        let err = ScenarioBuilder::new()
+            .cache_resolution(bad)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cache resolution"), "{bad}: {err}");
+    }
+    // A valid override still builds and runs.
+    let report = ScenarioBuilder::new()
+        .oni_count(4)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 5,
+        })
+        .cache_resolution(4.0)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(
+        report.stats.delivered_messages,
+        report.stats.injected_messages
+    );
+}
+
+#[test]
+fn builder_rejects_per_message_policy_over_coupled_models() {
+    let err = ScenarioBuilder::new()
+        .activity_coupled(RcNetworkParameters::paper_package())
+        .policy(DecisionPolicy::per_message())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("epoch-gated"), "{err}");
+}
+
+#[test]
+fn builder_rejects_per_message_policy_over_heterogeneous_fleets() {
+    // The per-message engine keeps one fleet-wide baseline for static-power
+    // residency and switch bookkeeping; mixing it with per-ONI chip
+    // instances would mis-account idle energy and log phantom switches, so
+    // the combination is rejected up front.  The epoch-gated policy carries
+    // per-ONI baselines and accepts the same fleet.
+    let variation = RingVariationConfig {
+        sigma_nm: 0.08,
+        seed: 7,
+        mode: BankTuningMode::PureHeater,
+    };
+    let err = ScenarioBuilder::new()
+        .variation(variation)
+        .policy(DecisionPolicy::per_message())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("epoch-gated"), "{err}");
+    // Implicit per-message (prescribed default policy) is rejected too.
+    let err = ScenarioBuilder::new()
+        .variation(variation)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("epoch-gated"), "{err}");
+    // The same fleet under the epoch-gated policy builds fine.
+    assert!(ScenarioBuilder::new()
+        .variation(variation)
+        .activity_coupled(RcNetworkParameters::paper_package())
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .is_ok());
+}
+
+proptest! {
+    /// The builder's setters commute: any two application orders of the same
+    /// field values produce identical configurations and identical reports.
+    #[test]
+    fn builder_field_order_never_changes_the_report(
+        seed in 0u64..500,
+        oni_count in 3usize..7,
+        words in 1u64..9,
+        messages in 1u64..12,
+        class_index in 0usize..3,
+    ) {
+        let class = [TrafficClass::LatencyFirst, TrafficClass::Bulk, TrafficClass::Multimedia]
+            [class_index];
+        let pattern = TrafficPattern::UniformRandom { messages_per_node: messages };
+        let network = RcNetworkParameters::paper_package();
+        let forward = ScenarioBuilder::new()
+            .oni_count(oni_count)
+            .pattern(pattern)
+            .class(class)
+            .words_per_message(words)
+            .seed(seed)
+            .activity_coupled(network)
+            .policy(DecisionPolicy::epoch_gated());
+        let reversed = ScenarioBuilder::new()
+            .policy(DecisionPolicy::epoch_gated())
+            .activity_coupled(network)
+            .seed(seed)
+            .words_per_message(words)
+            .class(class)
+            .pattern(pattern)
+            .oni_count(oni_count);
+        prop_assert_eq!(forward.config(), reversed.config());
+        let a = forward.build().unwrap().run();
+        let b = reversed.build().unwrap().run();
+        prop_assert_eq!(a, b);
+    }
+}

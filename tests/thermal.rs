@@ -2,6 +2,11 @@
 //! temperature sweep acceptance behaviour, the runtime manager's thermal
 //! switching, and the simulator's scenario playback.
 
+// the prescribed-scenario pins below intentionally exercise the deprecated
+// `Simulation`/`ThermalScenario` shims; the builder path is pinned equivalent
+// in tests/scenario_migration.rs.
+#![allow(deprecated)]
+
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::link::{LinkManager, NanophotonicLink, TrafficClass};
 use onoc_ecc::sim::traffic::TrafficPattern;

@@ -2,6 +2,10 @@
 //! fabrication variation, the worst-ring link budget, barrel-shift channel
 //! hopping and the heterogeneous feedback fleets.
 
+// these pins intentionally exercise the deprecated `FeedbackSimulation` shim;
+// the builder path is pinned equivalent in tests/scenario_migration.rs.
+#![allow(deprecated)]
+
 use onoc_ecc::ecc::EccScheme;
 use onoc_ecc::link::{LinkManager, NanophotonicLink, TrafficClass};
 use onoc_ecc::sim::traffic::TrafficPattern;

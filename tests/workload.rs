@@ -1,0 +1,209 @@
+//! Workspace-level integration tests of the workload-heated scenario class:
+//! per-ONI compute-cluster heat injection superimposed on the link's own
+//! dissipation, expressible only through the unified `ScenarioBuilder`.
+
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{DecisionPolicy, RunReport, ScenarioBuilder};
+use onoc_ecc::thermal::{RcNetworkParameters, WorkloadTrace};
+use onoc_ecc::units::Celsius;
+
+const ONI_COUNT: usize = 12;
+const CENTER: usize = 3;
+
+fn network() -> RcNetworkParameters {
+    // A slightly better heat sink than the feedback demos, so the link's own
+    // uniform dissipation settles below the uncoded collapse and the spatial
+    // split is driven by the cluster alone.
+    RcNetworkParameters {
+        ambient: Celsius::new(25.0),
+        heat_capacity_pj_per_k: 2000.0,
+        ambient_resistance_k_per_mw: 0.06,
+        coupling_resistance_k_per_mw: 1.5,
+    }
+}
+
+fn run_cluster(peak_mw: f64) -> RunReport {
+    ScenarioBuilder::new()
+        .oni_count(ONI_COUNT)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 80,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(8.0)
+        .seed(17)
+        .workload_heated(
+            network(),
+            WorkloadTrace::hot_cluster(ONI_COUNT, CENTER, peak_mw, 0.45),
+        )
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn hot_cluster_splits_the_interconnect_where_self_heating_alone_does_not() {
+    // Self-heating alone: everything stays on the fast uncoded path.
+    let baseline = run_cluster(0.0);
+    assert_eq!(baseline.baseline_scheme, EccScheme::Uncoded);
+    assert_eq!(baseline.total_switches(), 0);
+    assert!(baseline
+        .per_oni
+        .iter()
+        .all(|o| o.scheme == EccScheme::Uncoded));
+
+    // With the cluster, the channels near it cross the uncoded collapse and
+    // switch, while the far side of the ring never does — the spatially
+    // non-uniform workload scenario neither legacy entry point could model.
+    let clustered = run_cluster(250.0);
+    assert!(clustered.total_switches() > 0);
+    assert_eq!(clustered.distinct_final_schemes(), 2);
+    let centre = &clustered.per_oni[CENTER];
+    assert_eq!(centre.scheme, EccScheme::Hamming7164);
+    let far = &clustered.per_oni[(CENTER + ONI_COUNT / 2) % ONI_COUNT];
+    assert_eq!(far.scheme, EccScheme::Uncoded);
+    assert!(
+        centre.peak_temperature_c > far.peak_temperature_c + 5.0,
+        "cluster centre {} vs far side {}",
+        centre.peak_temperature_c,
+        far.peak_temperature_c
+    );
+    // All traffic still delivered, and the per-ONI energy split accounts for
+    // the whole bill.
+    assert_eq!(
+        clustered.stats.delivered_messages,
+        clustered.stats.injected_messages
+    );
+    let split_total: f64 = clustered
+        .per_oni
+        .iter()
+        .map(|o| o.static_energy_pj + o.dynamic_energy_pj)
+        .sum();
+    assert!(
+        (split_total - clustered.stats.energy_pj).abs() / clustered.stats.energy_pj < 1e-9,
+        "per-ONI split {split_total} vs total {}",
+        clustered.stats.energy_pj
+    );
+}
+
+#[test]
+fn cluster_peak_temperature_decays_with_hop_distance() {
+    let report = run_cluster(250.0);
+    let peak_at = |oni: usize| report.per_oni[oni].peak_temperature_c;
+    // Walking away from the centre, the peak temperature is non-increasing
+    // (up to the noise of the traffic itself: allow a small tolerance).
+    for (nearer, farther) in [(3usize, 4usize), (4, 5), (5, 6), (6, 7), (7, 8)] {
+        assert!(
+            peak_at(nearer) > peak_at(farther) - 0.75,
+            "ONI {nearer} ({}) vs ONI {farther} ({})",
+            peak_at(nearer),
+            peak_at(farther)
+        );
+    }
+    assert!(
+        peak_at(3) > peak_at(9) + 5.0,
+        "centre well above the far side"
+    );
+}
+
+#[test]
+fn workload_bursts_throttle_and_recover_without_flapping() {
+    // A transient compute burst under the centre ONI: the channel must
+    // switch to the coded path while the burst lasts, and — because the heat
+    // source was *external* — cool far enough past the 10 K revert
+    // hysteresis once the burst ends to legitimately recover the fast
+    // uncoded path.  Exactly two switches: overload in, recovery out, no
+    // flapping in between.
+    let mut traces = vec![WorkloadTrace::idle(); ONI_COUNT];
+    traces[CENTER] = WorkloadTrace::burst(400.0, 150.0, 650.0);
+    let report = ScenarioBuilder::new()
+        .oni_count(ONI_COUNT)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 120,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(8.0)
+        .seed(23)
+        .workload_heated(network(), traces)
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap()
+        .run();
+    let centre = &report.per_oni[CENTER];
+    assert_eq!(centre.scheme_switches, 2, "overload in, recovery out");
+    assert_eq!(
+        centre.scheme,
+        EccScheme::Uncoded,
+        "recovered after the burst"
+    );
+    let switches: Vec<_> = report
+        .switch_log
+        .iter()
+        .filter(|s| s.oni == CENTER)
+        .collect();
+    assert_eq!(switches.len(), 2);
+    assert_eq!(
+        switches[0].to,
+        EccScheme::Hamming7164,
+        "burst forces coding"
+    );
+    assert_eq!(switches[1].to, EccScheme::Uncoded, "recovery after cooling");
+    assert!(
+        switches[0].temperature_c - switches[1].temperature_c > 10.0,
+        "the recovery must clear the revert hysteresis: {} -> {}",
+        switches[0].temperature_c,
+        switches[1].temperature_c
+    );
+    // The burst's heat shows in the trajectory: the envelope peaks during
+    // the window and relaxes afterwards.
+    let peak = report
+        .trajectory
+        .iter()
+        .map(|s| s.max_temperature_c)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let last = report.trajectory.last().unwrap().max_temperature_c;
+    assert!(peak > 55.0, "burst peak {peak}");
+    assert!(
+        last < peak - 5.0,
+        "cool-down after the burst: {last} vs {peak}"
+    );
+}
+
+#[test]
+fn workload_runs_are_reproducible() {
+    let a = run_cluster(250.0);
+    let b = run_cluster(250.0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn workload_spec_is_validated_at_build_time() {
+    // Wrong trace count.
+    let err = ScenarioBuilder::new()
+        .oni_count(ONI_COUNT)
+        .workload_heated(network(), vec![WorkloadTrace::idle(); 3])
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("one trace per ONI"), "{err}");
+    // Negative power.
+    let err = ScenarioBuilder::new()
+        .oni_count(4)
+        .workload_heated(network(), vec![WorkloadTrace::constant(-1.0); 4])
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("baseline power"), "{err}");
+    // Workload models need the epoch-gated policy.
+    let err = ScenarioBuilder::new()
+        .oni_count(4)
+        .workload_heated(network(), vec![WorkloadTrace::idle(); 4])
+        .policy(DecisionPolicy::per_message())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("epoch-gated"), "{err}");
+}

@@ -17,6 +17,7 @@
 //! | `fig_thermal` | 25–85 °C sweep: power per scheme + manager switching (beyond the paper) |
 //! | `fig_feedback` | closed-loop activity-driven heating demonstration (beyond the paper) |
 //! | `fig_variation` | σ × temperature sweep: pure-heater vs barrel-shift tuning (beyond the paper) |
+//! | `fig_assignment` | design-time (GLOW-style) wavelength assignment vs identity (beyond the paper) |
 //!
 //! Criterion micro-benchmarks (`benches/`) measure codec throughput, the
 //! link-solver latency, the simulator event rate and the memoized

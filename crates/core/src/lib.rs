@@ -46,4 +46,5 @@ pub mod report;
 pub use explore::{DesignSpace, ParetoPoint};
 pub use link::{CacheCounters, LinkError, NanophotonicLink, OperatingPoint, SelectionObjective};
 pub use onoc_photonics::thermal::{ThermalLinkStack, ThermalSummary};
+pub use onoc_thermal::{AssignmentStrategy, WavelengthAssigner, WavelengthAssignment};
 pub use policy::{LinkManager, ManagerDecision, ThermalRuntimeManager, TrafficClass};

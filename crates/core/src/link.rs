@@ -12,7 +12,10 @@ use onoc_interface::{
 use onoc_photonics::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 use onoc_photonics::thermal::{ThermalLinkStack, ThermalSolver, ThermalSummary};
 use onoc_photonics::{MwsrChannel, PaperCalibration};
-use onoc_thermal::{BankTuningMode, FabricationVariation, RingBankState};
+use onoc_thermal::{
+    AssignmentStrategy, BankTuningMode, FabricationVariation, RingBankState, WavelengthAssigner,
+    WavelengthAssignment,
+};
 use onoc_units::{Celsius, Milliwatts, PicojoulesPerBit};
 use serde::{Deserialize, Serialize};
 
@@ -361,7 +364,7 @@ impl NanophotonicLink {
     pub fn with_fabrication_variation(self, variation: FabricationVariation) -> Self {
         let stack = ThermalLinkStack {
             variation,
-            ..*self.solver.stack()
+            ..self.solver.stack().clone()
         };
         self.with_thermal_stack(stack)
     }
@@ -372,9 +375,70 @@ impl NanophotonicLink {
     pub fn with_bank_tuning_mode(self, mode: BankTuningMode) -> Self {
         let stack = ThermalLinkStack {
             mode,
-            ..*self.solver.stack()
+            ..self.solver.stack().clone()
         };
         self.with_thermal_stack(stack)
+    }
+
+    /// Bakes a design-time (GLOW-style) logical-wavelength → ring
+    /// assignment into this link's banks: ring `assignment.ring_for_lane(j)`
+    /// serves grid slot `j`, so at the assignment's design temperature the
+    /// heaters fight only what drift and fabrication leave over.  Runtime
+    /// barrel shifting ([`NanophotonicLink::with_bank_tuning_mode`])
+    /// composes on top.  The identity assignment is bit-identical to an
+    /// unassigned link (property-tested), though it fingerprints — and
+    /// therefore caches — separately.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::InvalidConfiguration`] when the assignment does not
+    /// cover exactly the channel's wavelength count.
+    pub fn with_wavelength_assignment(
+        self,
+        assignment: WavelengthAssignment,
+    ) -> Result<Self, LinkError> {
+        let lanes = self.channel().geometry().wavelength_count();
+        if assignment.len() != lanes {
+            return Err(LinkError::InvalidConfiguration {
+                reason: format!(
+                    "wavelength assignment covers {} lanes but the channel carries {lanes} \
+                     wavelengths",
+                    assignment.len()
+                ),
+            });
+        }
+        let stack = ThermalLinkStack {
+            assignment: Some(assignment),
+            ..self.solver.stack().clone()
+        };
+        Ok(self.with_thermal_stack(stack))
+    }
+
+    /// The design-time wavelength assignment baked into this link, if any.
+    #[must_use]
+    pub fn wavelength_assignment(&self) -> Option<&WavelengthAssignment> {
+        self.solver.stack().assignment.as_ref()
+    }
+
+    /// A design-time assigner matching this link's spectral and heater
+    /// parameters (grid spacing, drift slope, tuner) — the single source
+    /// every caller builds a [`WavelengthAssigner`] from, so the search's
+    /// cost model can never drift from the link's physics.  Feed its result
+    /// to [`NanophotonicLink::with_wavelength_assignment`].
+    #[must_use]
+    pub fn wavelength_assigner(
+        &self,
+        strategy: AssignmentStrategy,
+        seed: u64,
+    ) -> WavelengthAssigner {
+        let stack = self.solver.stack();
+        WavelengthAssigner {
+            tuner: stack.tuner,
+            grid_spacing_nm: self.channel().geometry().grid.spacing().value(),
+            slope_nm_per_kelvin: stack.rings.drift_nm_per_kelvin,
+            strategy,
+            seed,
+        }
     }
 
     /// The fingerprint of the active thermal stack — the value the memoized
@@ -958,6 +1022,53 @@ mod tests {
             cool,
             pure.operating_point(EccScheme::Hamming7164, 1e-11).unwrap()
         );
+    }
+
+    #[test]
+    fn wavelength_assignment_threads_through_the_link() {
+        let plain = link();
+        assert!(plain.wavelength_assignment().is_none());
+        // Identity assignment: bit-identical operating points, distinct
+        // fingerprint (memoized entries can never alias the two stacks).
+        let identity = link()
+            .with_wavelength_assignment(WavelengthAssignment::identity(16))
+            .unwrap();
+        assert!(identity
+            .wavelength_assignment()
+            .is_some_and(WavelengthAssignment::is_identity));
+        assert_ne!(identity.stack_fingerprint(), plain.stack_fingerprint());
+        for t in [25.0, 55.0, 85.0] {
+            assert_eq!(
+                plain.operating_point_at(EccScheme::Hamming7164, 1e-11, Celsius::new(t)),
+                identity.operating_point_at(EccScheme::Hamming7164, 1e-11, Celsius::new(t)),
+                "{t} C"
+            );
+        }
+        // A design-for-85 °C assignment slashes the hot tuning bill and
+        // revives the uncoded path at 85 °C.
+        let hot = Celsius::new(85.0);
+        let assigner = plain.wavelength_assigner(AssignmentStrategy::GreedyRefine, 1);
+        let designed = link()
+            .with_wavelength_assignment(assigner.assign(&plain.ring_bank_state_at(hot)))
+            .unwrap();
+        let p = plain
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, hot)
+            .unwrap();
+        let d = designed
+            .operating_point_at(EccScheme::Hamming7164, 1e-11, hot)
+            .unwrap();
+        assert!(d.power.tuning.value() < 0.2 * p.power.tuning.value());
+        assert!(plain
+            .operating_point_at(EccScheme::Uncoded, 1e-11, hot)
+            .is_err());
+        assert!(designed
+            .operating_point_at(EccScheme::Uncoded, 1e-11, hot)
+            .is_ok());
+        // A wrong-length assignment is a configuration error, not a panic.
+        let err = link()
+            .with_wavelength_assignment(WavelengthAssignment::identity(4))
+            .unwrap_err();
+        assert!(err.to_string().contains("wavelength assignment"), "{err}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use onoc_ecc_codes::EccScheme;
 use onoc_thermal::tuning::TuningAction;
 use onoc_thermal::{
     BankCompensation, BankTuningMode, FabricationVariation, ResonanceDrift, RingBankState,
-    RingThermalModel, ThermalTuner, TuningPolicy,
+    RingThermalModel, ThermalTuner, TuningPolicy, WavelengthAssignment,
 };
 use onoc_units::{Celsius, Microwatts, Milliwatts};
 use serde::{Deserialize, Serialize};
@@ -35,8 +35,9 @@ use crate::mwsr::MwsrChannel;
 use crate::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 
 /// The thermal configuration of a link: ring drift, heaters, per-ring
-/// fabrication variation and the tuning policy/mode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// fabrication variation, the design-time wavelength assignment and the
+/// tuning policy/mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThermalLinkStack {
     /// Resonance drift model of the ring banks.
     pub rings: RingThermalModel,
@@ -50,6 +51,10 @@ pub struct ThermalLinkStack {
     /// How a tuned bank spends its per-ring freedom: pure heating, or
     /// barrel-shift channel hopping plus heating of the residual.
     pub mode: BankTuningMode,
+    /// Design-time (GLOW-style) logical-wavelength → ring assignment of the
+    /// bank; `None` keeps the design (identity) mapping bit-identically.
+    /// Runtime barrel shifting composes on top of it.
+    pub assignment: Option<WavelengthAssignment>,
 }
 
 impl ThermalLinkStack {
@@ -64,6 +69,7 @@ impl ThermalLinkStack {
             policy: TuningPolicy::Adaptive,
             variation: FabricationVariation::none(),
             mode: BankTuningMode::PureHeater,
+            assignment: None,
         }
     }
 
@@ -111,7 +117,11 @@ impl ThermalLinkStack {
             ));
         }
         self.variation.validate()?;
-        self.mode.validate()
+        self.mode.validate()?;
+        if let Some(assignment) = &self.assignment {
+            assignment.validate()?;
+        }
+        Ok(())
     }
 
     /// A 64-bit fingerprint of every parameter that changes operating
@@ -142,6 +152,13 @@ impl ThermalLinkStack {
             BankTuningMode::BarrelShift { max_shift } => {
                 mix(2);
                 mix(max_shift as u64);
+            }
+        }
+        match &self.assignment {
+            None => mix(0),
+            Some(assignment) => {
+                mix(1);
+                mix(assignment.fingerprint());
             }
         }
         hash
@@ -226,13 +243,22 @@ impl ThermalSolver {
     /// # Panics
     ///
     /// Panics if the stack carries an invalid parameter (non-finite drift
-    /// slope, negative fabrication σ, …) — see [`ThermalLinkStack::validate`]
-    /// — so a bad configuration surfaces at construction instead of as NaN
+    /// slope, negative fabrication σ, a wavelength assignment that does not
+    /// cover the channel's grid, …) — see [`ThermalLinkStack::validate`] —
+    /// so a bad configuration surfaces at construction instead of as NaN
     /// budgets mid-sweep.
     #[must_use]
     pub fn new(channel: MwsrChannel, stack: ThermalLinkStack) -> Self {
         if let Err(reason) = stack.validate() {
             panic!("invalid thermal stack: {reason}");
+        }
+        if let Some(assignment) = &stack.assignment {
+            assert_eq!(
+                assignment.len(),
+                channel.geometry().wavelength_count(),
+                "invalid thermal stack: the wavelength assignment must cover every channel \
+                 wavelength"
+            );
         }
         Self {
             base: LaserPowerSolver::new(channel),
@@ -270,9 +296,13 @@ impl ThermalSolver {
     /// compensated under every tuning action the policy allows — tolerating,
     /// or tuning via the stack's [`BankTuningMode`] (pure heating, or
     /// barrel-shifting the wavelength assignment and heating only the
-    /// residual).  Each candidate is solved on the correspondingly detuned
-    /// channel, **sized by its worst ring**, and the feasible candidate with
-    /// the lowest total per-lane power (laser electrical + heater) wins.
+    /// residual).  A design-time [`WavelengthAssignment`] in the stack
+    /// re-indexes the detuning of every lane first (ring
+    /// `assignment.ring_for_lane(j)` serves grid slot `j`); the runtime
+    /// barrel shift composes on top of it.  Each candidate is solved on the
+    /// correspondingly detuned channel, **sized by its worst ring**, and the
+    /// feasible candidate with the lowest total per-lane power (laser
+    /// electrical + heater) wins.
     ///
     /// With zero fabrication variation the bank is uniform and the pipeline
     /// degenerates bit-identically to the per-bank scalar model: at the
@@ -303,14 +333,19 @@ impl ThermalSolver {
         // off", so the dedup collapses the adaptive policy to a single solve
         // on the hot path every calibration-ambient query takes.
         let mut compensations: Vec<BankCompensation> = Vec::new();
+        let assignment = self.stack.assignment.as_ref();
         for &action in self.stack.policy.candidates() {
             let compensation = match action {
-                TuningAction::Tolerate => BankCompensation::off(&state, slope),
-                TuningAction::Tune => {
-                    self.stack
-                        .tuner
-                        .compensate_bank(&state, spacing, slope, self.stack.mode)
+                TuningAction::Tolerate => {
+                    BankCompensation::off_assigned(&state, spacing, slope, assignment)
                 }
+                TuningAction::Tune => self.stack.tuner.compensate_bank_assigned(
+                    &state,
+                    spacing,
+                    slope,
+                    self.stack.mode,
+                    assignment,
+                ),
             };
             if !compensations.contains(&compensation) {
                 compensations.push(compensation);
@@ -579,6 +614,77 @@ mod tests {
     }
 
     #[test]
+    fn identity_assignment_is_bit_identical_to_the_unassigned_solver() {
+        let baseline = solver();
+        let assigned = ThermalSolver::new(
+            PaperCalibration::dac17().into_channel(),
+            ThermalLinkStack {
+                assignment: Some(WavelengthAssignment::identity(16)),
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        for scheme in [EccScheme::Uncoded, EccScheme::Hamming7164] {
+            for t in [25.0, 35.0, 55.0, 85.0] {
+                assert_eq!(
+                    baseline.solve_at(scheme, 1e-11, Celsius::new(t)),
+                    assigned.solve_at(scheme, 1e-11, Celsius::new(t)),
+                    "{scheme} at {t} C"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn design_assignment_cuts_tuning_power_and_extends_uncoded_feasibility() {
+        use onoc_thermal::{AssignmentStrategy, WavelengthAssigner};
+        let hot = Celsius::new(85.0);
+        let unassigned = solver();
+        let assigner = WavelengthAssigner {
+            tuner: ThermalTuner::paper_heater(),
+            grid_spacing_nm: 0.8,
+            slope_nm_per_kelvin: 0.1,
+            strategy: AssignmentStrategy::GreedyRefine,
+            seed: 1,
+        };
+        let assignment = assigner.assign(&unassigned.bank_state_at(hot));
+        let assigned = ThermalSolver::new(
+            PaperCalibration::dac17().into_channel(),
+            ThermalLinkStack {
+                assignment: Some(assignment),
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+        let (_, plain) = unassigned
+            .solve_at(EccScheme::Hamming7164, 1e-11, hot)
+            .unwrap();
+        let (_, designed) = assigned
+            .solve_at(EccScheme::Hamming7164, 1e-11, hot)
+            .unwrap();
+        assert!(
+            designed.tuning_power_per_lane.value() < 0.2 * plain.tuning_power_per_lane.value(),
+            "designed {} vs plain {}",
+            designed.tuning_power_per_lane,
+            plain.tuning_power_per_lane
+        );
+        // The uncoded path dies at 85 °C without the assignment (the tuned
+        // residual still needs too much laser) but survives with it.
+        assert!(unassigned.solve_at(EccScheme::Uncoded, 1e-11, hot).is_err());
+        assert!(assigned.solve_at(EccScheme::Uncoded, 1e-11, hot).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every channel wavelength")]
+    fn mismatched_assignment_is_rejected_at_construction() {
+        let _ = ThermalSolver::new(
+            PaperCalibration::dac17().into_channel(),
+            ThermalLinkStack {
+                assignment: Some(WavelengthAssignment::identity(4)),
+                ..ThermalLinkStack::paper_default()
+            },
+        );
+    }
+
+    #[test]
     fn stack_fingerprints_separate_chip_instances() {
         let a = ThermalLinkStack::paper_default();
         let b = ThermalLinkStack {
@@ -593,6 +699,16 @@ mod tests {
             mode: BankTuningMode::full_barrel_shift(16),
             ..ThermalLinkStack::paper_default()
         };
+        let e = ThermalLinkStack {
+            assignment: Some(WavelengthAssignment::identity(16)),
+            ..ThermalLinkStack::paper_default()
+        };
+        let f = ThermalLinkStack {
+            assignment: Some(
+                WavelengthAssignment::new((0..16).map(|j| (j + 1) % 16).collect()).unwrap(),
+            ),
+            ..ThermalLinkStack::paper_default()
+        };
         assert_eq!(
             a.fingerprint(),
             ThermalLinkStack::paper_default().fingerprint()
@@ -600,6 +716,10 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(b.fingerprint(), c.fingerprint());
         assert_ne!(a.fingerprint(), d.fingerprint());
+        // The op-cache can never alias assignments: no assignment, the
+        // explicit identity and a rotation all fingerprint apart.
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        assert_ne!(e.fingerprint(), f.fingerprint());
     }
 
     #[test]

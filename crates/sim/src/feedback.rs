@@ -228,7 +228,7 @@ impl FeedbackSimulation {
             .seed(config.sim.seed)
             .activity_coupled(config.network)
             .policy(config.policy());
-        if let Some(stack) = config.stack {
+        if let Some(stack) = config.stack.clone() {
             builder = builder.stack(stack);
         }
         if let Some(variation) = config.variation {

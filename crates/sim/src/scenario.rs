@@ -52,8 +52,8 @@ use onoc_link::{
 };
 use onoc_parallel::{default_shards, parallel_map};
 use onoc_thermal::{
-    BankTuningMode, FabricationVariation, RcNetworkParameters, ThermalEnvironment, ThermalModel,
-    ThermalModelSpec, WorkloadTrace,
+    AssignmentStrategy, BankTuningMode, FabricationVariation, RcNetworkParameters,
+    ThermalEnvironment, ThermalModel, ThermalModelSpec, WavelengthAssignment, WorkloadTrace,
 };
 use onoc_units::Celsius;
 use rand::rngs::StdRng;
@@ -104,12 +104,11 @@ impl RingVariationConfig {
     pub fn oni_variation(&self, oni: usize) -> FabricationVariation {
         // SplitMix64 of (seed, oni) so neighbouring ONIs get uncorrelated
         // chips while the whole fleet stays reproducible.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        FabricationVariation::new(self.sigma_nm, z ^ (z >> 31))
+        let z = onoc_thermal::bank::splitmix64_mix(
+            self.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1)),
+        );
+        FabricationVariation::new(self.sigma_nm, z)
     }
 }
 
@@ -126,6 +125,13 @@ pub struct SchemeSwitch {
     pub to: EccScheme,
     /// Channel temperature that triggered the re-decision, in °C.
     pub temperature_c: f64,
+    /// Index of the epoch whose boundary took the decision — carried
+    /// uniformly by every engine (previously omitted when the per-message
+    /// policy drove a prescribed transient): `Some` for epoch-gated runs
+    /// (matching the entry of [`RunReport::trajectory`] whose `time_ns`
+    /// equals the switch time), `None` under the per-message policy, which
+    /// steps no epochs.
+    pub epoch: Option<u64>,
 }
 
 /// Temperature envelope of the interconnect at one epoch boundary.
@@ -234,6 +240,40 @@ impl DecisionPolicy {
     }
 }
 
+/// Design-time (GLOW-style) wavelength-grid assignment of a scenario's link
+/// fleet: before the run starts, every destination channel gets a
+/// logical-wavelength → ring permutation searched against the thermal
+/// model's own per-ONI design temperatures
+/// ([`ThermalModelSpec::design_temperatures`]) and that ONI's chip instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignAssignmentConfig {
+    /// Search strategy of the assigner.
+    pub strategy: AssignmentStrategy,
+    /// Base seed of the refinement search; each ONI derives its own.
+    pub seed: u64,
+}
+
+impl DesignAssignmentConfig {
+    /// The default greedy + local-search assigner under `seed`.
+    #[must_use]
+    pub fn greedy_refine(seed: u64) -> Self {
+        Self {
+            strategy: AssignmentStrategy::GreedyRefine,
+            seed,
+        }
+    }
+
+    /// The assigner seed of destination `oni` (SplitMix64 of `(seed, oni)`,
+    /// mirroring [`RingVariationConfig::oni_variation`]).
+    #[must_use]
+    pub fn oni_seed(&self, oni: usize) -> u64 {
+        onoc_thermal::bank::splitmix64_mix(
+            self.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(oni as u64 + 1)),
+        )
+    }
+}
+
 /// The complete, serializable description of one scenario: everything
 /// [`ScenarioBuilder`] composes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -266,6 +306,11 @@ pub struct ScenarioConfig {
     /// Optional per-ONI fabrication variation: `Some` makes the fleet
     /// heterogeneous (one seeded chip instance per destination channel).
     pub variation: Option<RingVariationConfig>,
+    /// Optional design-time wavelength assignment: `Some` runs the
+    /// GLOW-style assigner per ONI (against the thermal model's design
+    /// temperatures and the ONI's chip instance) before the run starts, so
+    /// the fleet becomes heterogeneous like under `variation`.
+    pub assignment: Option<DesignAssignmentConfig>,
     /// Optional operating-point cache resolution override, in buckets per
     /// kelvin (`None` keeps the link default of 20).
     pub cache_buckets_per_kelvin: Option<f64>,
@@ -292,6 +337,7 @@ impl Default for ScenarioConfig {
             policy: None,
             stack: None,
             variation: None,
+            assignment: None,
             cache_buckets_per_kelvin: None,
             threads: 0,
         }
@@ -368,10 +414,36 @@ impl ScenarioConfig {
                 reason: "per-ONI fabrication variation requires the epoch-gated policy".into(),
             });
         }
+        if matches!(policy, DecisionPolicy::PerMessage { .. }) && self.assignment.is_some() {
+            // Per-ONI design temperatures produce per-ONI assignments —
+            // the same heterogeneous-fleet situation as `variation`.
+            return Err(SimulationError::InvalidConfiguration {
+                reason: "design-time wavelength assignment requires the epoch-gated policy".into(),
+            });
+        }
         if let Some(stack) = &self.stack {
             stack
                 .validate()
                 .map_err(|reason| SimulationError::InvalidConfiguration { reason })?;
+            if let Some(assignment) = &stack.assignment {
+                // The stack validator checks the permutation structure; the
+                // length against the (fixed) channel grid is checked here so
+                // a mis-sized assignment is a configuration error, not a
+                // panic inside `ThermalSolver::new` mid-build.
+                let lanes = NanophotonicLink::paper_link()
+                    .channel()
+                    .geometry()
+                    .wavelength_count();
+                if assignment.len() != lanes {
+                    return Err(SimulationError::InvalidConfiguration {
+                        reason: format!(
+                            "stack wavelength assignment covers {} lanes but the channel \
+                             carries {lanes} wavelengths",
+                            assignment.len()
+                        ),
+                    });
+                }
+            }
         }
         if let Some(variation) = &self.variation {
             variation
@@ -396,7 +468,7 @@ impl ScenarioConfig {
     /// ONI's own chip instance and tuning mode.
     fn oni_link(&self, oni: usize) -> NanophotonicLink {
         let mut link = NanophotonicLink::paper_link();
-        if let Some(stack) = self.stack {
+        if let Some(stack) = self.stack.clone() {
             link = link.with_thermal_stack(stack);
         }
         if let Some(variation) = &self.variation {
@@ -552,6 +624,18 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn variation(mut self, variation: RingVariationConfig) -> Self {
         self.config.variation = Some(variation);
+        self
+    }
+
+    /// Runs the design-time (GLOW-style) wavelength assigner per ONI before
+    /// the run starts: each destination channel's logical-wavelength → ring
+    /// mapping is searched against the thermal model's design temperatures
+    /// ([`ThermalModelSpec::design_temperatures`]) and that ONI's chip
+    /// instance.  Requires the epoch-gated policy (per-ONI assignments make
+    /// the fleet heterogeneous).
+    #[must_use]
+    pub fn design_assignment(mut self, assignment: DesignAssignmentConfig) -> Self {
+        self.config.assignment = Some(assignment);
         self
     }
 
@@ -733,6 +817,9 @@ pub struct Scenario {
     baselines: Vec<DecisionParams>,
     /// Epoch-gated policy: the instantiated thermal model.
     model: Option<Box<dyn ThermalModel>>,
+    /// Design-time wavelength assignments, one per ONI (empty when the
+    /// scenario runs unassigned).
+    assignments: Vec<WavelengthAssignment>,
     messages: HashMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
@@ -750,12 +837,33 @@ impl Scenario {
         let policy = config.resolved_policy();
         let n = config.oni_count;
         // A homogeneous fleet shares one manager (and one operating-point
-        // cache); a heterogeneous fleet gets one chip instance per ONI.
-        let manager_count = if config.variation.is_some() { n } else { 1 };
+        // cache); a heterogeneous fleet — per-ONI chip instances and/or
+        // per-ONI design-time assignments — gets one manager per ONI.
+        let manager_count = if config.variation.is_some() || config.assignment.is_some() {
+            n
+        } else {
+            1
+        };
+        // Design-time wavelength assignment: search each ONI's permutation
+        // against the thermal model's own design temperatures before the
+        // first operating point is ever solved.
+        let mut assignments: Vec<WavelengthAssignment> = Vec::new();
+        let design = config
+            .assignment
+            .map(|spec| (spec, config.thermal.design_temperatures(n)));
         let managers: Vec<LinkManager> = (0..manager_count)
             .map(|oni| {
+                let mut link = config.oni_link(oni);
+                if let Some((spec, temperatures)) = &design {
+                    let assigner = link.wavelength_assigner(spec.strategy, spec.oni_seed(oni));
+                    let assignment = assigner.assign(&link.ring_bank_state_at(temperatures[oni]));
+                    assignments.push(assignment.clone());
+                    link = link
+                        .with_wavelength_assignment(assignment)
+                        .expect("the assigner covers the link's own wavelength grid");
+                }
                 LinkManager::new(
-                    config.oni_link(oni),
+                    link,
                     EccScheme::paper_schemes().to_vec(),
                     config.nominal_ber,
                 )
@@ -882,6 +990,7 @@ impl Scenario {
             precompute_queries,
             baselines,
             model,
+            assignments,
             messages,
             injection_order,
         })
@@ -916,6 +1025,14 @@ impl Scenario {
     #[must_use]
     pub fn decisions(&self) -> &[ManagerDecision] {
         &self.decisions
+    }
+
+    /// The design-time wavelength assignments of the fleet, one per ONI —
+    /// empty when the scenario runs unassigned (see
+    /// [`ScenarioBuilder::design_assignment`]).
+    #[must_use]
+    pub fn assignments(&self) -> &[WavelengthAssignment] {
+        &self.assignments
     }
 
     /// The manager serving destination `oni`.
@@ -1066,6 +1183,10 @@ impl Scenario {
                             from: previous_scheme,
                             to: point.scheme,
                             temperature_c: point.temperature_c,
+                            // The per-message engine steps no epochs; the
+                            // field is still carried so every switch-log
+                            // entry has the same shape.
+                            epoch: None,
                         });
                     }
                     peak_t[destination] = peak_t[destination].max(point.temperature_c);
@@ -1201,6 +1322,7 @@ impl Scenario {
         oni: usize,
         t_now: f64,
         end_ns: f64,
+        epoch: u64,
     ) -> (ChannelState, Option<SchemeSwitch>, u64) {
         let DecisionPolicy::EpochGated {
             quantization_k,
@@ -1239,6 +1361,7 @@ impl Scenario {
                         from: channel.params.scheme,
                         to: new_params.scheme,
                         temperature_c: t_now,
+                        epoch: Some(epoch),
                     });
                 }
                 channel.params = new_params;
@@ -1474,12 +1597,12 @@ impl Scenario {
                 let outcomes: Vec<(ChannelState, Option<SchemeSwitch>, u64)> =
                     if shard_reasks && pending.len() > 1 {
                         parallel_map(&pending, shards, |&oni| {
-                            self.reask(channels[oni], oni, temps[oni], end_ns)
+                            self.reask(channels[oni], oni, temps[oni], end_ns, epochs)
                         })
                     } else {
                         pending
                             .iter()
-                            .map(|&oni| self.reask(channels[oni], oni, temps[oni], end_ns))
+                            .map(|&oni| self.reask(channels[oni], oni, temps[oni], end_ns, epochs))
                             .collect()
                     };
                 for (&oni, (state, switch, infeasible)) in pending.iter().zip(outcomes) {

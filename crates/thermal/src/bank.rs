@@ -24,6 +24,7 @@
 use onoc_units::{KelvinDelta, Microwatts};
 use serde::{Deserialize, Serialize};
 
+use crate::assign::WavelengthAssignment;
 use crate::drift::ResonanceDrift;
 use crate::tuning::ThermalTuner;
 
@@ -115,10 +116,7 @@ impl FabricationVariation {
         let mut unit = move || {
             // SplitMix64, then 53 mantissa bits in (0, 1].
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
+            let z = splitmix64_mix(state);
             ((z >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
         };
         (0..count)
@@ -202,6 +200,44 @@ impl RingBankState {
         self.fabrication_nm[index] + slope_nm_per_kelvin * self.thermal.value()
     }
 
+    /// Requested heater excursion, in kelvin, of ring `ring` serving a grid
+    /// slot `hop_slots` spacings red of its design slot (0 = its own slot):
+    /// the quantity the per-ring lock loop must fight, shared by
+    /// [`ThermalTuner::compensate_bank`]'s per-ring loops and the
+    /// design-time assigner's cost model.  With zero fabrication offset and
+    /// zero hop this is *exactly* the bank's thermal excursion — no nm ↔ K
+    /// round trip — which is what keeps the σ = 0 pipeline bit-identical to
+    /// the per-bank scalar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope_nm_per_kelvin` is not positive: an athermal ring
+    /// (slope = 0) has no temperature-equivalent of a spectral offset, so
+    /// the callers that support slope = 0 (the bank tuner, the assigner)
+    /// must take their heaters-off / identity early exits first.
+    #[must_use]
+    pub fn requested_excursion_k(
+        &self,
+        ring: usize,
+        slope_nm_per_kelvin: f64,
+        grid_spacing_nm: f64,
+        hop_slots: i64,
+    ) -> f64 {
+        assert!(
+            slope_nm_per_kelvin > 0.0,
+            "a heater excursion is only defined for a positive drift slope"
+        );
+        let mut requested = self.thermal.value();
+        let fab = self.fabrication_nm[ring];
+        if fab != 0.0 {
+            requested += fab / slope_nm_per_kelvin;
+        }
+        if hop_slots != 0 {
+            requested -= grid_spacing_nm / slope_nm_per_kelvin * hop_slots as f64;
+        }
+        requested
+    }
+
     /// The worst (largest-magnitude, signed) free-running detuning across
     /// the bank.
     #[must_use]
@@ -261,6 +297,18 @@ pub fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
+}
+
+/// The SplitMix64 finalizer: scrambles `state` into a well-distributed
+/// 64-bit value.  The single source of the mixing constants shared by the
+/// fabrication sampler, the assigner's refinement shuffle and the
+/// simulator's per-ONI seed derivations.
+#[must_use]
+pub fn splitmix64_mix(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// How a bank spends its per-ring freedom when it decides to tune.
@@ -329,8 +377,40 @@ impl BankCompensation {
     /// every ring keeps its free-running detuning.
     #[must_use]
     pub fn off(state: &RingBankState, slope_nm_per_kelvin: f64) -> Self {
+        Self::off_assigned(state, 0.0, slope_nm_per_kelvin, None)
+    }
+
+    /// [`BankCompensation::off`] under a design-time wavelength assignment:
+    /// the heaters stay off, but each ring serves its *assigned* grid slot,
+    /// so entry `j` of the residual is the free-running detuning of ring
+    /// `assignment.ring_for_lane(j)` measured against slot `j` (the
+    /// FSR-centred slot offset times `grid_spacing_nm` is subtracted).  With
+    /// no assignment (or the identity) this is bit-identical to
+    /// [`BankCompensation::off`].
+    #[must_use]
+    pub fn off_assigned(
+        state: &RingBankState,
+        grid_spacing_nm: f64,
+        slope_nm_per_kelvin: f64,
+        assignment: Option<&WavelengthAssignment>,
+    ) -> Self {
+        if let Some(assignment) = assignment {
+            assert_eq!(
+                assignment.len(),
+                state.ring_count(),
+                "the assignment must cover every ring of the bank"
+            );
+        }
         let residual_nm = (0..state.ring_count())
-            .map(|i| state.detuning_nm(i, slope_nm_per_kelvin))
+            .map(|lane| {
+                let ring = assignment.map_or(lane, |a| a.ring_for_lane(lane));
+                let hop = assignment.map_or(0, |a| a.design_offset(lane));
+                let mut residual = state.detuning_nm(ring, slope_nm_per_kelvin);
+                if hop != 0 {
+                    residual -= grid_spacing_nm * hop as f64;
+                }
+                residual
+            })
             .collect();
         Self {
             shift: 0,
@@ -426,6 +506,30 @@ impl ThermalTuner {
         slope_nm_per_kelvin: f64,
         mode: BankTuningMode,
     ) -> BankCompensation {
+        self.compensate_bank_assigned(state, grid_spacing_nm, slope_nm_per_kelvin, mode, None)
+    }
+
+    /// [`ThermalTuner::compensate_bank`] under a design-time
+    /// [`WavelengthAssignment`]: ring `assignment.ring_for_lane(j)` serves
+    /// grid slot `j`, so each ring's heater fights the residual left after
+    /// its FSR-centred design offset *and* any runtime barrel shift — the
+    /// two mechanisms compose additively (a chip assigned for its hot spot
+    /// can hop back when it runs cold).  `None` (or the identity assignment)
+    /// is bit-identical to the unassigned pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectral parameters are invalid or the assignment does
+    /// not cover every ring of the bank.
+    #[must_use]
+    pub fn compensate_bank_assigned(
+        &self,
+        state: &RingBankState,
+        grid_spacing_nm: f64,
+        slope_nm_per_kelvin: f64,
+        mode: BankTuningMode,
+        assignment: Option<&WavelengthAssignment>,
+    ) -> BankCompensation {
         assert!(
             grid_spacing_nm.is_finite() && grid_spacing_nm >= 0.0,
             "grid spacing must be finite and non-negative"
@@ -434,8 +538,20 @@ impl ThermalTuner {
             slope_nm_per_kelvin.is_finite() && slope_nm_per_kelvin >= 0.0,
             "drift slope must be finite and non-negative"
         );
+        if let Some(assignment) = assignment {
+            assert_eq!(
+                assignment.len(),
+                state.ring_count(),
+                "the assignment must cover every ring of the bank"
+            );
+        }
         if slope_nm_per_kelvin == 0.0 {
-            return BankCompensation::off(state, slope_nm_per_kelvin);
+            return BankCompensation::off_assigned(
+                state,
+                grid_spacing_nm,
+                slope_nm_per_kelvin,
+                assignment,
+            );
         }
         let shifts: Vec<i64> = match mode {
             BankTuningMode::PureHeater => vec![0],
@@ -453,7 +569,13 @@ impl ThermalTuner {
         };
         let mut best: Option<BankCompensation> = None;
         for shift in shifts {
-            let candidate = self.heat_bank(state, grid_spacing_nm, slope_nm_per_kelvin, shift);
+            let candidate = self.heat_bank(
+                state,
+                grid_spacing_nm,
+                slope_nm_per_kelvin,
+                shift,
+                assignment,
+            );
             let better = best.as_ref().is_none_or(|b| {
                 let (cand, incumbent) = (
                     candidate.total_heater_power().value(),
@@ -469,36 +591,32 @@ impl ThermalTuner {
         best.expect("at least the zero shift is always evaluated")
     }
 
-    /// Heats every ring of `state` against its residual offset after a
-    /// barrel shift of `shift` rings, and reports the outcome **indexed by
-    /// logical wavelength**: after the shift, logical channel `j` is served
-    /// by physical ring `j − shift` (wrapping through the FSR), so ring
-    /// `i`'s residual and heater power land at slot `i + shift`.
+    /// Heats every ring of `state` against its residual offset after its
+    /// design-time slot offset plus a barrel shift of `shift` rings, and
+    /// reports the outcome **indexed by logical wavelength**: the ring
+    /// serving base slot `j` (ring `j` unassigned, `assignment
+    /// .ring_for_lane(j)` otherwise) ends up serving slot `j + shift`
+    /// (wrapping through the FSR), where its residual and heater power land.
     fn heat_bank(
         &self,
         state: &RingBankState,
         grid_spacing_nm: f64,
         slope_nm_per_kelvin: f64,
         shift: i64,
+        assignment: Option<&WavelengthAssignment>,
     ) -> BankCompensation {
         let n = state.ring_count();
-        let hop_kelvin = grid_spacing_nm / slope_nm_per_kelvin * shift as f64;
         let mut residual_nm = vec![0.0; n];
         let mut heater_power_per_ring = vec![Microwatts::zero(); n];
-        for i in 0..n {
-            // Per-ring requested excursion in K.  With σ = 0 and no shift
-            // this is *exactly* the bank's thermal excursion — no nm ↔ K
-            // round trip — so the scalar pipeline is reproduced bit for bit.
-            let mut requested = state.thermal_excursion().value();
-            let fab = state.fabrication_nm(i);
-            if fab != 0.0 {
-                requested += fab / slope_nm_per_kelvin;
-            }
-            if shift != 0 {
-                requested -= hop_kelvin;
-            }
+        for base in 0..n {
+            let ring = assignment.map_or(base, |a| a.ring_for_lane(base));
+            // Total slots hopped: the assignment's FSR-centred design offset
+            // plus the runtime barrel shift.
+            let hop_slots = assignment.map_or(0, |a| a.design_offset(base)) + shift;
+            let requested =
+                state.requested_excursion_k(ring, slope_nm_per_kelvin, grid_spacing_nm, hop_slots);
             let compensation = self.compensate(KelvinDelta::new(requested));
-            let lane = usize::try_from((i as i64 + shift).rem_euclid(n as i64))
+            let lane = usize::try_from((base as i64 + shift).rem_euclid(n as i64))
                 .expect("rem_euclid of a positive modulus is non-negative");
             residual_nm[lane] = slope_nm_per_kelvin * compensation.residual.value();
             heater_power_per_ring[lane] = compensation.heater_power_per_ring;
@@ -705,7 +823,7 @@ mod tests {
         fab[0] = 0.05;
         fab[3] = -0.02;
         let bank = RingBankState::new(fab, KelvinDelta::zero());
-        let c = saturating.heat_bank(&bank, 0.8, paper_slope(), 1);
+        let c = saturating.heat_bank(&bank, 0.8, paper_slope(), 1, None);
         assert!((c.residual_nm[1] - (0.05 - 0.8)).abs() < 1e-12, "{c:?}");
         assert!(
             (c.residual_nm[0] - (-0.02 - 0.8)).abs() < 1e-12,
@@ -744,6 +862,115 @@ mod tests {
         assert!((off.residual_nm[1] - 0.99).abs() < 1e-12);
         assert_eq!(off.total_heater_power(), Microwatts::zero());
         assert_eq!(off.worst_ring(), 0);
+    }
+
+    #[test]
+    fn identity_assignment_is_bit_identical_to_the_unassigned_path() {
+        let tuner = ThermalTuner::paper_heater();
+        let identity = WavelengthAssignment::identity(16);
+        for seed in [0u64, 3, 9] {
+            for dt in [0.0, 7.5, 32.0, -24.0] {
+                let bank = RingBankState::new(
+                    FabricationVariation::new(0.04, seed).offsets_nm(16),
+                    KelvinDelta::new(dt),
+                );
+                for mode in [
+                    BankTuningMode::PureHeater,
+                    BankTuningMode::full_barrel_shift(16),
+                ] {
+                    let plain = tuner.compensate_bank(&bank, 0.8, paper_slope(), mode);
+                    let assigned = tuner.compensate_bank_assigned(
+                        &bank,
+                        0.8,
+                        paper_slope(),
+                        mode,
+                        Some(&identity),
+                    );
+                    assert_eq!(plain, assigned, "seed {seed}, ΔT {dt}, {mode:?}");
+                }
+                let off = BankCompensation::off(&bank, paper_slope());
+                let off_assigned =
+                    BankCompensation::off_assigned(&bank, 0.8, paper_slope(), Some(&identity));
+                assert_eq!(off, off_assigned, "seed {seed}, ΔT {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn design_assignment_composes_with_the_runtime_barrel_shift() {
+        // A bank assigned for +32 K of drift (4-slot rotation baked in) that
+        // actually runs at the calibration point: the runtime barrel search
+        // must hop back by −4 so the heaters see (almost) nothing.
+        let tuner = ThermalTuner::paper_heater();
+        let rotation =
+            WavelengthAssignment::new((0..16).map(|j| (j + 16 - 4) % 16).collect()).unwrap();
+        let cold = RingBankState::new(vec![0.0; 16], KelvinDelta::zero());
+        let c = tuner.compensate_bank_assigned(
+            &cold,
+            0.8,
+            paper_slope(),
+            BankTuningMode::full_barrel_shift(16),
+            Some(&rotation),
+        );
+        assert_eq!(c.shift, -4, "the runtime shift undoes the design rotation");
+        assert!(c.worst_residual().abs().nanometers() < 0.05);
+        // Pure heating cannot undo it: every ring fights its full 4 slots.
+        let pure = tuner.compensate_bank_assigned(
+            &cold,
+            0.8,
+            paper_slope(),
+            BankTuningMode::PureHeater,
+            Some(&rotation),
+        );
+        assert!(pure.total_heater_power().value() > 10.0 * c.total_heater_power().value().max(1.0));
+        // At the design temperature the assignment alone already suffices.
+        let hot = RingBankState::new(vec![0.0; 16], KelvinDelta::new(32.0));
+        let designed = tuner.compensate_bank_assigned(
+            &hot,
+            0.8,
+            paper_slope(),
+            BankTuningMode::PureHeater,
+            Some(&rotation),
+        );
+        let unassigned =
+            tuner.compensate_bank(&hot, 0.8, paper_slope(), BankTuningMode::PureHeater);
+        assert!(
+            designed.total_heater_power().value() < 0.1 * unassigned.total_heater_power().value()
+        );
+    }
+
+    #[test]
+    fn assigned_tolerate_measures_against_the_served_slot() {
+        // Ring 15 serves lane 0 after a 1-slot rotation; heaters off.  Its
+        // free-running position is one slot (0.8 nm) below lane 0, minus the
+        // drift it has already picked up.
+        let rotation =
+            WavelengthAssignment::new((0..4).map(|j| (j + 4 - 1) % 4).collect()).unwrap();
+        let bank = RingBankState::new(vec![0.0; 4], KelvinDelta::new(4.0));
+        let off = BankCompensation::off_assigned(&bank, 0.8, paper_slope(), Some(&rotation));
+        // Drift 0.4 nm − 0.8 nm hop = −0.4 nm at every lane.
+        for lane in 0..4 {
+            assert!(
+                (off.residual_nm[lane] - (0.4 - 0.8)).abs() < 1e-12,
+                "{off:?}"
+            );
+        }
+        assert_eq!(off.total_heater_power(), Microwatts::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every ring")]
+    fn mismatched_assignment_is_rejected() {
+        let tuner = ThermalTuner::paper_heater();
+        let bank = RingBankState::aligned(16);
+        let short = WavelengthAssignment::identity(4);
+        let _ = tuner.compensate_bank_assigned(
+            &bank,
+            0.8,
+            paper_slope(),
+            BankTuningMode::PureHeater,
+            Some(&short),
+        );
     }
 
     #[test]

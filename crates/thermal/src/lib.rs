@@ -37,6 +37,11 @@
 //! * [`BankTuningMode`] — pure per-ring heating, or barrel-shift channel
 //!   hopping (re-map logical wavelengths to the nearest-resonant rings and
 //!   heat only the residual; cf. Cooling Codes);
+//! * [`WavelengthAssignment`] / [`WavelengthAssigner`] — GLOW-style
+//!   *design-time* thermal-aware wavelength-grid assignment: a seeded,
+//!   deterministic greedy + local-search permutation of the
+//!   logical-wavelength → ring mapping, chosen against a target heat map so
+//!   the heaters fight only what drift and fabrication leave over;
 //! * [`ThermalModel`] — the unified stepping contract over all of the above:
 //!   prescribed traces ([`PrescribedEnvironment`]), the activity-coupled RC
 //!   network, and [`WorkloadHeatedEnvironment`] (per-ONI compute-cluster
@@ -72,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod assign;
 pub mod bank;
 pub mod drift;
 pub mod environment;
@@ -79,6 +85,7 @@ pub mod model;
 pub mod tuning;
 
 pub use activity::{ActivityCoupledEnvironment, RcNetworkParameters};
+pub use assign::{AssignmentStrategy, WavelengthAssigner, WavelengthAssignment};
 pub use bank::{BankCompensation, BankTuningMode, FabricationVariation, RingBankState};
 pub use drift::{ResonanceDrift, RingThermalModel};
 pub use environment::ThermalEnvironment;

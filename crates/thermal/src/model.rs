@@ -436,6 +436,48 @@ impl ThermalModelSpec {
         }
     }
 
+    /// The per-ONI *design-point* temperatures of the described model: what
+    /// a design-time optimiser (e.g. the GLOW-style wavelength assigner)
+    /// should plan each ONI's channel for.
+    ///
+    /// * prescribed uniform/hotspot fields report their static per-ONI
+    ///   temperatures (sampled at `t = 0`);
+    /// * a prescribed transient reports its asymptotic target everywhere —
+    ///   the temperature the package settles at;
+    /// * the activity-coupled network reports its package ambient (the
+    ///   link's own dissipation is a runtime quantity the design step cannot
+    ///   know up front);
+    /// * the workload-heated network reports the steady state its workload
+    ///   traces alone drive it to: the model is advanced 40 time constants
+    ///   with zero link power and sampled, so lateral spreading through the
+    ///   interposer is included exactly as the runtime model sees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid for `oni_count` ONIs (see
+    /// [`ThermalModelSpec::validate`]).
+    #[must_use]
+    pub fn design_temperatures(&self, oni_count: usize) -> Vec<Celsius> {
+        self.validate(oni_count)
+            .unwrap_or_else(|reason| panic!("invalid thermal model spec: {reason}"));
+        match self {
+            Self::Prescribed { environment } => match *environment {
+                ThermalEnvironment::Transient { target, .. } => vec![target; oni_count],
+                _ => (0..oni_count)
+                    .map(|oni| environment.temperature_at(oni, oni_count, 0.0))
+                    .collect(),
+            },
+            Self::ActivityCoupled { network } => vec![network.ambient; oni_count],
+            Self::WorkloadHeated { network, traces } => {
+                let mut model = WorkloadHeatedEnvironment::new(*network, traces.clone());
+                model.advance(&vec![0.0; oni_count], network.time_constant_ns() * 40.0);
+                (0..oni_count)
+                    .map(|oni| ThermalModel::temperature_of(&model, oni))
+                    .collect()
+            }
+        }
+    }
+
     /// Builds the stateful model for `oni_count` ONIs, with prescribed
     /// clocks at zero and RC nodes at their package ambient.
     ///
@@ -627,6 +669,67 @@ mod tests {
             .validate(4)
             .unwrap_err()
             .contains("heat capacity"));
+    }
+
+    #[test]
+    fn design_temperatures_reflect_each_model_family() {
+        // Uniform prescribed: the fixed ambient everywhere.
+        assert!(ThermalModelSpec::paper_ambient()
+            .design_temperatures(4)
+            .iter()
+            .all(|t| (t.value() - 25.0).abs() < 1e-12));
+        // Transient: the asymptotic target, not the start.
+        let transient = ThermalModelSpec::Prescribed {
+            environment: ThermalEnvironment::Transient {
+                start: Celsius::new(25.0),
+                target: Celsius::new(85.0),
+                time_constant_ns: 500.0,
+            },
+        };
+        assert!(transient
+            .design_temperatures(3)
+            .iter()
+            .all(|t| (t.value() - 85.0).abs() < 1e-12));
+        // Hotspot: the static per-ONI gradient.
+        let hotspot = ThermalModelSpec::Prescribed {
+            environment: ThermalEnvironment::Hotspot {
+                base: Celsius::new(30.0),
+                peak: Celsius::new(80.0),
+                center: 1,
+                decay_per_hop: 0.5,
+            },
+        };
+        let temps = hotspot.design_temperatures(6);
+        assert!((temps[1].value() - 80.0).abs() < 1e-12);
+        assert!(temps[1] > temps[2] && temps[2] > temps[4]);
+        // Activity-coupled: the package ambient (no workload knowledge).
+        let coupled = ThermalModelSpec::ActivityCoupled {
+            network: RcNetworkParameters::paper_package(),
+        };
+        assert!(coupled
+            .design_temperatures(4)
+            .iter()
+            .all(|t| (t.value() - 25.0).abs() < 1e-12));
+        // Workload-heated: matches an explicit 40 τ advance of the model.
+        let params = RcNetworkParameters::paper_package();
+        let traces = WorkloadTrace::hot_cluster(8, 2, 300.0, 0.4);
+        let spec = ThermalModelSpec::WorkloadHeated {
+            network: params,
+            traces: traces.clone(),
+        };
+        let designed = spec.design_temperatures(8);
+        let mut reference = WorkloadHeatedEnvironment::new(params, traces);
+        reference.advance(&[0.0; 8], params.time_constant_ns() * 40.0);
+        for (oni, t) in designed.iter().enumerate() {
+            assert_eq!(
+                t.value().to_bits(),
+                ThermalModel::temperature_of(&reference, oni)
+                    .value()
+                    .to_bits(),
+                "ONI {oni}"
+            );
+        }
+        assert!(designed[2] > designed[6], "the cluster centre runs hottest");
     }
 
     #[test]

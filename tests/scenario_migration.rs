@@ -50,7 +50,7 @@ fn builder_from_feedback(config: &FeedbackConfig) -> ScenarioBuilder {
             hysteresis_k: config.hysteresis_k,
             revert_hysteresis_k: config.revert_hysteresis_k,
         });
-    if let Some(stack) = config.stack {
+    if let Some(stack) = config.stack.clone() {
         builder = builder.stack(stack);
     }
     if let Some(variation) = config.variation {
@@ -278,6 +278,79 @@ fn epoch_gated_policy_now_drives_prescribed_models_too() {
         .per_oni
         .iter()
         .all(|o| o.scheme == EccScheme::Hamming7164));
+}
+
+#[test]
+fn switch_log_epoch_indices_are_pinned() {
+    // Golden pin of the switch-log epoch field.  The epoch-gated engine
+    // stamps every switch with the index of the epoch whose boundary took
+    // the decision — including over a *prescribed* transient, the
+    // combination whose entries used to omit it.
+    let epoch_gated = ScenarioBuilder::new()
+        .oni_count(6)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 60,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(6.0)
+        .seed(9)
+        .prescribed(ThermalEnvironment::Transient {
+            start: Celsius::new(25.0),
+            target: Celsius::new(85.0),
+            time_constant_ns: 500.0,
+        })
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .unwrap()
+        .run();
+    assert!(epoch_gated.total_switches() > 0, "the heat-up must switch");
+    let mut last_epoch = 0;
+    for switch in &epoch_gated.switch_log {
+        let epoch = switch
+            .epoch
+            .expect("every epoch-gated switch carries its epoch index");
+        // The index points at the trajectory sample of the very boundary
+        // the decision was taken on.
+        let sample = epoch_gated.trajectory[usize::try_from(epoch).unwrap()];
+        assert_eq!(sample.time_ns.to_bits(), switch.time_ns.to_bits());
+        assert!(epoch >= last_epoch, "epochs are logged in order");
+        last_epoch = epoch;
+    }
+    // Golden values for this exact configuration: all six channels escape
+    // the uncoded path at the boundary of epoch 12 (t = 325 ns).
+    assert_eq!(epoch_gated.total_switches(), 6);
+    assert!(epoch_gated.switch_log.iter().all(|s| s.epoch == Some(12)));
+    assert!(epoch_gated
+        .switch_log
+        .iter()
+        .all(|s| (s.time_ns - 325.0).abs() < 1e-9));
+
+    // The per-message engine steps no epochs: its entries carry `None`,
+    // uniformly, instead of omitting the field.
+    let per_message = ScenarioBuilder::new()
+        .oni_count(6)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 60,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(6.0)
+        .seed(9)
+        .prescribed(ThermalEnvironment::Transient {
+            start: Celsius::new(25.0),
+            target: Celsius::new(85.0),
+            time_constant_ns: 500.0,
+        })
+        .policy(DecisionPolicy::PerMessage {
+            quantization_k: 0.5,
+        })
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(per_message.epochs, 0);
+    assert!(per_message.total_switches() > 0);
+    assert!(per_message.switch_log.iter().all(|s| s.epoch.is_none()));
 }
 
 #[test]

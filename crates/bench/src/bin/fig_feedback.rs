@@ -145,14 +145,9 @@ fn main() {
          laser power and the package cools; revert hysteresis holds the coded path.",
         onoc_ecc_codes::EccScheme::Hamming7164,
     );
-    let cache = report.solver_cache;
     println!(
-        "Manager re-asks: {} over {} epochs; solver invocations: {} (cache hits {}, {:.1}% hit rate).",
-        report.decisions,
-        report.epochs,
-        cache.misses,
-        cache.hits,
-        100.0 * cache.hit_rate(),
+        "Manager re-asks: {} over {} epochs; solver cache: {}.",
+        report.decisions, report.epochs, report.solver_cache,
     );
 
     // Heterogeneous-fleet comparison: every ONI its own chip instance.

@@ -1,0 +1,77 @@
+//! Perf-trajectory benchmark: runs the fixed scenario matrix (fleet size ×
+//! decision policy × fabrication variation) with the telemetry registry
+//! recorder attached, self-gates that every deterministic counter and the
+//! full run report are bit-identical across thread counts, and writes
+//! `BENCH_scaling.json` at the repository root.
+//!
+//! Exit status is non-zero on any determinism violation, so CI can gate on
+//! it directly.
+
+use onoc_bench::banner;
+use onoc_bench::perf::{
+    build_document, default_output_path, scenario_matrix, DETERMINISM_THREAD_COUNTS,
+};
+
+fn main() {
+    banner(
+        "perf_trajectory",
+        "telemetry scaling matrix -> BENCH_scaling.json",
+    );
+
+    let cases = scenario_matrix();
+    println!(
+        "running {} scenarios at thread counts {:?}...\n",
+        cases.len(),
+        DETERMINISM_THREAD_COUNTS
+    );
+
+    let document = match build_document(&cases) {
+        Ok(document) => document,
+        Err(failures) => {
+            for failure in &failures {
+                eprintln!("FAIL: {failure}");
+            }
+            eprintln!(
+                "\nFAIL: {} determinism violation(s) across the matrix",
+                failures.len()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    // Per-case one-liner so the CI log shows the trajectory at a glance.
+    if let Some(rendered) = document.get("cases").and_then(|c| c.as_array()) {
+        println!(
+            "{:<30} {:>8} {:>10} {:>10} {:>9}",
+            "case", "messages", "solves", "cache-hit", "epochs"
+        );
+        for case in rendered {
+            let det = case.get("deterministic").and_then(|d| d.get("report"));
+            let field = |name: &str| {
+                det.and_then(|r| r.get(name))
+                    .and_then(onoc_telemetry::Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "{:<30} {:>8} {:>10} {:>9.1}% {:>9}",
+                case.get("label").and_then(|l| l.as_str()).unwrap_or("?"),
+                field("delivered_messages"),
+                field("solver_invocations"),
+                100.0 * field("cache_hit_rate"),
+                field("epochs"),
+            );
+        }
+    }
+
+    let path = default_output_path();
+    let body = document.render_pretty();
+    if let Err(e) = std::fs::write(&path, body + "\n") {
+        eprintln!("FAIL: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+
+    println!(
+        "\nPASS: deterministic sections bit-identical across thread counts {DETERMINISM_THREAD_COUNTS:?}"
+    );
+    println!("wrote {}", path.display());
+}

@@ -18,6 +18,7 @@
 //! | `fig_feedback` | closed-loop activity-driven heating demonstration (beyond the paper) |
 //! | `fig_variation` | σ × temperature sweep: pure-heater vs barrel-shift tuning (beyond the paper) |
 //! | `fig_assignment` | design-time (GLOW-style) wavelength assignment vs identity (beyond the paper) |
+//! | `perf_trajectory` | telemetry-instrumented scaling matrix → `BENCH_scaling.json` (beyond the paper) |
 //!
 //! Criterion micro-benchmarks (`benches/`) measure codec throughput, the
 //! link-solver latency, the simulator event rate and the memoized
@@ -29,6 +30,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use onoc_link::report::TextTable;
 

@@ -1,0 +1,314 @@
+//! The perf-trajectory harness behind `cargo run -p onoc-bench --bin
+//! perf_trajectory`.
+//!
+//! Runs a fixed scenario matrix (fleet size × decision policy × fabrication
+//! variation) with an [`onoc_telemetry::RegistryRecorder`] attached, and
+//! assembles the `BENCH_scaling.json` artifact the ROADMAP asks for: one
+//! entry per scenario with a **deterministic** section (event counters,
+//! histograms and report facts that must be bit-identical across repeated
+//! runs and thread counts) and a **non-deterministic** section (wall-clock
+//! timings, machine-speed dependent by nature).
+//!
+//! Determinism is self-gated: every scenario runs once per thread count in
+//! [`DETERMINISM_THREAD_COUNTS`] and the harness fails loudly if either the
+//! deterministic metrics or the full [`RunReport`] differ.
+
+use std::sync::Arc;
+
+use onoc_link::TrafficClass;
+use onoc_sim::traffic::TrafficPattern;
+use onoc_sim::{
+    DecisionPolicy, DesignAssignmentConfig, RingVariationConfig, RunReport, ScenarioBuilder,
+    ScenarioConfig,
+};
+use onoc_telemetry::{
+    Json, MetricsRegistry, MetricsSnapshot, RecorderHandle, RegistryRecorder, WallClockRegistry,
+};
+use onoc_thermal::{BankTuningMode, RcNetworkParameters, ThermalEnvironment};
+use onoc_units::Celsius;
+
+/// Version tag of the `BENCH_scaling.json` schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Thread counts every scenario is re-run at; the deterministic sections
+/// must be bit-identical across all of them.
+pub const DETERMINISM_THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Fleet sizes of the default matrix.
+pub const DEFAULT_FLEET_SIZES: [usize; 3] = [4, 8, 12];
+
+/// Messages per source node in the default matrix.
+pub const DEFAULT_MESSAGES_PER_NODE: u64 = 60;
+
+/// One prepared scenario of the matrix.
+pub struct TrajectoryCase {
+    /// Unique case label, e.g. `epoch-variation-barrel/oni8`.
+    pub label: String,
+    /// Policy family, `per-message` or `epoch-gated`.
+    pub policy: &'static str,
+    /// Fleet size.
+    pub oni_count: usize,
+    /// The full configuration (thread budget is overridden per run).
+    pub config: ScenarioConfig,
+}
+
+fn base_builder(oni_count: usize, messages_per_node: u64) -> ScenarioBuilder {
+    ScenarioBuilder::new()
+        .oni_count(oni_count)
+        .pattern(TrafficPattern::UniformRandom { messages_per_node })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(10.0)
+        .nominal_ber(1e-11)
+        .seed(17)
+}
+
+/// The scenario matrix over the given fleet sizes: per-message over the
+/// paper ambient, per-message over a static hotspot gradient, epoch-gated
+/// activity-coupled (homogeneous fleet, shared solver cache), and
+/// epoch-gated activity-coupled with per-ONI fabrication variation under
+/// barrel-shift tuning (heterogeneous fleet, sharded re-asks).
+#[must_use]
+pub fn scenario_matrix_with(fleet_sizes: &[usize], messages_per_node: u64) -> Vec<TrajectoryCase> {
+    let mut cases = Vec::new();
+    for &n in fleet_sizes {
+        let flavors: [(&str, &str, ScenarioBuilder); 4] = [
+            (
+                "per-message-ambient",
+                "per-message",
+                base_builder(n, messages_per_node),
+            ),
+            (
+                "per-message-hotspot",
+                "per-message",
+                base_builder(n, messages_per_node).prescribed(ThermalEnvironment::Hotspot {
+                    base: Celsius::new(25.0),
+                    peak: Celsius::new(55.0),
+                    center: 0,
+                    decay_per_hop: 0.5,
+                }),
+            ),
+            (
+                "epoch-activity",
+                "epoch-gated",
+                base_builder(n, messages_per_node)
+                    .activity_coupled(RcNetworkParameters::paper_package())
+                    .policy(DecisionPolicy::epoch_gated()),
+            ),
+            (
+                "epoch-variation-barrel",
+                "epoch-gated",
+                base_builder(n, messages_per_node)
+                    .activity_coupled(RcNetworkParameters::paper_package())
+                    .policy(DecisionPolicy::epoch_gated())
+                    .variation(RingVariationConfig {
+                        sigma_nm: 0.040,
+                        seed: 42,
+                        mode: BankTuningMode::full_barrel_shift(16),
+                    })
+                    .design_assignment(DesignAssignmentConfig::greedy_refine(7)),
+            ),
+        ];
+        for (flavor, policy, builder) in flavors {
+            cases.push(TrajectoryCase {
+                label: format!("{flavor}/oni{n}"),
+                policy,
+                oni_count: n,
+                config: builder.config().clone(),
+            });
+        }
+    }
+    cases
+}
+
+/// The default matrix: [`DEFAULT_FLEET_SIZES`] ×
+/// [`DEFAULT_MESSAGES_PER_NODE`] messages per node.
+#[must_use]
+pub fn scenario_matrix() -> Vec<TrajectoryCase> {
+    scenario_matrix_with(&DEFAULT_FLEET_SIZES, DEFAULT_MESSAGES_PER_NODE)
+}
+
+/// Outcome of one scenario at one thread count.
+pub struct CaseRun {
+    /// The simulation report (recorder-independent, thread-independent).
+    pub report: RunReport,
+    /// Deterministic registry contents fed by the run's events.
+    pub metrics: MetricsSnapshot,
+    /// Non-deterministic per-shard wall-clock aggregates, rendered.
+    pub wall_clock: Json,
+    /// End-to-end wall clock of build + run, in microseconds.
+    pub run_micros: u64,
+}
+
+/// Runs one case at the given thread budget with a fresh registry recorder.
+///
+/// # Panics
+///
+/// Panics if the configuration fails to build (the matrix only contains
+/// valid configurations).
+#[must_use]
+pub fn run_case(case: &TrajectoryCase, threads: usize) -> CaseRun {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let wall = Arc::new(WallClockRegistry::new());
+    let recorder = RecorderHandle::new(Arc::new(RegistryRecorder::new(
+        metrics.clone(),
+        wall.clone(),
+    )));
+    let started = std::time::Instant::now();
+    let report = ScenarioBuilder::from_config(case.config.clone())
+        .threads(threads)
+        .telemetry(recorder)
+        .build()
+        .unwrap_or_else(|e| panic!("case {} must build: {e}", case.label))
+        .run();
+    let run_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    CaseRun {
+        report,
+        metrics: metrics.snapshot(),
+        wall_clock: wall.to_json(),
+        run_micros,
+    }
+}
+
+/// The deterministic facts of a report the artifact exposes for gating —
+/// a digest, not the full report, so the JSON stays diffable by eye.
+fn report_digest(report: &RunReport) -> Json {
+    Json::obj(vec![
+        ("delivered_messages", report.stats.delivered_messages.into()),
+        ("epochs", report.epochs.into()),
+        ("decisions", report.decisions.into()),
+        ("infeasible_requests", report.infeasible_requests.into()),
+        ("scheme_switches", report.total_switches().into()),
+        ("solver_invocations", report.solver_cache.misses.into()),
+        ("cache_hits", report.solver_cache.hits.into()),
+        ("cache_hit_rate", report.solver_cache.hit_rate().into()),
+        ("reconfigured_messages", report.reconfigured_messages.into()),
+    ])
+}
+
+/// Runs the whole matrix at every thread count in
+/// [`DETERMINISM_THREAD_COUNTS`] and assembles the `BENCH_scaling.json`
+/// document.
+///
+/// # Errors
+///
+/// One line per determinism violation: a case whose deterministic metrics
+/// or whose full report differed between thread counts.
+pub fn build_document(cases: &[TrajectoryCase]) -> Result<Json, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut rendered_cases = Vec::new();
+    for case in cases {
+        let runs: Vec<(usize, CaseRun)> = DETERMINISM_THREAD_COUNTS
+            .iter()
+            .map(|&threads| (threads, run_case(case, threads)))
+            .collect();
+        let (reference_threads, reference) = &runs[0];
+        // The report embeds the simulated configuration, whose thread
+        // budget legitimately differs between runs; everything else must
+        // match bit-for-bit.
+        let normalized = |run: &CaseRun| {
+            let mut report = run.report.clone();
+            report.config.threads = 0;
+            report
+        };
+        let reference_report = normalized(reference);
+        for (threads, run) in &runs[1..] {
+            if run.metrics != reference.metrics {
+                failures.push(format!(
+                    "{}: deterministic metrics differ between {reference_threads} and {threads} \
+                     threads",
+                    case.label
+                ));
+            }
+            if normalized(run) != reference_report {
+                failures.push(format!(
+                    "{}: run report differs between {reference_threads} and {threads} threads",
+                    case.label
+                ));
+            }
+        }
+        let wall_runs: Vec<(String, Json)> = runs
+            .iter()
+            .map(|(threads, run)| {
+                (
+                    format!("threads_{threads}"),
+                    Json::obj(vec![
+                        ("run_micros", run.run_micros.into()),
+                        ("shards", run.wall_clock.clone()),
+                    ]),
+                )
+            })
+            .collect();
+        rendered_cases.push(Json::obj(vec![
+            ("label", case.label.as_str().into()),
+            ("policy", case.policy.into()),
+            ("oni_count", case.oni_count.into()),
+            (
+                "deterministic",
+                Json::obj(vec![
+                    ("report", report_digest(&reference.report)),
+                    ("metrics", reference.metrics.to_json()),
+                ]),
+            ),
+            ("non_deterministic", Json::Obj(wall_runs)),
+        ]));
+    }
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    Ok(Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("bench", "perf_trajectory".into()),
+        (
+            "determinism",
+            Json::obj(vec![
+                (
+                    "verified_thread_counts",
+                    Json::Arr(
+                        DETERMINISM_THREAD_COUNTS
+                            .iter()
+                            .map(|&t| Json::from(t))
+                            .collect(),
+                    ),
+                ),
+                ("status", "ok".into()),
+            ]),
+        ),
+        ("cases", Json::Arr(rendered_cases)),
+    ]))
+}
+
+/// `BENCH_scaling.json` at the repository root, wherever the binary runs
+/// from.
+#[must_use]
+pub fn default_output_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scaling.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_labels_are_unique_and_cover_both_policies() {
+        let cases = scenario_matrix();
+        assert_eq!(cases.len(), 12);
+        let labels: std::collections::HashSet<_> = cases.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels.len(), cases.len());
+        assert!(cases.iter().any(|c| c.policy == "per-message"));
+        assert!(cases.iter().any(|c| c.policy == "epoch-gated"));
+    }
+
+    #[test]
+    fn default_output_path_targets_the_repo_root() {
+        let path = default_output_path();
+        assert!(path.ends_with("BENCH_scaling.json"));
+        assert!(
+            path.parent()
+                .is_some_and(|root| root.join("ROADMAP.md").exists()),
+            "{path:?} should sit next to ROADMAP.md"
+        );
+    }
+}

@@ -12,6 +12,7 @@ use onoc_interface::{
 use onoc_photonics::power::{LaserOperatingPoint, LaserPowerSolver, SolveError};
 use onoc_photonics::thermal::{ThermalLinkStack, ThermalSolver, ThermalSummary};
 use onoc_photonics::{MwsrChannel, PaperCalibration};
+use onoc_telemetry::{RecorderHandle, TelemetryEvent};
 use onoc_thermal::{
     AssignmentStrategy, BankTuningMode, FabricationVariation, RingBankState, WavelengthAssigner,
     WavelengthAssignment,
@@ -183,6 +184,20 @@ impl CacheCounters {
     }
 }
 
+impl std::fmt::Display for CacheCounters {
+    /// Renders e.g. `96.3% hit rate (1234 hits / 47 misses, 47 entries)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}% hit rate ({} hits / {} misses, {} entries)",
+            100.0 * self.hit_rate(),
+            self.hits,
+            self.misses,
+            self.entries
+        )
+    }
+}
+
 /// Memoization of `(scheme, BER bits, temperature bucket) → operating point`.
 ///
 /// The solver is deterministic, so identical inputs always produce
@@ -268,6 +283,9 @@ pub struct NanophotonicLink {
     /// Memoized [`ThermalLinkStack::fingerprint`] of the active stack, part
     /// of every cache key.
     stack_fingerprint: u64,
+    /// Telemetry sink for solver invocations and cache hits/misses.
+    /// Disabled by default; see [`NanophotonicLink::with_telemetry`].
+    telemetry: RecorderHandle,
 }
 
 impl NanophotonicLink {
@@ -291,6 +309,7 @@ impl NanophotonicLink {
             accounting: EnergyAccounting::ActiveTransfersOnly,
             ambient,
             cache: OperatingPointCache::new(OperatingPointCache::DEFAULT_BUCKETS_PER_KELVIN),
+            telemetry: RecorderHandle::none(),
         }
     }
 
@@ -306,6 +325,28 @@ impl NanophotonicLink {
     pub fn with_energy_accounting(mut self, accounting: EnergyAccounting) -> Self {
         self.accounting = accounting;
         self
+    }
+
+    /// Attaches a telemetry sink: every solver invocation emits
+    /// [`TelemetryEvent::SolverInvoked`] and every memoized query emits
+    /// [`TelemetryEvent::CacheHit`] or [`TelemetryEvent::CacheMiss`].  The
+    /// default handle is disabled and costs nothing.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: RecorderHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry sink in place (used when wiring an existing
+    /// fleet member).
+    pub fn set_telemetry(&mut self, telemetry: RecorderHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    #[must_use]
+    pub fn telemetry(&self) -> &RecorderHandle {
+        &self.telemetry
     }
 
     /// Sets the temperature resolution of the memoized operating-point
@@ -524,7 +565,14 @@ impl NanophotonicLink {
         if !self.power_model.config().supports(scheme) {
             return Err(LinkError::SchemeNotSustainable { scheme });
         }
-        let (laser, thermal) = self.solver.solve_at(scheme, target_ber, temperature)?;
+        let solved = self.solver.solve_at(scheme, target_ber, temperature);
+        self.telemetry.emit(|| TelemetryEvent::SolverInvoked {
+            scheme: scheme.to_string(),
+            target_ber,
+            temperature_c: temperature.value(),
+            feasible: solved.is_ok(),
+        });
+        let (laser, thermal) = solved?;
         let power = self.power_model.breakdown_with_tuning(
             scheme,
             laser.laser_electrical_power,
@@ -572,9 +620,19 @@ impl NanophotonicLink {
         );
         if let Some(cached) = self.cache.map.lock().expect("cache lock").get(&key) {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.emit(|| TelemetryEvent::CacheHit {
+                fingerprint: self.stack_fingerprint,
+                scheme: scheme.to_string(),
+                temperature_c: snapped.value(),
+            });
             return cached.clone();
         }
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.emit(|| TelemetryEvent::CacheMiss {
+            fingerprint: self.stack_fingerprint,
+            scheme: scheme.to_string(),
+            temperature_c: snapped.value(),
+        });
         let solved = self.operating_point_at(scheme, target_ber, snapped);
         self.cache
             .map

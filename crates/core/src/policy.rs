@@ -71,6 +71,23 @@ impl TrafficClass {
             Self::RealTime | Self::Bulk | Self::Multimedia => SelectionObjective::MinPower,
         }
     }
+
+    /// Stable name used in telemetry events and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RealTime => "RealTime",
+            Self::LatencyFirst => "LatencyFirst",
+            Self::Bulk => "Bulk",
+            Self::Multimedia => "Multimedia",
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The configuration answered by the manager for one request.
@@ -183,9 +200,18 @@ impl LinkManager {
             temperature,
             objective: class.objective(),
         };
-        self.link
+        let decision = self
+            .link
             .serve(&request, &self.candidates)
-            .map(|point| ManagerDecision { class, point })
+            .map(|point| ManagerDecision { class, point });
+        self.link
+            .telemetry()
+            .emit(|| onoc_telemetry::TelemetryEvent::DecisionResolved {
+                class: class.name().to_owned(),
+                temperature_c: temperature.unwrap_or_else(|| self.link.ambient()).value(),
+                scheme: decision.as_ref().map(|d| d.point.scheme().to_string()),
+            });
+        decision
     }
 
     /// Configures the link for every class, reporting which classes are

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use onoc_telemetry::{RecorderHandle, TelemetryEvent};
+
 /// Maps `f` over `items` in parallel: the slice is split into contiguous
 /// chunks, one `std::thread` scope worker per chunk, and the results are
 /// merged back **in input order** — the output is indistinguishable from a
@@ -25,15 +27,54 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_traced(items, shards, f, &RecorderHandle::none(), "parallel_map")
+}
+
+/// [`parallel_map`] with per-shard telemetry: each worker emits one
+/// [`TelemetryEvent::ShardCompleted`] (tagged with `label`) carrying its
+/// item count and wall-clock duration.
+///
+/// Shard events are wall-clock data and their *count* depends on the shard
+/// split, so recorders must keep them out of deterministic aggregates (the
+/// `onoc-telemetry` registry recorder already does).  The mapped output
+/// itself stays bit-identical to the serial run regardless of recorder.
+pub fn parallel_map_traced<T, R, F>(
+    items: &[T],
+    shards: usize,
+    f: F,
+    recorder: &RecorderHandle,
+    label: &str,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
     let shards = shards.clamp(1, items.len());
     let chunk_size = items.len().div_ceil(shards);
+    let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(shard, chunk)| {
+                let recorder = recorder.clone();
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let results = chunk.iter().map(f).collect::<Vec<R>>();
+                    recorder.emit(|| TelemetryEvent::ShardCompleted {
+                        label: label.to_owned(),
+                        shard: shard as u64,
+                        items: chunk.len() as u64,
+                        wall_micros: u64::try_from(started.elapsed().as_micros())
+                            .unwrap_or(u64::MAX),
+                    });
+                    results
+                })
+            })
             .collect();
         // Joining in spawn order is the ordered merge: chunk i's results
         // land before chunk i+1's.
@@ -68,5 +109,38 @@ mod tests {
         }
         assert!(parallel_map(&[] as &[u64], 4, |&x| x).is_empty());
         assert!(default_shards() >= 1);
+    }
+
+    #[test]
+    fn traced_map_emits_one_shard_event_per_worker() {
+        use std::sync::Arc;
+
+        let memory = Arc::new(onoc_telemetry::MemoryRecorder::new());
+        let handle = RecorderHandle::new(memory.clone());
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map_traced(&items, 3, |&x| x + 1, &handle, "square");
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+        let mut events = memory.events();
+        assert_eq!(events.len(), 3, "one event per shard");
+        events.sort_by_key(|e| match e {
+            TelemetryEvent::ShardCompleted { shard, .. } => *shard,
+            _ => panic!("unexpected event kind"),
+        });
+        let mut total_items = 0;
+        for (index, event) in events.iter().enumerate() {
+            let TelemetryEvent::ShardCompleted {
+                label,
+                shard,
+                items,
+                ..
+            } = event
+            else {
+                panic!("unexpected event kind");
+            };
+            assert_eq!(label, "square");
+            assert_eq!(*shard, index as u64);
+            total_items += items;
+        }
+        assert_eq!(total_items, 10);
     }
 }

@@ -50,7 +50,8 @@ use onoc_ecc_codes::EccScheme;
 use onoc_link::{
     CacheCounters, LinkManager, ManagerDecision, NanophotonicLink, ThermalLinkStack, TrafficClass,
 };
-use onoc_parallel::{default_shards, parallel_map};
+use onoc_parallel::{default_shards, parallel_map_traced};
+use onoc_telemetry::{RecorderHandle, TelemetryEvent};
 use onoc_thermal::{
     AssignmentStrategy, BankTuningMode, FabricationVariation, RcNetworkParameters,
     ThermalEnvironment, ThermalModel, ThermalModelSpec, WavelengthAssignment, WorkloadTrace,
@@ -499,6 +500,11 @@ impl ScenarioConfig {
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioBuilder {
     config: ScenarioConfig,
+    /// Telemetry sink threaded through the manager fleet and both run
+    /// engines.  Deliberately *not* part of [`ScenarioConfig`]: a recorder
+    /// is a side channel, not a simulated quantity, so config equality,
+    /// serialization and the report stay recorder-independent.
+    recorder: RecorderHandle,
 }
 
 impl ScenarioBuilder {
@@ -512,7 +518,10 @@ impl ScenarioBuilder {
     /// Starts from an existing configuration.
     #[must_use]
     pub fn from_config(config: ScenarioConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: RecorderHandle::none(),
+        }
     }
 
     /// The configuration built so far.
@@ -657,6 +666,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a telemetry sink: the manager fleet emits solver/cache/
+    /// decision events, the design-time assigner emits search steps, the
+    /// epoch engine emits [`TelemetryEvent::EpochAdvanced`] and
+    /// [`TelemetryEvent::SchemeSwitched`], and sharded fan-outs emit
+    /// per-shard wall-clock timings.  The report itself is bit-identical
+    /// with or without a recorder (property-tested).
+    #[must_use]
+    pub fn telemetry(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Validates the configuration and prepares the scenario: builds the
     /// manager fleet, generates the traffic, and solves the initial
     /// operating points.
@@ -668,7 +689,7 @@ impl ScenarioBuilder {
     /// * [`SimulationError::NoFeasibleConfiguration`] when the traffic class
     ///   cannot be served at some required temperature.
     pub fn build(self) -> Result<Scenario, SimulationError> {
-        Scenario::new(self.config)
+        Scenario::new_traced(self.config, self.recorder)
     }
 }
 
@@ -695,6 +716,15 @@ pub struct OniReport {
     pub tuning_power_mw_per_lane: f64,
     /// Number of scheme changes the channel went through.
     pub scheme_switches: u64,
+    /// Manager queries attributed to this destination channel: epoch-gated
+    /// re-asks, or (per-message policy) the distinct decision solves this
+    /// destination's traffic triggered beyond the baseline.  Sums to
+    /// [`RunReport::decisions`] across the fleet.
+    pub decisions: u64,
+    /// Re-asks for this destination the manager could not serve (always 0
+    /// under the per-message policy, which fails the build instead).  Sums
+    /// to [`RunReport::infeasible_requests`].
+    pub infeasible_requests: u64,
     /// Static (laser + ring heater) energy charged to this channel, in pJ.
     pub static_energy_pj: f64,
     /// Dynamic (modulation + codec) energy charged to this channel, in pJ.
@@ -813,6 +843,9 @@ pub struct Scenario {
     assignment: HashMap<MessageId, usize>,
     /// Per-message policy: manager solves performed during precomputation.
     precompute_queries: u64,
+    /// Per-message policy: those solves attributed to the destination ONI
+    /// whose message triggered them.
+    precompute_per_oni: Vec<u64>,
     /// Epoch-gated policy: initial operating point per ONI.
     baselines: Vec<DecisionParams>,
     /// Epoch-gated policy: the instantiated thermal model.
@@ -823,6 +856,9 @@ pub struct Scenario {
     messages: HashMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
+    /// Telemetry sink shared with the manager fleet (see
+    /// [`ScenarioBuilder::telemetry`]).
+    recorder: RecorderHandle,
 }
 
 impl Scenario {
@@ -833,6 +869,20 @@ impl Scenario {
     ///
     /// See [`ScenarioBuilder::build`].
     pub fn new(config: ScenarioConfig) -> Result<Self, SimulationError> {
+        Self::new_traced(config, RecorderHandle::none())
+    }
+
+    /// [`Scenario::new`] with a telemetry sink threaded through the manager
+    /// fleet, the design-time assigner and the run engines (see
+    /// [`ScenarioBuilder::telemetry`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioBuilder::build`].
+    pub fn new_traced(
+        config: ScenarioConfig,
+        recorder: RecorderHandle,
+    ) -> Result<Self, SimulationError> {
         config.validate()?;
         let policy = config.resolved_policy();
         let n = config.oni_count;
@@ -853,10 +903,11 @@ impl Scenario {
             .map(|spec| (spec, config.thermal.design_temperatures(n)));
         let managers: Vec<LinkManager> = (0..manager_count)
             .map(|oni| {
-                let mut link = config.oni_link(oni);
+                let mut link = config.oni_link(oni).with_telemetry(recorder.clone());
                 if let Some((spec, temperatures)) = &design {
                     let assigner = link.wavelength_assigner(spec.strategy, spec.oni_seed(oni));
-                    let assignment = assigner.assign(&link.ring_bank_state_at(temperatures[oni]));
+                    let assignment = assigner
+                        .assign_traced(&link.ring_bank_state_at(temperatures[oni]), &recorder);
                     assignments.push(assignment.clone());
                     link = link
                         .with_wavelength_assignment(assignment)
@@ -884,6 +935,7 @@ impl Scenario {
         let mut decisions: Vec<ManagerDecision> = Vec::new();
         let mut assignment: HashMap<MessageId, usize> = HashMap::new();
         let mut precompute_queries = 0u64;
+        let mut precompute_per_oni = vec![0u64; n];
         let mut baselines: Vec<DecisionParams> = Vec::new();
         let mut model: Option<Box<dyn ThermalModel>> = None;
 
@@ -920,6 +972,7 @@ impl Scenario {
                                 .configure_at(config.class, bucket_temperature)
                                 .ok_or_else(infeasible)?;
                             precompute_queries += 1;
+                            precompute_per_oni[message.destination] += 1;
                             decisions.push(decision);
                             cache.insert(key, decisions.len() - 1);
                             decisions.len() - 1
@@ -951,9 +1004,15 @@ impl Scenario {
                     if manager_count == n && n > 1 && config.shards() > 1 {
                         // Heterogeneous fleet: every ONI owns its manager and
                         // cache, so the expensive first solves shard cleanly.
-                        parallel_map(&initial, config.shards(), solve)
-                            .into_iter()
-                            .collect::<Result<_, _>>()?
+                        parallel_map_traced(
+                            &initial,
+                            config.shards(),
+                            solve,
+                            &recorder,
+                            "initial-solve",
+                        )
+                        .into_iter()
+                        .collect::<Result<_, _>>()?
                     } else {
                         // Shared manager: solve each distinct bucket once, in
                         // ONI order (identical values, deterministic counters).
@@ -988,11 +1047,13 @@ impl Scenario {
             decisions,
             assignment,
             precompute_queries,
+            precompute_per_oni,
             baselines,
             model,
             assignments,
             messages,
             injection_order,
+            recorder,
         })
     }
 
@@ -1177,6 +1238,14 @@ impl Scenario {
                         .map_or(baseline.scheme, |last| params[last].scheme);
                     if point.scheme != previous_scheme {
                         switches[destination] += 1;
+                        self.recorder.emit(|| TelemetryEvent::SchemeSwitched {
+                            oni: destination as u64,
+                            from: previous_scheme.to_string(),
+                            to: point.scheme.to_string(),
+                            time_ns: event.time.as_nanos(),
+                            temperature_c: point.temperature_c,
+                            epoch: None,
+                        });
                         switch_log.push(SchemeSwitch {
                             time_ns: event.time.as_nanos(),
                             oni: destination,
@@ -1240,6 +1309,8 @@ impl Scenario {
                     channel_power_mw: p.channel_power_mw,
                     tuning_power_mw_per_lane: p.tuning_power_mw,
                     scheme_switches: switches[oni],
+                    decisions: self.precompute_per_oni[oni],
+                    infeasible_requests: 0,
                     static_energy_pj: acc.static_pj[oni],
                     dynamic_energy_pj: acc.dynamic_pj[oni],
                 }
@@ -1437,6 +1508,8 @@ impl Scenario {
         let mut epochs = 0u64;
         let mut decisions = 0u64;
         let mut infeasible_requests = 0u64;
+        let mut decisions_per_oni = vec![0u64; n];
+        let mut infeasible_per_oni = vec![0u64; n];
         let mut reconfigured_messages = 0u64;
         let mut switch_log: Vec<SchemeSwitch> = Vec::new();
         let mut trajectory: Vec<EpochSample> = Vec::new();
@@ -1596,9 +1669,13 @@ impl Scenario {
                 decisions += pending.len() as u64;
                 let outcomes: Vec<(ChannelState, Option<SchemeSwitch>, u64)> =
                     if shard_reasks && pending.len() > 1 {
-                        parallel_map(&pending, shards, |&oni| {
-                            self.reask(channels[oni], oni, temps[oni], end_ns, epochs)
-                        })
+                        parallel_map_traced(
+                            &pending,
+                            shards,
+                            |&oni| self.reask(channels[oni], oni, temps[oni], end_ns, epochs),
+                            &self.recorder,
+                            "epoch-reask",
+                        )
                     } else {
                         pending
                             .iter()
@@ -1607,14 +1684,23 @@ impl Scenario {
                     };
                 for (&oni, (state, switch, infeasible)) in pending.iter().zip(outcomes) {
                     channels[oni] = state;
+                    decisions_per_oni[oni] += 1;
                     if let Some(switch) = switch {
+                        self.recorder.emit(|| TelemetryEvent::SchemeSwitched {
+                            oni: switch.oni as u64,
+                            from: switch.from.to_string(),
+                            to: switch.to.to_string(),
+                            time_ns: switch.time_ns,
+                            temperature_c: switch.temperature_c,
+                            epoch: switch.epoch,
+                        });
                         switch_log.push(switch);
                     }
                     infeasible_requests += infeasible;
+                    infeasible_per_oni[oni] += infeasible;
                 }
 
-                epochs += 1;
-                trajectory.push(EpochSample {
+                let sample = EpochSample {
                     time_ns: end.as_nanos(),
                     min_temperature_c: temps.iter().copied().fold(f64::INFINITY, f64::min),
                     max_temperature_c: temps.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -1622,7 +1708,16 @@ impl Scenario {
                         .iter()
                         .filter(|c| c.params.scheme != c.baseline_scheme)
                         .count(),
+                };
+                self.recorder.emit(|| TelemetryEvent::EpochAdvanced {
+                    epoch: epochs,
+                    time_ns: sample.time_ns,
+                    min_temperature_c: sample.min_temperature_c,
+                    max_temperature_c: sample.max_temperature_c,
+                    reconfigured_onis: sample.reconfigured_onis as u64,
                 });
+                epochs += 1;
+                trajectory.push(sample);
             }
             epoch_start = end;
         }
@@ -1640,6 +1735,8 @@ impl Scenario {
                 channel_power_mw: c.params.channel_power_mw,
                 tuning_power_mw_per_lane: c.params.tuning_power_mw,
                 scheme_switches: c.switches,
+                decisions: decisions_per_oni[oni],
+                infeasible_requests: infeasible_per_oni[oni],
                 static_energy_pj: acc.static_pj[oni],
                 dynamic_energy_pj: acc.dynamic_pj[oni],
             })

@@ -29,6 +29,7 @@
 //! [`ThermalTuner::compensate_bank`] runs relative to the assigned mapping,
 //! so a chip designed for its hot spot can still hop back when it runs cold.
 
+use onoc_telemetry::{RecorderHandle, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::bank::{fnv1a_seed, fnv1a_u64, BankCompensation, BankTuningMode, RingBankState};
@@ -304,6 +305,26 @@ impl WavelengthAssigner {
     /// [`WavelengthAssigner::validate`]).
     #[must_use]
     pub fn assign(&self, state: &RingBankState) -> WavelengthAssignment {
+        self.assign_traced(state, &RecorderHandle::none())
+    }
+
+    /// [`WavelengthAssigner::assign`] with search telemetry: every candidate
+    /// evaluation (rotation scan, greedy matching, each refinement pass, the
+    /// final never-worse-than-identity guard) emits one
+    /// [`TelemetryEvent::AssignmentSearchStep`] carrying the candidate's
+    /// predicted heater cost and whether it was adopted.  The returned
+    /// assignment is identical to the untraced one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assigner's parameters are invalid (see
+    /// [`WavelengthAssigner::validate`]).
+    #[must_use]
+    pub fn assign_traced(
+        &self,
+        state: &RingBankState,
+        recorder: &RecorderHandle,
+    ) -> WavelengthAssignment {
         if let Err(reason) = self.validate() {
             panic!("invalid wavelength assigner: {reason}");
         }
@@ -349,7 +370,14 @@ impl WavelengthAssigner {
                 }
                 let candidate = rotation_of(k);
                 let cost = total(&candidate);
-                if cost < rotation_cost {
+                let accepted = cost < rotation_cost;
+                recorder.emit(|| TelemetryEvent::AssignmentSearchStep {
+                    stage: "rotation".to_owned(),
+                    candidate_cost_uw: cost,
+                    accepted,
+                    swaps_applied: 0,
+                });
+                if accepted {
                     rotation = candidate;
                     rotation_cost = cost;
                 }
@@ -379,14 +407,18 @@ impl WavelengthAssigner {
 
         // Ties prefer the rotation: its structure is what the runtime
         // barrel-shift search composes with most cheaply.
-        let mut ring_for_lane = if total(&greedy) < rotation_cost {
-            greedy
-        } else {
-            rotation
-        };
+        let greedy_cost = total(&greedy);
+        let greedy_wins = greedy_cost < rotation_cost;
+        recorder.emit(|| TelemetryEvent::AssignmentSearchStep {
+            stage: "greedy".to_owned(),
+            candidate_cost_uw: greedy_cost,
+            accepted: greedy_wins,
+            swaps_applied: 0,
+        });
+        let mut ring_for_lane = if greedy_wins { greedy } else { rotation };
 
         if self.strategy == AssignmentStrategy::GreedyRefine {
-            self.refine(&costs, &mut ring_for_lane);
+            self.refine(&costs, &mut ring_for_lane, recorder);
         }
 
         let candidate =
@@ -397,6 +429,12 @@ impl WavelengthAssigner {
             <= baseline.total_heater_power().value()
             && assigned.worst_residual().abs().nanometers()
                 <= baseline.worst_residual().abs().nanometers() + 1e-12;
+        recorder.emit(|| TelemetryEvent::AssignmentSearchStep {
+            stage: "guard".to_owned(),
+            candidate_cost_uw: assigned.total_heater_power().value(),
+            accepted: never_worse,
+            swaps_applied: 0,
+        });
         if never_worse {
             candidate
         } else {
@@ -407,7 +445,7 @@ impl WavelengthAssigner {
     /// Pairwise-swap local search: visit lane pairs in a seeded order,
     /// applying every strictly-improving swap, until a full pass finds none
     /// (bounded at 64 passes; each pass only ever lowers the total cost).
-    fn refine(&self, costs: &[Vec<f64>], ring_for_lane: &mut [usize]) {
+    fn refine(&self, costs: &[Vec<f64>], ring_for_lane: &mut [usize], recorder: &RecorderHandle) {
         let n = ring_for_lane.len();
         let mut pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
@@ -424,7 +462,7 @@ impl WavelengthAssigner {
             pairs.swap(i, j);
         }
         for _ in 0..64 {
-            let mut improved = false;
+            let mut swaps_applied = 0u64;
             for &(a, b) in &pairs {
                 let (ra, rb) = (ring_for_lane[a], ring_for_lane[b]);
                 let current = costs[ra][a] + costs[rb][b];
@@ -432,10 +470,20 @@ impl WavelengthAssigner {
                 if swapped < current {
                     ring_for_lane[a] = rb;
                     ring_for_lane[b] = ra;
-                    improved = true;
+                    swaps_applied += 1;
                 }
             }
-            if !improved {
+            recorder.emit(|| TelemetryEvent::AssignmentSearchStep {
+                stage: "refine-pass".to_owned(),
+                candidate_cost_uw: ring_for_lane
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, &ring)| costs[ring][lane])
+                    .sum(),
+                accepted: swaps_applied > 0,
+                swaps_applied,
+            });
+            if swaps_applied == 0 {
                 break;
             }
         }
@@ -445,7 +493,21 @@ impl WavelengthAssigner {
     /// heat map × chip instances of a scenario).
     #[must_use]
     pub fn assign_fleet(&self, states: &[RingBankState]) -> Vec<WavelengthAssignment> {
-        states.iter().map(|state| self.assign(state)).collect()
+        self.assign_fleet_traced(states, &RecorderHandle::none())
+    }
+
+    /// [`WavelengthAssigner::assign_fleet`] with per-candidate search
+    /// telemetry (see [`WavelengthAssigner::assign_traced`]).
+    #[must_use]
+    pub fn assign_fleet_traced(
+        &self,
+        states: &[RingBankState],
+        recorder: &RecorderHandle,
+    ) -> Vec<WavelengthAssignment> {
+        states
+            .iter()
+            .map(|state| self.assign_traced(state, recorder))
+            .collect()
     }
 }
 

@@ -62,5 +62,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         decoded.word, word,
         "H(7,4) should have corrected the sparse errors"
     );
+
+    // 5. Repeated queries are answered from the memoized operating-point
+    //    cache; its counters render directly.
+    for _ in 0..4 {
+        link.operating_point_memoized(EccScheme::Hamming7164, target_ber, link.ambient())?;
+    }
+    println!(
+        "\nSolver cache after 4 repeated queries: {}",
+        link.cache_counters()
+    );
     Ok(())
 }

@@ -15,7 +15,9 @@
 //! * [`link`] — operating points, design-space exploration, the
 //!   (thermally-adaptive) link manager,
 //! * [`sim`] — the event-driven optical NoC simulator with thermal-scenario
-//!   playback.
+//!   playback,
+//! * [`telemetry`] — structured event tracing (recorders, JSONL) and the
+//!   deterministic metrics registry.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@ pub use onoc_interface as interface;
 pub use onoc_link as link;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as sim;
+pub use onoc_telemetry as telemetry;
 pub use onoc_thermal as thermal;
 pub use onoc_units as units;
 

@@ -1,0 +1,144 @@
+//! Cross-crate telemetry invariants: attaching a recorder must never change
+//! what a simulation computes, and the JSONL wire format must round-trip
+//! every event variant.
+
+use std::sync::Arc;
+
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{DecisionPolicy, RunReport, ScenarioBuilder};
+use onoc_ecc::telemetry::{
+    parse_jsonl, JsonlRecorder, MemoryRecorder, MetricsRegistry, Recorder, RecorderHandle,
+    RegistryRecorder, TelemetryEvent, WallClockRegistry,
+};
+use proptest::prelude::*;
+
+fn small_builder(oni_count: usize, seed: u64, epoch_gated: bool) -> ScenarioBuilder {
+    let builder = ScenarioBuilder::new()
+        .oni_count(oni_count)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 12,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(8)
+        .mean_inter_arrival_ns(10.0)
+        .seed(seed);
+    if epoch_gated {
+        builder
+            .activity_coupled(onoc_ecc::thermal::RcNetworkParameters::paper_package())
+            .policy(DecisionPolicy::epoch_gated())
+    } else {
+        builder
+    }
+}
+
+/// Runs the scenario with the given recorder and thread budget, normalizing
+/// the echoed thread budget so reports are comparable across runs.
+fn run_with(
+    oni_count: usize,
+    seed: u64,
+    epoch_gated: bool,
+    recorder: RecorderHandle,
+    threads: usize,
+) -> RunReport {
+    let mut report = small_builder(oni_count, seed, epoch_gated)
+        .threads(threads)
+        .telemetry(recorder)
+        .build()
+        .expect("scenario must build")
+        .run();
+    report.config.threads = 0;
+    report
+}
+
+proptest! {
+    /// Telemetry neutrality: a run with a `MemoryRecorder` attached produces
+    /// a bit-identical `RunReport` to the default (`NullRecorder`-equivalent)
+    /// run, at 1 and at 4 threads.
+    #[test]
+    fn recorder_never_changes_the_simulation(
+        oni_count in 2usize..5,
+        seed in 0u64..1_000,
+        policy_pick in 0u64..2,
+    ) {
+        let epoch_gated = policy_pick == 1;
+        let baseline = run_with(oni_count, seed, epoch_gated, RecorderHandle::none(), 1);
+        for threads in [1usize, 4] {
+            let memory = Arc::new(MemoryRecorder::new());
+            let observed = run_with(
+                oni_count,
+                seed,
+                epoch_gated,
+                RecorderHandle::new(memory.clone()),
+                threads,
+            );
+            prop_assert!(
+                observed == baseline,
+                "report changed under a recorder at {} thread(s)",
+                threads
+            );
+            prop_assert!(
+                !memory.is_empty(),
+                "the recorder should have seen events (threads = {})",
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn jsonl_round_trips_every_event_variant() {
+    let examples = TelemetryEvent::examples();
+    // `examples()` is the vocabulary: every variant must appear.
+    let kinds: std::collections::BTreeSet<&'static str> =
+        examples.iter().map(TelemetryEvent::kind).collect();
+    assert_eq!(kinds.len(), 8, "one exemplar kind per event variant");
+
+    let recorder = JsonlRecorder::new(Vec::new());
+    for event in &examples {
+        recorder.record(event);
+    }
+    assert_eq!(recorder.write_errors(), 0);
+    let bytes = recorder.into_inner();
+    let stream = String::from_utf8(bytes).expect("JSONL is UTF-8");
+    let parsed = parse_jsonl(&stream).expect("stream parses");
+    assert_eq!(parsed, examples, "JSONL round-trip is lossless");
+}
+
+#[test]
+fn epoch_gated_run_emits_the_expected_vocabulary() {
+    let memory = Arc::new(MemoryRecorder::new());
+    run_with(3, 7, true, RecorderHandle::new(memory.clone()), 1);
+    let kinds: std::collections::BTreeSet<&'static str> =
+        memory.events().iter().map(TelemetryEvent::kind).collect();
+    for expected in [
+        "solver_invoked",
+        "cache_hit",
+        "cache_miss",
+        "decision_resolved",
+        "epoch_advanced",
+    ] {
+        assert!(kinds.contains(expected), "missing {expected} in {kinds:?}");
+    }
+}
+
+#[test]
+fn registry_counters_are_identical_across_thread_counts() {
+    let snapshot_at = |threads: usize| {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let wall = Arc::new(WallClockRegistry::new());
+        let recorder = RecorderHandle::new(Arc::new(RegistryRecorder::new(
+            metrics.clone(),
+            wall.clone(),
+        )));
+        run_with(4, 11, true, recorder, threads);
+        metrics.snapshot()
+    };
+    let single = snapshot_at(1);
+    let sharded = snapshot_at(4);
+    assert!(!single.is_empty(), "the run should populate counters");
+    assert_eq!(
+        single, sharded,
+        "deterministic registry must not depend on the thread count"
+    );
+}

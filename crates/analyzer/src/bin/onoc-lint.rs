@@ -1,0 +1,137 @@
+//! `onoc-lint` — determinism & cache-safety static analysis.
+//!
+//! ```text
+//! cargo run -p onoc-analyzer --bin onoc-lint [-- OPTIONS]
+//!
+//!   --root DIR        workspace root (default: walk up from the cwd)
+//!   --json PATH       write the full JSON report to PATH
+//!   --telemetry PATH  write the onoc-telemetry summary document to PATH
+//!   --update-ratchet  rewrite lint-ratchet.toml with the scanned D004 count
+//!   --help            this text
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use onoc_analyzer::report::{report_json, telemetry_json};
+use onoc_analyzer::{find_workspace_root, run, RatchetMode, RULES};
+
+struct Options {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    ratchet: RatchetMode,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: None,
+        json: None,
+        telemetry: None,
+        ratchet: RatchetMode::Enforce,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(PathBuf::from(
+                    args.next().ok_or("--telemetry needs a path")?,
+                ));
+            }
+            "--update-ratchet" => opts.ratchet = RatchetMode::Update,
+            "--help" | "-h" => {
+                print_help();
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn print_help() {
+    println!("onoc-lint: determinism & cache-safety static analysis\n");
+    println!("usage: cargo run -p onoc-analyzer --bin onoc-lint [-- OPTIONS]\n");
+    println!("  --root DIR        workspace root (default: walk up from the cwd)");
+    println!("  --json PATH       write the full JSON report to PATH");
+    println!("  --telemetry PATH  write the onoc-telemetry summary document to PATH");
+    println!("  --update-ratchet  rewrite lint-ratchet.toml with the scanned D004 count");
+    println!("  --help            this text\n");
+    println!("rules:");
+    for (id, summary) in RULES {
+        println!("  {id}  {summary}");
+    }
+    println!("\nsuppress a finding inline with: // onoc-lint: allow(D00x, reason)");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("onoc-lint: {msg} (try --help)");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("onoc-lint: no workspace root found; pass --root DIR");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match run(&root, opts.ratchet) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("onoc-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for artifact in [
+        opts.json.map(|p| (p, report_json(&outcome))),
+        opts.telemetry.map(|p| (p, telemetry_json(&outcome))),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        let (path, doc) = artifact;
+        let mut text = doc.render_pretty();
+        text.push('\n');
+        if let Err(err) = std::fs::write(&path, text) {
+            eprintln!("onoc-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for v in &outcome.violations {
+        eprintln!("{}", v.render());
+    }
+    let ratchet = outcome
+        .d004_recorded
+        .map_or_else(|| "unrecorded".to_owned(), |r| format!("{r} recorded"));
+    eprintln!(
+        "onoc-lint: {} files, {} violations, {} suppressions, D004 {} sites ({ratchet})",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.suppressions.len(),
+        outcome.d004_sites,
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

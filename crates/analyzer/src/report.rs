@@ -1,0 +1,138 @@
+//! Machine-readable outputs: the JSON violation report, the deterministic
+//! `onoc-telemetry` summary document, and the `lint-ratchet.toml` format.
+
+use onoc_telemetry::{Json, MetricsRegistry};
+
+use crate::{LintOutcome, RULES};
+
+/// The full scan as a JSON document (`onoc-lint-report/v1`).
+///
+/// Field order is fixed and every collection is pre-sorted, so the rendered
+/// text is byte-identical for identical scans.
+#[must_use]
+pub fn report_json(outcome: &LintOutcome) -> Json {
+    let rules = RULES
+        .iter()
+        .map(|(id, summary)| {
+            (
+                (*id).to_owned(),
+                Json::obj(vec![
+                    ("summary", Json::from(*summary)),
+                    ("violations", Json::from(outcome.rule_count(id))),
+                    ("suppressions", Json::from(outcome.suppression_count(id))),
+                ]),
+            )
+        })
+        .collect();
+    let violations = outcome
+        .violations
+        .iter()
+        .map(|v| {
+            Json::obj(vec![
+                ("rule", Json::from(v.rule.as_str())),
+                ("file", Json::from(v.file.as_str())),
+                ("line", Json::from(v.line)),
+                ("message", Json::from(v.message.as_str())),
+            ])
+        })
+        .collect();
+    let suppressions = outcome
+        .suppressions
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("rule", Json::from(s.rule.as_str())),
+                ("file", Json::from(s.file.as_str())),
+                ("line", Json::from(s.line)),
+                ("reason", Json::from(s.reason.as_str())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::from("onoc-lint-report/v1")),
+        ("files_scanned", Json::from(outcome.files_scanned)),
+        ("total_violations", Json::from(outcome.violations.len())),
+        ("total_suppressions", Json::from(outcome.suppressions.len())),
+        ("rules", Json::Obj(rules)),
+        ("ratchet", ratchet_json(outcome)),
+        ("violations", Json::Arr(violations)),
+        ("suppressions", Json::Arr(suppressions)),
+    ])
+}
+
+/// The lint summary as a deterministic `onoc-telemetry` metrics document
+/// (`onoc-lint-telemetry/v1`), shaped like the other trended artifacts
+/// (`BENCH_scaling.json`) so future PRs can plot rule counts and the
+/// ratchet delta over time.
+#[must_use]
+pub fn telemetry_json(outcome: &LintOutcome) -> Json {
+    let metrics = MetricsRegistry::new();
+    metrics.add("lint.files_scanned", outcome.files_scanned as u64);
+    metrics.add("lint.violations.total", outcome.violations.len() as u64);
+    metrics.add("lint.suppressions.total", outcome.suppressions.len() as u64);
+    metrics.add("lint.d004.sites", outcome.d004_sites as u64);
+    for (id, _) in RULES {
+        metrics.add(
+            &format!("lint.rule.{id}.violations"),
+            outcome.rule_count(id) as u64,
+        );
+        metrics.add(
+            &format!("lint.rule.{id}.suppressions"),
+            outcome.suppression_count(id) as u64,
+        );
+    }
+    Json::obj(vec![
+        ("schema", Json::from("onoc-lint-telemetry/v1")),
+        ("metrics", metrics.snapshot().to_json()),
+        ("ratchet", ratchet_json(outcome)),
+    ])
+}
+
+/// The D004 ratchet comparison as a JSON object.
+fn ratchet_json(outcome: &LintOutcome) -> Json {
+    let recorded = outcome
+        .d004_recorded
+        .map_or(Json::Null, |r| Json::from(r as usize));
+    let delta = outcome.d004_recorded.map_or(Json::Null, |r| {
+        Json::Num(outcome.d004_sites as f64 - r as f64)
+    });
+    Json::obj(vec![
+        ("rule", Json::from("D004")),
+        ("scanned", Json::from(outcome.d004_sites)),
+        ("recorded", recorded),
+        ("delta", delta),
+    ])
+}
+
+/// Renders `lint-ratchet.toml` for a scanned site count.
+#[must_use]
+pub fn ratchet_file_contents(sites: usize) -> String {
+    format!(
+        "# Managed by `cargo run -p onoc-analyzer --bin onoc-lint -- --update-ratchet`.\n\
+         # D004: unsuppressed `.unwrap()` / `.expect()` sites in non-test library\n\
+         # code.  The count may only go down; CI fails if the scan disagrees in\n\
+         # either direction.\n\
+         \n\
+         [D004]\n\
+         unwrap_expect_sites = {sites}\n"
+    )
+}
+
+/// Extracts `unwrap_expect_sites` from ratchet-file text.
+#[must_use]
+pub fn parse_ratchet(text: &str) -> Option<u64> {
+    let mut in_d004 = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_d004 = line == "[D004]";
+            continue;
+        }
+        if in_d004 {
+            if let Some(value) = line.strip_prefix("unwrap_expect_sites") {
+                return value.trim_start().strip_prefix('=')?.trim().parse().ok();
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,426 @@
+//! Lossless-enough lexing of Rust source for lint purposes.
+//!
+//! The container has no crates.io access, so there is no `syn` here: this
+//! module strips comments, strings, and char literals by hand (replacing
+//! their content with spaces so line numbers survive), extracts
+//! `// onoc-lint: allow(...)` pragmas while doing so, and then cuts the
+//! remainder into a flat token stream of identifiers and punctuation.
+//! That is deliberately much less than a parser — every rule in
+//! [`crate::rules`] is written against token patterns that survive this
+//! approximation.
+
+/// One `// onoc-lint: allow(RULE, reason)` pragma found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rule id, e.g. `"D002"`.
+    pub rule: String,
+    /// Mandatory free-text justification (everything after the first comma).
+    pub reason: String,
+    /// 1-based line the comment itself sits on.
+    pub comment_line: usize,
+    /// 1-based line the pragma suppresses: the comment's own line when code
+    /// precedes the comment, otherwise the next non-blank line.
+    pub target_line: usize,
+    /// True when the reason clause was missing or empty (itself a violation).
+    pub missing_reason: bool,
+}
+
+/// A file after comment/string stripping.
+#[derive(Debug)]
+pub struct StrippedFile {
+    /// Source text with comment and literal *content* replaced by spaces;
+    /// same byte length per line, same line count as the original.
+    pub text: String,
+    /// All pragmas, in file order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// One lexical token of the stripped source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier text or punctuation (multi-char operators that matter to
+    /// the rules — `::` — are fused; everything else is one char).
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl Token {
+    fn new(text: impl Into<String>, line: usize) -> Self {
+        Self {
+            text: text.into(),
+            line,
+        }
+    }
+
+    /// True when the token is an identifier (starts with a letter/underscore).
+    #[must_use]
+    pub fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+    }
+}
+
+/// Strips comments, strings, and char literals, harvesting pragmas.
+///
+/// The output keeps every newline of the input so that token line numbers
+/// and `#[cfg(test)]` region tracking agree with the original file.
+#[must_use]
+pub fn strip(source: &str) -> StrippedFile {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut pragmas = Vec::new();
+    let mut line = 1usize;
+    // Does the current line contain any non-whitespace output (code) so far?
+    let mut code_on_line = false;
+    // Pragmas found on comment-only lines, waiting for the next code line.
+    let mut pending: Vec<(String, String, usize, bool)> = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            out.push(b'\n');
+            line += 1;
+            code_on_line = false;
+            i += 1;
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            // Line comment: scan it for a pragma, blank it out.
+            let end = bytes[i..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(bytes.len(), |p| i + p);
+            let body = &source[i + 2..end];
+            if let Some((rule, reason, missing)) = parse_pragma(body) {
+                if code_on_line {
+                    pragmas.push(Pragma {
+                        rule,
+                        reason,
+                        comment_line: line,
+                        target_line: line,
+                        missing_reason: missing,
+                    });
+                } else {
+                    pending.push((rule, reason, line, missing));
+                }
+            }
+            out.extend(std::iter::repeat_n(b' ', end - i));
+            i = end;
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            // Block comment, possibly nested; newlines inside are preserved.
+            let mut depth = 1usize;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'\n' {
+                    out.push(b'\n');
+                    line += 1;
+                    code_on_line = false;
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c == b'"' || (c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
+            // String / byte-string literal.
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if i + 1 < bytes.len() => {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    }
+                    b'"' => {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        out.push(b'\n');
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+            code_on_line = true;
+            continue;
+        }
+        if let Some(hashes) = (c == b'r')
+            .then(|| raw_string_hashes(&bytes[i..]))
+            .flatten()
+        {
+            // Raw string literal r"..." / r#"..."# (any hash count).
+            out.push(b' ');
+            out.extend(std::iter::repeat_n(b' ', hashes));
+            out.push(b'"');
+            i += 1 + hashes + 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            while i < bytes.len() {
+                if bytes[i..].starts_with(&closer) {
+                    out.push(b'"');
+                    out.extend(std::iter::repeat_n(b' ', hashes));
+                    i += closer.len();
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    out.push(b'\n');
+                    line += 1;
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            code_on_line = true;
+            continue;
+        }
+        if c == b'\'' {
+            // Either a char literal or a lifetime. A lifetime is `'` followed
+            // by an identifier NOT closed by another `'`.
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(n) if n != b'\'' => bytes.get(i + 2) == Some(&b'\''),
+                _ => false,
+            };
+            if is_char {
+                out.push(b'\'');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'\'' => {
+                            out.push(b'\'');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+                code_on_line = true;
+                continue;
+            }
+        }
+        if !c.is_ascii_whitespace() {
+            code_on_line = true;
+            // First code on the line: any pending comment-line pragmas now
+            // know their target.
+            for (rule, reason, comment_line, missing) in pending.drain(..) {
+                pragmas.push(Pragma {
+                    rule,
+                    reason,
+                    comment_line,
+                    target_line: line,
+                    missing_reason: missing,
+                });
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // Dangling pragmas at EOF target their own line (nothing to suppress).
+    for (rule, reason, comment_line, missing) in pending.drain(..) {
+        pragmas.push(Pragma {
+            rule,
+            reason,
+            comment_line,
+            target_line: comment_line,
+            missing_reason: missing,
+        });
+    }
+    // Stripping replaces bytes one-for-one with ASCII or keeps them verbatim,
+    // so the output is valid UTF-8 whenever the input was; `from_utf8_lossy`
+    // makes that panic-free either way.
+    StrippedFile {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        pragmas,
+    }
+}
+
+/// `r"` / `r#"` / `r##"` … prefix detector; returns the hash count.
+fn raw_string_hashes(bytes: &[u8]) -> Option<usize> {
+    if bytes.first() != Some(&b'r') {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(1 + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    (bytes.get(1 + hashes) == Some(&b'"')).then_some(hashes)
+}
+
+/// Parses `onoc-lint: allow(D00x, reason…)` out of a line-comment body.
+fn parse_pragma(comment_body: &str) -> Option<(String, String, bool)> {
+    let rest = comment_body.trim().strip_prefix("onoc-lint:")?.trim();
+    let inner = rest.strip_prefix("allow(")?.strip_suffix(')')?;
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return None;
+    }
+    Some((rule.to_owned(), reason.to_owned(), reason.is_empty()))
+}
+
+/// Tokenizes stripped source into identifiers and punctuation.
+///
+/// String/char literals (now hollow) come through as `"` / `'` punctuation
+/// tokens; numbers come through as identifiers-of-digits which no rule
+/// matches. `::` is fused because path matching needs it.
+#[must_use]
+pub fn tokenize(stripped: &str) -> Vec<Token> {
+    let bytes = stripped.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token::new(&stripped[start..i], line));
+            continue;
+        }
+        if c == b':' && bytes.get(i + 1) == Some(&b':') {
+            tokens.push(Token::new("::", line));
+            i += 2;
+            continue;
+        }
+        tokens.push(Token::new((c as char).to_string(), line));
+        i += 1;
+    }
+    tokens
+}
+
+/// Line-number ranges (1-based, inclusive) covered by `#[cfg(test)] mod`
+/// items, found by brace matching on the token stream.
+#[must_use]
+pub fn test_mod_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]` possibly with extra attribute args.
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let mut j = i + 2;
+            let mut is_cfg_test = false;
+            // Walk to the closing `]` of this attribute.
+            let mut depth = 1usize;
+            let attr_start = j;
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr = &tokens[attr_start..j.saturating_sub(1)];
+            if attr.len() >= 4
+                && attr[0].text == "cfg"
+                && attr[1].text == "("
+                && attr.iter().any(|t| t.text == "test")
+            {
+                is_cfg_test = true;
+            }
+            if is_cfg_test {
+                // Skip further attributes, then expect `mod name {`.
+                let mut k = j;
+                while tokens.get(k).is_some_and(|t| t.text == "#")
+                    && tokens.get(k + 1).is_some_and(|t| t.text == "[")
+                {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let is_mod = tokens.get(k).is_some_and(|t| t.text == "mod")
+                    || (tokens.get(k).is_some_and(|t| t.text == "pub")
+                        && tokens.get(k + 1).is_some_and(|t| t.text == "mod"));
+                if is_mod {
+                    // Find the opening brace, then its match.
+                    let mut b = k;
+                    while b < tokens.len() && tokens[b].text != "{" && tokens[b].text != ";" {
+                        b += 1;
+                    }
+                    if b < tokens.len() && tokens[b].text == "{" {
+                        let start_line = tokens[i].line;
+                        let mut d = 1usize;
+                        let mut e = b + 1;
+                        while e < tokens.len() && d > 0 {
+                            match tokens[e].text.as_str() {
+                                "{" => d += 1,
+                                "}" => d -= 1,
+                                _ => {}
+                            }
+                            e += 1;
+                        }
+                        let end_line = tokens
+                            .get(e.saturating_sub(1))
+                            .map_or(start_line, |t| t.line);
+                        ranges.push((start_line, end_line));
+                        i = e;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// True when `line` falls inside any of the (inclusive) ranges.
+#[must_use]
+pub fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}

@@ -1,0 +1,22 @@
+// Fixture: D001 positives — iterating hash collections in library code.
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_values(m: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn collect_names(set: HashSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in &set {
+        out.push(name.clone());
+    }
+    out
+}
+
+pub fn drain_all(cache: &mut HashMap<u64, u64>) {
+    cache.drain().for_each(drop);
+}

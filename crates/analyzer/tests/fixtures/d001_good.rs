@@ -1,0 +1,16 @@
+// Fixture: D001 negatives — keyed lookup on hash collections is allowed,
+// ordered collections may be iterated freely.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(m: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    m.get(key).copied()
+}
+
+pub fn insert_and_count(m: &mut HashMap<String, u64>) -> usize {
+    m.insert("k".to_owned(), 1);
+    m.len()
+}
+
+pub fn sum_sorted(sorted: &BTreeMap<String, u64>) -> u64 {
+    sorted.values().sum()
+}

@@ -1,0 +1,12 @@
+// Fixture: D002 positives — wall clocks outside the quarantined sites.
+use std::time::{Instant, SystemTime};
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_micros())
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

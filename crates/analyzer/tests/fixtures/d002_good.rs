@@ -1,0 +1,19 @@
+// Fixture: D002 negative — simulated time advances deterministically.
+pub struct SimClock {
+    now_ns: f64,
+}
+
+impl SimClock {
+    pub fn advance(&mut self, dt_ns: f64) -> f64 {
+        self.now_ns += dt_ns;
+        self.now_ns
+    }
+
+    pub fn instant(&self) -> f64 {
+        // Mentioning Instant in a comment or "Instant::now" in a string
+        // must not trip the rule.
+        let label = "Instant::now";
+        let _ = label;
+        self.now_ns
+    }
+}

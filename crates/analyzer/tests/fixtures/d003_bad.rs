@@ -1,0 +1,17 @@
+// Fixture: D003 positive — `fingerprint` forgets the `tuner` field, so two
+// states differing only in `tuner` would alias one cache entry.
+pub struct ProbeState {
+    pub rings: u64,
+    pub tuner: u64,
+    pub policy: u64,
+}
+
+impl ProbeState {
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h ^= self.rings;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= self.policy;
+        h.wrapping_mul(0x0000_0100_0000_01b3)
+    }
+}

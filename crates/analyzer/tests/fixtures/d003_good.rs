@@ -1,0 +1,23 @@
+// Fixture: D003 negative — every named field reaches the fingerprint.
+pub struct ProbeState {
+    pub rings: u64,
+    pub tuner: u64,
+    pub policy: u64,
+}
+
+impl ProbeState {
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [self.rings, self.tuner, self.policy] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+// A struct without a fingerprint method is not checked at all.
+pub struct Plain {
+    pub a: u64,
+    pub b: u64,
+}

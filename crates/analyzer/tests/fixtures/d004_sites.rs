@@ -1,0 +1,24 @@
+// Fixture: D004 — two countable sites in library code; the unwraps inside
+// the `#[cfg(test)]` module must not count.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn parsed(text: &str) -> u64 {
+    text.parse().expect("caller guarantees digits")
+}
+
+pub fn tolerant(text: &str) -> u64 {
+    text.parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        let n: u64 = "7".parse().expect("digits");
+        assert_eq!(n, 7);
+    }
+}

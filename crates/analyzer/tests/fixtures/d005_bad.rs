@@ -1,0 +1,10 @@
+// Fixture: D005 positive — a deprecated shim referenced without any scoped
+// `allow(deprecated)` in the file.
+#[deprecated(since = "0.1.0", note = "use shiny_new_api")]
+pub fn legacy_api() -> u64 {
+    41
+}
+
+pub fn caller() -> u64 {
+    legacy_api() + 1
+}

@@ -1,0 +1,11 @@
+// Fixture: D005 negative — the referencing module scopes the allow.
+#![allow(deprecated)]
+
+#[deprecated(since = "0.1.0", note = "use shiny_new_api")]
+pub fn legacy_api() -> u64 {
+    41
+}
+
+pub fn caller() -> u64 {
+    legacy_api() + 1
+}

@@ -1,0 +1,12 @@
+// Fixture: D006 positives — ambient process state in deterministic code.
+pub fn threads_from_env() -> usize {
+    std::env::var("ONOC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

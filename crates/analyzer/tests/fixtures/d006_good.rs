@@ -1,0 +1,13 @@
+// Fixture: D006 negatives — seeds come from configuration; `env!` (compile
+// time) and `env::args` (CLI plumbing) are allowed.
+pub fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+pub fn first_arg() -> Option<String> {
+    std::env::args().nth(1)
+}

@@ -1,0 +1,16 @@
+// Fixture: pragma handling — one justified suppression (same line), one
+// justified suppression (comment on its own line), one missing a reason.
+use std::time::Instant;
+
+pub fn sanctioned() -> Instant {
+    Instant::now() // onoc-lint: allow(D002, fixture exercising same-line pragmas)
+}
+
+pub fn sanctioned_above() -> Instant {
+    // onoc-lint: allow(D002, fixture exercising next-line pragmas)
+    Instant::now()
+}
+
+pub fn unjustified() -> Instant {
+    Instant::now() // onoc-lint: allow(D002)
+}

@@ -154,6 +154,7 @@ pub fn run_case(case: &TrajectoryCase, threads: usize) -> CaseRun {
         metrics.clone(),
         wall.clone(),
     )));
+    // onoc-lint: allow(D002, bench wall clock lands in the quarantined non-deterministic section of BENCH_scaling.json)
     let started = std::time::Instant::now();
     let report = ScenarioBuilder::from_config(case.config.clone())
         .threads(threads)

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use onoc_ecc_codes::EccScheme;
 use onoc_interface::{
@@ -240,6 +240,14 @@ impl OperatingPointCache {
         }
     }
 
+    /// Locks the memo map, recovering from poisoning: every entry is a
+    /// complete `(key, value)` pair inserted atomically, so a panic in some
+    /// other holder cannot leave the map in a half-written state — the data
+    /// stays valid and the cache keeps serving.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<CacheKey, Result<OperatingPoint, LinkError>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn bucket(&self, temperature: Celsius) -> i64 {
         #[allow(clippy::cast_possible_truncation)]
         let bucket = (temperature.value() * self.buckets_per_kelvin).round() as i64;
@@ -256,7 +264,7 @@ impl OperatingPointCache {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock").len(),
+            entries: self.lock_map().len(),
         }
     }
 }
@@ -618,7 +626,7 @@ impl NanophotonicLink {
             self.cache.bucket(snapped),
             self.stack_fingerprint,
         );
-        if let Some(cached) = self.cache.map.lock().expect("cache lock").get(&key) {
+        if let Some(cached) = self.cache.lock_map().get(&key) {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
             self.telemetry.emit(|| TelemetryEvent::CacheHit {
                 fingerprint: self.stack_fingerprint,
@@ -634,11 +642,7 @@ impl NanophotonicLink {
             temperature_c: snapped.value(),
         });
         let solved = self.operating_point_at(scheme, target_ber, snapped);
-        self.cache
-            .map
-            .lock()
-            .expect("cache lock")
-            .insert(key, solved.clone());
+        self.cache.lock_map().insert(key, solved.clone());
         solved
     }
 
@@ -650,7 +654,7 @@ impl NanophotonicLink {
 
     /// Empties the memoized operating-point cache and resets its counters.
     pub fn clear_cache(&self) {
-        self.cache.map.lock().expect("cache lock").clear();
+        self.cache.lock_map().clear();
         self.cache.hits.store(0, Ordering::Relaxed);
         self.cache.misses.store(0, Ordering::Relaxed);
     }
@@ -724,7 +728,12 @@ impl NanophotonicLink {
                         (p.communication_time_factor(), p.channel_power.value())
                     }
                 };
-                key(a).partial_cmp(&key(b)).expect("finite selection keys")
+                // total_cmp is a total order on f64 (solver outputs are
+                // always finite, but the comparator must not be able to
+                // panic either way).
+                let (a0, a1) = key(a);
+                let (b0, b1) = key(b);
+                a0.total_cmp(&b0).then(a1.total_cmp(&b1))
             })
     }
 }

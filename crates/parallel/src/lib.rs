@@ -63,6 +63,7 @@ where
             .map(|(shard, chunk)| {
                 let recorder = recorder.clone();
                 scope.spawn(move || {
+                    // onoc-lint: allow(D002, shard wall time feeds ShardCompleted telemetry only; never a RunReport)
                     let started = std::time::Instant::now();
                     let results = chunk.iter().map(f).collect::<Vec<R>>();
                     recorder.emit(|| TelemetryEvent::ShardCompleted {

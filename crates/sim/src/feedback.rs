@@ -180,7 +180,7 @@ impl FeedbackReport {
         self.per_oni
             .iter()
             .map(|o| o.scheme)
-            .collect::<std::collections::HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .len()
     }
 }

@@ -44,7 +44,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use onoc_ecc_codes::EccScheme;
 use onoc_link::{
@@ -779,7 +779,7 @@ impl RunReport {
         self.per_oni
             .iter()
             .map(|o| o.scheme)
-            .collect::<std::collections::HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .len()
     }
 
@@ -840,7 +840,7 @@ pub struct Scenario {
     decisions: Vec<ManagerDecision>,
     /// Per-message policy: decision index per message (baseline when
     /// absent).
-    assignment: HashMap<MessageId, usize>,
+    assignment: BTreeMap<MessageId, usize>,
     /// Per-message policy: manager solves performed during precomputation.
     precompute_queries: u64,
     /// Per-message policy: those solves attributed to the destination ONI
@@ -853,7 +853,7 @@ pub struct Scenario {
     /// Design-time wavelength assignments, one per ONI (empty when the
     /// scenario runs unassigned).
     assignments: Vec<WavelengthAssignment>,
-    messages: HashMap<MessageId, Message>,
+    messages: BTreeMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
     /// Telemetry sink shared with the manager fleet (see
@@ -933,7 +933,7 @@ impl Scenario {
         .generate();
 
         let mut decisions: Vec<ManagerDecision> = Vec::new();
-        let mut assignment: HashMap<MessageId, usize> = HashMap::new();
+        let mut assignment: BTreeMap<MessageId, usize> = BTreeMap::new();
         let mut precompute_queries = 0u64;
         let mut precompute_per_oni = vec![0u64; n];
         let mut baselines: Vec<DecisionParams> = Vec::new();
@@ -954,7 +954,7 @@ impl Scenario {
                 let ThermalModelSpec::Prescribed { environment } = &config.thermal else {
                     unreachable!("validated: per-message policy implies a prescribed model");
                 };
-                let mut cache: HashMap<(usize, i64), usize> = HashMap::new();
+                let mut cache: BTreeMap<(usize, i64), usize> = BTreeMap::new();
                 for message in &generated {
                     let temperature = environment.temperature_at(
                         message.destination,
@@ -1016,7 +1016,7 @@ impl Scenario {
                     } else {
                         // Shared manager: solve each distinct bucket once, in
                         // ONI order (identical values, deterministic counters).
-                        let mut memo: HashMap<(usize, i64), ManagerDecision> = HashMap::new();
+                        let mut memo: BTreeMap<(usize, i64), ManagerDecision> = BTreeMap::new();
                         let mut out = Vec::with_capacity(n);
                         for key in &initial {
                             let decision = match memo.get(key) {
@@ -1143,7 +1143,7 @@ impl Scenario {
             injected_messages: self.messages.len() as u64,
             ..SimStats::default()
         };
-        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut arbiters: BTreeMap<usize, TokenArbiter> = BTreeMap::new();
         let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut sequence = 0u64;
         for &id in &self.injection_order {
@@ -1157,7 +1157,7 @@ impl Scenario {
             sequence += 1;
         }
 
-        let mut busy: HashMap<usize, bool> = HashMap::new();
+        let mut busy: BTreeMap<usize, bool> = BTreeMap::new();
         let mut makespan = SimTime::ZERO;
         // Static-power residency: every destination channel holds a decision
         // (initially the baseline) from t = 0; its laser + heater power
@@ -1340,13 +1340,13 @@ impl Scenario {
     fn per_message_try_start(
         destination: usize,
         now: SimTime,
-        arbiters: &mut HashMap<usize, TokenArbiter>,
-        busy: &mut HashMap<usize, bool>,
+        arbiters: &mut BTreeMap<usize, TokenArbiter>,
+        busy: &mut BTreeMap<usize, bool>,
         queue: &mut BinaryHeap<Reverse<Event>>,
         sequence: &mut u64,
-        messages: &HashMap<MessageId, Message>,
+        messages: &BTreeMap<MessageId, Message>,
         params: &[DecisionParams],
-        assignment: &HashMap<MessageId, usize>,
+        assignment: &BTreeMap<MessageId, usize>,
         statics: &mut [(usize, SimTime)],
         stats: &mut SimStats,
         acc: &mut OniAccumulators,
@@ -1490,7 +1490,7 @@ impl Scenario {
             injected_messages: self.messages.len() as u64,
             ..SimStats::default()
         };
-        let mut arbiters: HashMap<usize, TokenArbiter> = HashMap::new();
+        let mut arbiters: BTreeMap<usize, TokenArbiter> = BTreeMap::new();
         let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut sequence = 0u64;
         for &id in &self.injection_order {
@@ -1765,11 +1765,11 @@ impl Scenario {
     fn epoch_try_start(
         destination: usize,
         now: SimTime,
-        arbiters: &mut HashMap<usize, TokenArbiter>,
+        arbiters: &mut BTreeMap<usize, TokenArbiter>,
         channels: &mut [ChannelState],
         queue: &mut BinaryHeap<Reverse<Event>>,
         sequence: &mut u64,
-        messages: &HashMap<MessageId, Message>,
+        messages: &BTreeMap<MessageId, Message>,
     ) {
         if channels[destination].active.is_some() {
             return;

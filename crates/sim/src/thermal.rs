@@ -143,7 +143,7 @@ impl ThermalRunReport {
         self.per_oni
             .iter()
             .map(|o| o.scheme)
-            .collect::<std::collections::HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .len()
     }
 }

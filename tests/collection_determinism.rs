@@ -1,0 +1,192 @@
+//! Regression pins for the D001 (determinism / cache-safety) collection
+//! audit: the simulator's per-message bookkeeping moved from
+//! `std::collections::HashMap`/`HashSet` to ordered collections
+//! (`BTreeMap`/`BTreeSet`) so no randomized iteration order can ever reach a
+//! `RunReport`, the switch log, or a telemetry stream.  The digests below
+//! were captured from the pre-conversion (HashMap) engine; the conversion
+//! must be bit-identical, and these goldens keep it that way.
+
+use onoc_ecc::ecc::EccScheme;
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{DecisionPolicy, RingVariationConfig, RunReport, ScenarioBuilder};
+use onoc_ecc::thermal::bank::{fnv1a_seed, fnv1a_u64};
+use onoc_ecc::thermal::{BankTuningMode, RcNetworkParameters, ThermalEnvironment, WorkloadTrace};
+use onoc_ecc::units::Celsius;
+
+/// FNV-1a digest over every order-sensitive field of a report: aggregate
+/// stats, the per-ONI table, the time-ordered switch log and the epoch
+/// trajectory.  Any reordering introduced by a collection swap changes it.
+fn digest(report: &RunReport) -> u64 {
+    let mix_u64 = |h: &mut u64, v: u64| *h = fnv1a_u64(*h, v);
+    let mut h = fnv1a_seed();
+    for v in [
+        report.stats.injected_messages,
+        report.stats.delivered_messages,
+        report.stats.delivered_bits,
+        report.stats.corrupted_words,
+        report.stats.corrupted_bits,
+        report.stats.corrected_words,
+        report.stats.deadline_misses,
+        report.epochs,
+        report.decisions,
+        report.infeasible_requests,
+        report.reconfigured_messages,
+    ] {
+        mix_u64(&mut h, v);
+    }
+    for v in [
+        report.stats.makespan_ns,
+        report.stats.channel_busy_ns,
+        report.stats.total_latency_ns,
+        report.stats.max_latency_ns,
+        report.stats.energy_pj,
+        report.stats.static_energy_pj,
+        report.baseline_channel_power_mw,
+        report.baseline_decoded_ber,
+    ] {
+        mix_u64(&mut h, v.to_bits());
+    }
+    for oni in &report.per_oni {
+        mix_u64(&mut h, oni.oni as u64);
+        mix_u64(&mut h, oni.delivered_messages);
+        mix_u64(&mut h, oni.final_temperature_c.to_bits());
+        mix_u64(&mut h, oni.peak_temperature_c.to_bits());
+        mix_u64(&mut h, oni.scheme as u64);
+        mix_u64(&mut h, oni.channel_power_mw.to_bits());
+        mix_u64(&mut h, oni.tuning_power_mw_per_lane.to_bits());
+        mix_u64(&mut h, oni.scheme_switches);
+        mix_u64(&mut h, oni.decisions);
+        mix_u64(&mut h, oni.infeasible_requests);
+        mix_u64(&mut h, oni.static_energy_pj.to_bits());
+        mix_u64(&mut h, oni.dynamic_energy_pj.to_bits());
+    }
+    for s in &report.switch_log {
+        mix_u64(&mut h, s.time_ns.to_bits());
+        mix_u64(&mut h, s.oni as u64);
+        mix_u64(&mut h, s.from as u64);
+        mix_u64(&mut h, s.to as u64);
+        mix_u64(&mut h, s.temperature_c.to_bits());
+        mix_u64(&mut h, s.epoch.map_or(u64::MAX, |e| e));
+    }
+    for t in &report.trajectory {
+        mix_u64(&mut h, t.time_ns.to_bits());
+        mix_u64(&mut h, t.min_temperature_c.to_bits());
+        mix_u64(&mut h, t.max_temperature_c.to_bits());
+        mix_u64(&mut h, t.reconfigured_onis as u64);
+    }
+    h
+}
+
+/// Per-message policy over a prescribed hotspot: exercises the message /
+/// decision-assignment maps and the per-destination arbiter and busy maps.
+fn per_message_report() -> RunReport {
+    ScenarioBuilder::new()
+        .oni_count(8)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 40,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(6.0)
+        .seed(23)
+        .prescribed(ThermalEnvironment::Hotspot {
+            base: Celsius::new(30.0),
+            peak: Celsius::new(70.0),
+            center: 2,
+            decay_per_hop: 0.5,
+        })
+        .build()
+        .expect("valid per-message scenario")
+        .run()
+}
+
+/// Epoch-gated policy over a workload-heated fleet with per-ONI fabrication
+/// variation: exercises the arbiter map and the sharded re-ask path.
+fn epoch_gated_report() -> RunReport {
+    ScenarioBuilder::new()
+        .oni_count(8)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 60,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(16)
+        .mean_inter_arrival_ns(8.0)
+        .seed(31)
+        .workload_heated(
+            RcNetworkParameters {
+                ambient: Celsius::new(25.0),
+                heat_capacity_pj_per_k: 2000.0,
+                ambient_resistance_k_per_mw: 0.06,
+                coupling_resistance_k_per_mw: 1.5,
+            },
+            WorkloadTrace::hot_cluster(8, 3, 250.0, 0.45),
+        )
+        .variation(RingVariationConfig {
+            sigma_nm: 0.04,
+            seed: 7,
+            mode: BankTuningMode::PureHeater,
+        })
+        .policy(DecisionPolicy::epoch_gated())
+        .build()
+        .expect("valid epoch-gated scenario")
+        .run()
+}
+
+#[test]
+fn per_message_report_is_pinned_across_the_collection_swap() {
+    let report = per_message_report();
+    println!("per-message digest = 0x{:016X}", digest(&report));
+    println!(
+        "delivered = {}, switches = {}, energy = {}",
+        report.stats.delivered_messages,
+        report.total_switches(),
+        report.stats.energy_pj
+    );
+    assert_eq!(report.stats.delivered_messages, 8 * 40);
+    assert_eq!(digest(&report), GOLDEN_PER_MESSAGE);
+}
+
+#[test]
+fn epoch_gated_report_is_pinned_across_the_collection_swap() {
+    let report = epoch_gated_report();
+    println!("epoch-gated digest = 0x{:016X}", digest(&report));
+    println!(
+        "delivered = {}, switches = {}, epochs = {}",
+        report.stats.delivered_messages,
+        report.total_switches(),
+        report.epochs
+    );
+    assert_eq!(report.stats.delivered_messages, 8 * 60);
+    assert!(report.total_switches() > 0, "cluster must split the ring");
+    assert_eq!(digest(&report), GOLDEN_EPOCH_GATED);
+}
+
+#[test]
+fn reports_are_bit_identical_across_reruns_and_thread_counts() {
+    let a = epoch_gated_report();
+    let b = epoch_gated_report();
+    assert_eq!(a, b, "same config must reproduce bit-identically");
+    let threaded = {
+        let mut r = ScenarioBuilder::from_config(a.config.clone());
+        r = r.threads(4);
+        r.build().expect("valid threaded scenario").run()
+    };
+    let mut normalized = threaded.clone();
+    normalized.config.threads = a.config.threads;
+    assert_eq!(a, normalized, "thread budget must not change the report");
+}
+
+#[test]
+fn distinct_final_schemes_sees_the_split() {
+    let report = epoch_gated_report();
+    assert_eq!(report.distinct_final_schemes(), 2);
+    assert!(report
+        .per_oni
+        .iter()
+        .any(|o| o.scheme == EccScheme::Hamming7164));
+}
+
+// Captured from the pre-conversion (HashMap-based) engine; see module docs.
+const GOLDEN_PER_MESSAGE: u64 = 0xB47B_376D_9EB7_A8BD;
+const GOLDEN_EPOCH_GATED: u64 = 0x3EA7_031B_A615_936C;

@@ -9,7 +9,10 @@
 
 use onoc_bench::banner;
 use onoc_bench::perf::{
-    build_document, default_output_path, scenario_matrix, DETERMINISM_THREAD_COUNTS,
+    attach_scale_out, build_document, build_scale_out_section, default_output_path,
+    default_snapshot_path, scenario_matrix, DETERMINISM_THREAD_COUNTS, SCALE_OUT_MESSAGES_PER_NODE,
+    SCALE_OUT_ONI_COUNT, SCALE_OUT_REDUCED_MESSAGES_PER_NODE, SCALE_OUT_REDUCED_ONI_COUNT,
+    SCALE_OUT_THREAD_COUNTS,
 };
 
 fn main() {
@@ -25,7 +28,7 @@ fn main() {
         DETERMINISM_THREAD_COUNTS
     );
 
-    let document = match build_document(&cases) {
+    let mut document = match build_document(&cases) {
         Ok(document) => document,
         Err(failures) => {
             for failure in &failures {
@@ -38,6 +41,53 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    println!(
+        "running scale-out suite: {SCALE_OUT_ONI_COUNT} ONIs x {SCALE_OUT_MESSAGES_PER_NODE} \
+         msgs/node at thread counts {SCALE_OUT_THREAD_COUNTS:?}...\n"
+    );
+    let snapshot_path = default_snapshot_path();
+    let scale_out = match build_scale_out_section(
+        SCALE_OUT_ONI_COUNT,
+        SCALE_OUT_MESSAGES_PER_NODE,
+        SCALE_OUT_REDUCED_ONI_COUNT,
+        SCALE_OUT_REDUCED_MESSAGES_PER_NODE,
+        &snapshot_path,
+    ) {
+        Ok(section) => section,
+        Err(failures) => {
+            for failure in &failures {
+                eprintln!("FAIL: {failure}");
+            }
+            eprintln!(
+                "\nFAIL: {} violation(s) in the scale-out suite",
+                failures.len()
+            );
+            std::process::exit(1);
+        }
+    };
+    if let Some(non_det) = scale_out.get("non_deterministic") {
+        let field = |name: &str| {
+            non_det
+                .get(name)
+                .and_then(onoc_telemetry::Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        let max_threads = SCALE_OUT_THREAD_COUNTS.last().copied().unwrap_or(1);
+        println!(
+            "scale-out run-phase speedup 1 -> {max_threads} threads: {:.2}x (floor {} on {} cores, \
+             enforced: {})",
+            field(&format!("run_speedup_1_to_{max_threads}")),
+            field("speedup_floor"),
+            field("available_parallelism"),
+            non_det
+                .get("speedup_floor_enforced")
+                .and_then(onoc_telemetry::Json::as_bool)
+                .unwrap_or(false),
+        );
+        println!("wrote {}\n", snapshot_path.display());
+    }
+    attach_scale_out(&mut document, scale_out);
 
     // Per-case one-liner so the CI log shows the trajectory at a glance.
     if let Some(rendered) = document.get("cases").and_then(|c| c.as_array()) {

@@ -13,9 +13,10 @@
 //! [`DETERMINISM_THREAD_COUNTS`] and the harness fails loudly if either the
 //! deterministic metrics or the full [`RunReport`] differ.
 
+use std::path::Path;
 use std::sync::Arc;
 
-use onoc_link::TrafficClass;
+use onoc_link::{CacheCounters, TrafficClass};
 use onoc_sim::traffic::TrafficPattern;
 use onoc_sim::{
     DecisionPolicy, DesignAssignmentConfig, RingVariationConfig, RunReport, ScenarioBuilder,
@@ -24,7 +25,7 @@ use onoc_sim::{
 use onoc_telemetry::{
     Json, MetricsRegistry, MetricsSnapshot, RecorderHandle, RegistryRecorder, WallClockRegistry,
 };
-use onoc_thermal::{BankTuningMode, RcNetworkParameters, ThermalEnvironment};
+use onoc_thermal::{BankTuningMode, RcNetworkParameters, ThermalEnvironment, WorkloadTrace};
 use onoc_units::Celsius;
 
 /// Version tag of the `BENCH_scaling.json` schema.
@@ -279,6 +280,394 @@ pub fn build_document(cases: &[TrajectoryCase]) -> Result<Json, Vec<String>> {
     ]))
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out: the shared concurrent operating-point cache at fleet scale.
+// ---------------------------------------------------------------------------
+
+/// Fleet size of the headline scale-out case.
+pub const SCALE_OUT_ONI_COUNT: usize = 10_000;
+
+/// Messages per source node of the headline case (`10_000 × 200` = two
+/// million messages end to end).
+pub const SCALE_OUT_MESSAGES_PER_NODE: u64 = 200;
+
+/// Peak per-ONI workload injection of the fleet-wide power ramp, in mW.
+/// With the paper package's 0.10 K/mW ambient resistance the hottest ONI
+/// settles 30 K above the coldest, so the fleet walks a wide band of
+/// distinct decision buckets while staying inside the laser's solvable
+/// envelope (the VCSEL model runs away thermally near 85 °C).
+pub const SCALE_OUT_MAX_WORKLOAD_MW: f64 = 300.0;
+
+/// Decision-bucket width of the headline case, in kelvin.  Small on purpose:
+/// the run must be solver-bound (~80k distinct-bucket solves, >90 % of the
+/// single-thread run phase) so the shared cache — one solve per distinct
+/// bucket, fleet-wide — is what makes thread scaling possible.
+pub const SCALE_OUT_QUANTIZATION_K: f64 = 0.003;
+
+/// Thread counts the headline case is measured at.  The deterministic
+/// section must be bit-identical across all of them; the last entry is the
+/// one the speedup floor compares against single-threaded.
+pub const SCALE_OUT_THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Minimum single-thread → max-thread run-phase speedup, enforced only when
+/// the host actually has that many cores.
+pub const SCALE_OUT_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Fleet size of the reduced cross-engine and snapshot demonstrations.
+/// Per-link caches re-solve every bucket once per ONI, so the A/B
+/// comparison runs at a size where that waste is affordable — the waste
+/// itself is the headline number ([`build_scale_out_section`] reports the
+/// solve ratio).
+pub const SCALE_OUT_REDUCED_ONI_COUNT: usize = 64;
+
+/// Messages per node of the reduced demonstrations.
+pub const SCALE_OUT_REDUCED_MESSAGES_PER_NODE: u64 = 40;
+
+/// Decision-bucket width of the reduced demonstrations, in kelvin.  Coarse
+/// so the persisted snapshot artifact stays a few hundred entries.
+pub const SCALE_OUT_REDUCED_QUANTIZATION_K: f64 = 0.25;
+
+/// The homogeneous scale-out scenario: every ONI runs the same link design
+/// (one manager, one shared operating-point cache) while a linear per-ONI
+/// workload ramp spreads the fleet across a wide temperature band.  The
+/// cache resolution is locked to the decision quantization (`1/q` buckets
+/// per kelvin) so decision buckets and cache keys coincide one-to-one.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn scale_out_builder(
+    oni_count: usize,
+    messages_per_node: u64,
+    quantization_k: f64,
+) -> ScenarioBuilder {
+    let top = oni_count.saturating_sub(1).max(1) as f64;
+    let traces = (0..oni_count)
+        .map(|oni| WorkloadTrace::constant(SCALE_OUT_MAX_WORKLOAD_MW * oni as f64 / top))
+        .collect();
+    ScenarioBuilder::new()
+        .oni_count(oni_count)
+        .pattern(TrafficPattern::UniformRandom { messages_per_node })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(1)
+        .mean_inter_arrival_ns(5.0)
+        .nominal_ber(1e-11)
+        .seed(23)
+        .workload_heated(RcNetworkParameters::paper_package(), traces)
+        .policy(DecisionPolicy::EpochGated {
+            epoch_ns: 25.0,
+            quantization_k,
+            hysteresis_k: 0.0,
+            revert_hysteresis_k: 10.0,
+        })
+        .cache_resolution(1.0 / quantization_k)
+}
+
+/// Outcome of one scale-out run, with the scenario build phase (traffic
+/// generation, manager construction) timed separately from the epoch loop.
+pub struct ScaleOutRun {
+    /// The simulation report (recorder-independent, thread-independent).
+    pub report: RunReport,
+    /// Deterministic registry contents fed by the run's events.
+    pub metrics: MetricsSnapshot,
+    /// Non-deterministic per-shard wall-clock aggregates, rendered.
+    pub wall_clock: Json,
+    /// Wall clock of `ScenarioBuilder::build`, in microseconds.
+    pub build_micros: u64,
+    /// Wall clock of `Scenario::run` (the phase that shards), in
+    /// microseconds.
+    pub run_micros: u64,
+}
+
+/// Runs one scale-out configuration at the given thread budget with a fresh
+/// registry recorder.
+///
+/// # Panics
+///
+/// Panics if the configuration fails to build.
+#[must_use]
+pub fn run_scale_out(builder: &ScenarioBuilder, threads: usize) -> ScaleOutRun {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let wall = Arc::new(WallClockRegistry::new());
+    let recorder = RecorderHandle::new(Arc::new(RegistryRecorder::new(
+        metrics.clone(),
+        wall.clone(),
+    )));
+    // onoc-lint: allow(D002, bench wall clock lands in the quarantined non-deterministic section of BENCH_scaling.json)
+    let build_started = std::time::Instant::now();
+    let scenario = builder
+        .clone()
+        .threads(threads)
+        .telemetry(recorder)
+        .build()
+        .unwrap_or_else(|e| panic!("scale-out scenario must build: {e}"));
+    let build_micros = u64::try_from(build_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    // onoc-lint: allow(D002, bench wall clock lands in the quarantined non-deterministic section of BENCH_scaling.json)
+    let run_started = std::time::Instant::now();
+    let report = scenario.run();
+    let run_micros = u64::try_from(run_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    ScaleOutRun {
+        report,
+        metrics: metrics.snapshot(),
+        wall_clock: wall.to_json(),
+        build_micros,
+        run_micros,
+    }
+}
+
+fn counters_json(counters: CacheCounters) -> Json {
+    Json::obj(vec![
+        ("hits", counters.hits.into()),
+        ("misses", counters.misses.into()),
+        ("entries", counters.entries.into()),
+        ("hit_rate", counters.hit_rate().into()),
+    ])
+}
+
+/// Runs the scale-out suite and assembles the `scale_out` section of
+/// `BENCH_scaling.json`:
+///
+/// 1. **Headline** — the homogeneous case at every thread count in
+///    [`SCALE_OUT_THREAD_COUNTS`]; deterministic metrics and the
+///    thread-normalized report must be bit-identical.
+/// 2. **Cross-engine A/B** (reduced size) — the shared-cache engine against
+///    `per_link_caches()`; physics must match bit-for-bit once cache
+///    accounting is set aside, and the per-link engine must pay strictly
+///    more solver invocations (the reported ratio is the point of the
+///    shared cache).
+/// 3. **Snapshot warm start** (reduced size) — a cold run persists
+///    `snapshot_path`; the warm re-run must report zero solver invocations
+///    and a 100 % hit rate while producing the same physics.
+/// 4. **Speedup floor** — single-thread → max-thread run-phase speedup must
+///    reach [`SCALE_OUT_SPEEDUP_FLOOR`] whenever the host has enough cores;
+///    always recorded, only enforced on capable hosts.
+///
+/// Any pre-existing snapshot file is removed first so repeated invocations
+/// stay cold-start deterministic.
+///
+/// # Errors
+///
+/// One line per violated gate.
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+pub fn build_scale_out_section(
+    oni_count: usize,
+    messages_per_node: u64,
+    reduced_oni_count: usize,
+    reduced_messages_per_node: u64,
+    snapshot_path: &Path,
+) -> Result<Json, Vec<String>> {
+    let mut failures = Vec::new();
+
+    // 1. Headline thread-scaling runs.
+    let headline = scale_out_builder(oni_count, messages_per_node, SCALE_OUT_QUANTIZATION_K);
+    let runs: Vec<(usize, ScaleOutRun)> = SCALE_OUT_THREAD_COUNTS
+        .iter()
+        .map(|&threads| (threads, run_scale_out(&headline, threads)))
+        .collect();
+    let (reference_threads, reference) = &runs[0];
+    let normalized = |run: &ScaleOutRun| {
+        let mut report = run.report.clone();
+        report.config.threads = 0;
+        report
+    };
+    let reference_report = normalized(reference);
+    for (threads, run) in &runs[1..] {
+        if run.metrics != reference.metrics {
+            failures.push(format!(
+                "scale-out: deterministic metrics differ between {reference_threads} and \
+                 {threads} threads"
+            ));
+        }
+        if normalized(run) != reference_report {
+            failures.push(format!(
+                "scale-out: run report differs between {reference_threads} and {threads} threads"
+            ));
+        }
+    }
+
+    // 2. Cross-engine A/B at the reduced size.  Cache accounting
+    // legitimately differs (per-link caches re-solve per ONI, and the
+    // shared engine deduplicates the initial fleet configuration through
+    // the cache), so the report's solver counters and the
+    // cache/solver/manager metric counters are set aside before the
+    // bit-identity comparison; the report itself — every delivered message,
+    // epoch, switch and temperature — must still match bit-for-bit.
+    let reduced = scale_out_builder(
+        reduced_oni_count,
+        reduced_messages_per_node,
+        SCALE_OUT_REDUCED_QUANTIZATION_K,
+    );
+    let shared = run_scale_out(&reduced, 1);
+    let per_link = run_scale_out(&reduced.clone().per_link_caches(), 1);
+    let physics = |run: &ScaleOutRun| {
+        let mut report = run.report.clone();
+        report.config.threads = 0;
+        report.solver_cache = CacheCounters::default();
+        report
+    };
+    let physics_metrics = |run: &ScaleOutRun| {
+        let mut metrics = run.metrics.clone();
+        metrics.counters.retain(|key, _| {
+            !key.starts_with("cache.")
+                && !key.starts_with("solver.")
+                && !key.starts_with("manager.")
+        });
+        metrics
+    };
+    if physics(&shared) != physics(&per_link) {
+        failures
+            .push("cross-engine: shared-cache and per-link-cache run reports diverge".to_string());
+    }
+    if physics_metrics(&shared) != physics_metrics(&per_link) {
+        failures.push(
+            "cross-engine: shared-cache and per-link-cache deterministic metrics diverge"
+                .to_string(),
+        );
+    }
+    let shared_solves = shared.report.solver_cache.misses;
+    let per_link_solves = per_link.report.solver_cache.misses;
+    if shared_solves == 0 {
+        failures.push("cross-engine: shared-cache run never invoked the solver".to_string());
+    }
+    if per_link_solves <= shared_solves {
+        failures.push(format!(
+            "cross-engine: per-link caches should re-solve strictly more than the shared cache \
+             ({per_link_solves} vs {shared_solves})"
+        ));
+    }
+
+    // 3. Snapshot warm start at the reduced size.  A snapshot left behind
+    // by a previous invocation would silently warm the cold run, so it is
+    // removed first.
+    let _ = std::fs::remove_file(snapshot_path);
+    let with_snapshot = || reduced.clone().cache_snapshot(snapshot_path);
+    let cold = run_scale_out(&with_snapshot(), 1);
+    let cold_counters = cold.report.solver_cache;
+    if cold_counters.misses == 0 {
+        failures.push("snapshot: cold run never invoked the solver".to_string());
+    }
+    if !snapshot_path.exists() {
+        failures.push(format!(
+            "snapshot: cold run did not persist {}",
+            snapshot_path.display()
+        ));
+    }
+    let warm = run_scale_out(&with_snapshot(), 1);
+    let warm_counters = warm.report.solver_cache;
+    if warm_counters.misses != 0 {
+        failures.push(format!(
+            "snapshot: warm start still invoked the solver {} times",
+            warm_counters.misses
+        ));
+    }
+    if warm_counters.hits == 0 || warm_counters.hit_rate() < 1.0 {
+        failures.push(format!(
+            "snapshot: warm start should be pure cache hits, got {warm_counters}"
+        ));
+    }
+    if physics(&warm) != physics(&cold) {
+        failures.push("snapshot: warm-start run report diverges from the cold run".to_string());
+    }
+    if physics_metrics(&warm) != physics_metrics(&cold) {
+        failures.push(
+            "snapshot: warm-start deterministic metrics diverge from the cold run".to_string(),
+        );
+    }
+
+    // 4. Run-phase speedup, enforced only where the host can express it.
+    let max_threads = *SCALE_OUT_THREAD_COUNTS
+        .last()
+        .unwrap_or_else(|| unreachable!("thread counts are a non-empty constant"));
+    let run_micros_at = |wanted: usize| {
+        runs.iter()
+            .find(|(threads, _)| *threads == wanted)
+            .map(|(_, run)| run.run_micros)
+            .unwrap_or_else(|| panic!("thread count {wanted} is in SCALE_OUT_THREAD_COUNTS"))
+    };
+    let speedup = run_micros_at(1) as f64 / run_micros_at(max_threads).max(1) as f64;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let enforced = cores >= max_threads;
+    if enforced && speedup < SCALE_OUT_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "scale-out: 1 -> {max_threads}-thread run-phase speedup {speedup:.2}x is below the \
+             {SCALE_OUT_SPEEDUP_FLOOR}x floor"
+        ));
+    }
+
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+
+    let wall_runs: Vec<(String, Json)> = runs
+        .iter()
+        .map(|(threads, run)| {
+            (
+                format!("threads_{threads}"),
+                Json::obj(vec![
+                    ("build_micros", run.build_micros.into()),
+                    ("run_micros", run.run_micros.into()),
+                    ("shards", run.wall_clock.clone()),
+                ]),
+            )
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("label", format!("scale-out/oni{oni_count}").into()),
+        ("oni_count", oni_count.into()),
+        ("messages_per_node", messages_per_node.into()),
+        (
+            "deterministic",
+            Json::obj(vec![
+                ("report", report_digest(&reference.report)),
+                ("metrics", reference.metrics.to_json()),
+                (
+                    "cross_engine",
+                    Json::obj(vec![
+                        ("oni_count", reduced_oni_count.into()),
+                        ("status", "bit-identical".into()),
+                        ("shared_cache_solves", shared_solves.into()),
+                        ("per_link_cache_solves", per_link_solves.into()),
+                        (
+                            "solve_ratio",
+                            (per_link_solves as f64 / shared_solves.max(1) as f64).into(),
+                        ),
+                    ]),
+                ),
+                (
+                    "snapshot",
+                    Json::obj(vec![
+                        ("entries", cold_counters.entries.into()),
+                        ("cold", counters_json(cold_counters)),
+                        ("warm", counters_json(warm_counters)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "non_deterministic",
+            Json::Obj(
+                wall_runs
+                    .into_iter()
+                    .chain([
+                        (
+                            format!("run_speedup_1_to_{max_threads}"),
+                            Json::from(speedup),
+                        ),
+                        ("speedup_floor".to_string(), SCALE_OUT_SPEEDUP_FLOOR.into()),
+                        ("speedup_floor_enforced".to_string(), enforced.into()),
+                        ("available_parallelism".to_string(), cores.into()),
+                    ])
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+/// Appends the `scale_out` section to an assembled document.
+pub fn attach_scale_out(document: &mut Json, section: Json) {
+    if let Json::Obj(fields) = document {
+        fields.push(("scale_out".to_string(), section));
+    }
+}
+
 /// `BENCH_scaling.json` at the repository root, wherever the binary runs
 /// from.
 #[must_use]
@@ -286,6 +675,15 @@ pub fn default_output_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_scaling.json")
+}
+
+/// `BENCH_cache_snapshot.json` at the repository root: the operating-point
+/// cache snapshot the scale-out suite persists and warm-starts from.
+#[must_use]
+pub fn default_snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_cache_snapshot.json")
 }
 
 #[cfg(test)]
@@ -311,5 +709,28 @@ mod tests {
                 .is_some_and(|root| root.join("ROADMAP.md").exists()),
             "{path:?} should sit next to ROADMAP.md"
         );
+    }
+
+    #[test]
+    fn default_snapshot_path_sits_next_to_the_scaling_artifact() {
+        assert_eq!(
+            default_snapshot_path().parent(),
+            default_output_path().parent()
+        );
+    }
+
+    #[test]
+    fn scale_out_builder_is_homogeneous_and_bucket_aligned() {
+        let builder = scale_out_builder(5, 10, 0.25);
+        let config = builder.config();
+        assert_eq!(config.oni_count, 5);
+        // The cache resolution is the inverse of the decision quantization,
+        // so decision buckets and cache keys coincide one-to-one.
+        assert_eq!(config.cache_buckets_per_kelvin, Some(4.0));
+        assert!(
+            config.variation.is_none() && config.assignment.is_none(),
+            "the scale-out fleet must stay homogeneous (one manager, one shared cache)"
+        );
+        assert!(builder.build().is_ok(), "scale-out config builds");
     }
 }

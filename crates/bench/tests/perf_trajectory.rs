@@ -2,7 +2,9 @@
 //! as JSON, carry the deterministic-counter section, and self-gate across
 //! thread counts.
 
-use onoc_bench::perf::{build_document, scenario_matrix_with, SCHEMA_VERSION};
+use onoc_bench::perf::{
+    attach_scale_out, build_document, build_scale_out_section, scenario_matrix_with, SCHEMA_VERSION,
+};
 use onoc_telemetry::Json;
 
 #[test]
@@ -54,4 +56,47 @@ fn bench_scaling_document_parses_with_deterministic_counters() {
         );
         assert!(case.get("non_deterministic").is_some());
     }
+}
+
+#[test]
+fn scale_out_section_gates_and_renders_at_reduced_size() {
+    let snapshot = std::env::temp_dir().join(format!(
+        "onoc_perf_trajectory_snapshot_test_{}.json",
+        std::process::id()
+    ));
+    // Tiny headline and cross-engine sizes keep the eight runs (two thread
+    // counts + cross-engine A/B + cold/warm snapshot) debug-mode fast.
+    let section =
+        build_scale_out_section(6, 12, 4, 8, &snapshot).expect("scale-out gates must pass");
+    let _ = std::fs::remove_file(&snapshot);
+
+    let mut document = build_document(&scenario_matrix_with(&[3], 10)).expect("matrix passes");
+    attach_scale_out(&mut document, section);
+    let rendered = document.render_pretty();
+    let parsed = Json::parse(&rendered).expect("rendered document parses");
+    assert_eq!(parsed, document);
+
+    let scale_out = parsed.get("scale_out").expect("scale_out section");
+    let deterministic = scale_out.get("deterministic").expect("deterministic");
+    let warm_misses = deterministic
+        .get("snapshot")
+        .and_then(|s| s.get("warm"))
+        .and_then(|w| w.get("misses"))
+        .and_then(Json::as_u64);
+    assert_eq!(warm_misses, Some(0), "warm start is pure hits");
+    let ratio = deterministic
+        .get("cross_engine")
+        .and_then(|c| c.get("solve_ratio"))
+        .and_then(Json::as_f64)
+        .expect("solve ratio");
+    assert!(ratio > 1.0, "per-link caches must re-solve more: {ratio}");
+    let non_det = scale_out
+        .get("non_deterministic")
+        .expect("non_deterministic");
+    for threads in ["threads_1", "threads_4"] {
+        let run = non_det.get(threads).expect("per-thread timings");
+        assert!(run.get("build_micros").is_some());
+        assert!(run.get("run_micros").is_some());
+    }
+    assert!(non_det.get("speedup_floor_enforced").is_some());
 }

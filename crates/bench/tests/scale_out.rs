@@ -1,0 +1,113 @@
+//! Scale-out invariants of the shared operating-point cache, exercised
+//! through the bench harness's scenario builder:
+//!
+//! * a homogeneous fleet produces bit-identical physics whether the epoch
+//!   loop runs on 1, 4 or 8 threads, and whether the fleet shares one cache
+//!   or every link keeps its own;
+//! * a persisted cache snapshot warm-starts a second run into a pure-hit
+//!   regime (zero solver invocations) without changing the physics.
+
+use onoc_bench::perf::{run_scale_out, scale_out_builder, ScaleOutRun};
+use onoc_link::CacheCounters;
+use onoc_sim::RunReport;
+use onoc_telemetry::MetricsSnapshot;
+use proptest::prelude::*;
+
+/// Coarse decision buckets keep the property-test runs fast.
+const QUANTIZATION_K: f64 = 0.25;
+
+/// The report with everything thread- or cache-accounting-dependent
+/// normalized away: what must be bit-identical across engines.
+fn physics(report: &RunReport) -> RunReport {
+    let mut report = report.clone();
+    report.config.threads = 0;
+    report.solver_cache = CacheCounters::default();
+    report
+}
+
+/// Deterministic metrics minus the cache, solver and manager counters,
+/// which legitimately differ between the shared-cache and per-link-cache
+/// engines (the shared cache deduplicates the initial fleet configuration,
+/// so the per-link engine both re-solves more and asks its managers more).
+fn physics_metrics(run: &ScaleOutRun) -> MetricsSnapshot {
+    let mut metrics = run.metrics.clone();
+    metrics.counters.retain(|key, _| {
+        !key.starts_with("cache.") && !key.starts_with("solver.") && !key.starts_with("manager.")
+    });
+    metrics
+}
+
+proptest! {
+    /// The shared-cache engine is an optimization, not a semantic change:
+    /// across thread counts {1, 4, 8} the full deterministic state (report
+    /// and metrics) is bit-identical, and the per-link-cache engine agrees
+    /// on every bit of physics.
+    #[test]
+    fn shared_cache_is_bit_identical_across_threads_and_engines(
+        oni_count in 2usize..8,
+        messages_per_node in 4u64..20,
+    ) {
+        let builder = scale_out_builder(oni_count, messages_per_node, QUANTIZATION_K);
+        let reference = run_scale_out(&builder, 1);
+        for threads in [4usize, 8] {
+            let run = run_scale_out(&builder, threads);
+            prop_assert_eq!(&run.metrics, &reference.metrics);
+            prop_assert_eq!(physics(&run.report), physics(&reference.report));
+            // Counter determinism is stronger than physics determinism: the
+            // solve-once cache admits exactly one miss per distinct key at
+            // any interleaving.
+            prop_assert_eq!(run.report.solver_cache, reference.report.solver_cache);
+        }
+        let per_link = run_scale_out(&builder.clone().per_link_caches(), 1);
+        prop_assert_eq!(physics(&per_link.report), physics(&reference.report));
+        prop_assert_eq!(physics_metrics(&per_link), physics_metrics(&reference));
+        // Per-link caches cannot share work across the fleet, so they pay
+        // at least as many solver invocations as the shared cache.
+        prop_assert!(
+            per_link.report.solver_cache.misses >= reference.report.solver_cache.misses,
+            "per-link solves {} < shared solves {}",
+            per_link.report.solver_cache.misses,
+            reference.report.solver_cache.misses
+        );
+    }
+}
+
+#[test]
+fn snapshot_warm_start_runs_without_a_single_solve() {
+    let path = std::env::temp_dir().join(format!(
+        "onoc_scale_out_snapshot_test_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let builder = scale_out_builder(6, 12, QUANTIZATION_K).cache_snapshot(&path);
+
+    let cold = run_scale_out(&builder, 1);
+    assert!(
+        cold.report.solver_cache.misses > 0,
+        "cold run must invoke the solver"
+    );
+    assert!(path.exists(), "cold run persists the snapshot");
+
+    let warm = run_scale_out(&builder, 1);
+    assert_eq!(
+        warm.report.solver_cache.misses, 0,
+        "warm start re-solves nothing: {}",
+        warm.report.solver_cache
+    );
+    assert!(warm.report.solver_cache.hits > 0);
+    assert!((warm.report.solver_cache.hit_rate() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(physics(&warm.report), physics(&cold.report));
+    assert_eq!(physics_metrics(&warm), physics_metrics(&cold));
+    // The solver never ran, so the warm run's telemetry has no trace of it.
+    assert!(!warm.metrics.counters.contains_key("solver.invocations"));
+    assert!(!warm.metrics.counters.contains_key("cache.misses"));
+
+    // Saving is idempotent: the warm run re-persisted byte-identical state.
+    let first = std::fs::read_to_string(&path).expect("snapshot readable");
+    let reloaded = run_scale_out(&builder, 1);
+    assert_eq!(reloaded.report.solver_cache.misses, 0);
+    let second = std::fs::read_to_string(&path).expect("snapshot readable");
+    assert_eq!(first, second, "snapshot bytes are deterministic");
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -38,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod explore;
 pub mod link;
 pub mod policy;
 pub mod report;
 
+pub use cache::{OpCacheKey, SharedOpCache};
 pub use explore::{DesignSpace, ParetoPoint};
 pub use link::{CacheCounters, LinkError, NanophotonicLink, OperatingPoint, SelectionObjective};
 pub use onoc_photonics::thermal::{ThermalLinkStack, ThermalSummary};

@@ -1,9 +1,5 @@
 //! The configured nanophotonic link and its operating points.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
 use onoc_ecc_codes::EccScheme;
 use onoc_interface::{
     ChannelPowerBreakdown, ChannelPowerModel, CommunicationTiming, EnergyAccounting,
@@ -19,6 +15,8 @@ use onoc_thermal::{
 };
 use onoc_units::{Celsius, Milliwatts, PicojoulesPerBit};
 use serde::{Deserialize, Serialize};
+
+use crate::cache::{OpCacheKey, SharedOpCache};
 
 /// Errors returned by link-level queries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -182,6 +180,16 @@ impl CacheCounters {
             self.hits as f64 / self.total() as f64
         }
     }
+
+    /// Accumulates another counter snapshot into this one — the fleet
+    /// aggregation used by `RunReport`.  Summing `entries` over-counts when
+    /// the snapshots come from handles sharing one cache; aggregate shared
+    /// fleets through the cache handle's own counters instead.
+    pub fn merge(&mut self, other: CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+    }
 }
 
 impl std::fmt::Display for CacheCounters {
@@ -198,96 +206,26 @@ impl std::fmt::Display for CacheCounters {
     }
 }
 
-/// Memoization of `(scheme, BER bits, temperature bucket) → operating point`.
-///
-/// The solver is deterministic, so identical inputs always produce
-/// bit-identical outputs; the only subtlety is the temperature key, which is
-/// quantized to `buckets_per_kelvin` buckets so that the microkelvin jitter
-/// of a thermal simulation does not defeat the cache.  Lookups *snap* the
-/// requested temperature to the bucket's representative value and solve
-/// there, so a cached answer is bit-identical to an uncached solve at the
-/// snapped temperature.
-///
-/// The key also carries the thermal stack's ring-state fingerprint
-/// ([`ThermalLinkStack::fingerprint`]): swapping the stack (a different
-/// fabrication-variation instance, tuning mode, heater, …) changes the
-/// fingerprint, so entries solved under the old stack can never alias the
-/// new one even though they share the map.
-/// Cache key: scheme, target-BER bits, temperature bucket, stack fingerprint.
-type CacheKey = (EccScheme, u64, i64, u64);
-
-#[derive(Debug)]
-struct OperatingPointCache {
-    buckets_per_kelvin: f64,
-    map: Mutex<HashMap<CacheKey, Result<OperatingPoint, LinkError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl OperatingPointCache {
-    const DEFAULT_BUCKETS_PER_KELVIN: f64 = 20.0;
-
-    fn new(buckets_per_kelvin: f64) -> Self {
-        assert!(
-            buckets_per_kelvin > 0.0 && buckets_per_kelvin.is_finite(),
-            "cache resolution must be positive and finite"
-        );
-        Self {
-            buckets_per_kelvin,
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Locks the memo map, recovering from poisoning: every entry is a
-    /// complete `(key, value)` pair inserted atomically, so a panic in some
-    /// other holder cannot leave the map in a half-written state — the data
-    /// stays valid and the cache keeps serving.
-    fn lock_map(&self) -> MutexGuard<'_, HashMap<CacheKey, Result<OperatingPoint, LinkError>>> {
-        self.map.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn bucket(&self, temperature: Celsius) -> i64 {
-        #[allow(clippy::cast_possible_truncation)]
-        let bucket = (temperature.value() * self.buckets_per_kelvin).round() as i64;
-        bucket
-    }
-
-    /// Representative temperature of the bucket containing `temperature`.
-    /// Exact (no rounding noise) whenever the input sits on a bucket centre.
-    fn snap(&self, temperature: Celsius) -> Celsius {
-        Celsius::new(self.bucket(temperature) as f64 / self.buckets_per_kelvin)
-    }
-
-    fn counters(&self) -> CacheCounters {
-        CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.lock_map().len(),
-        }
-    }
-}
-
-impl Clone for OperatingPointCache {
-    /// Cloning a link starts with a fresh (empty) cache: entries are cheap
-    /// to recompute and sharing them would entangle the clones' counters.
-    fn clone(&self) -> Self {
-        Self::new(self.buckets_per_kelvin)
-    }
-}
-
 /// A nanophotonic MWSR link with ECC-capable interfaces and a tunable laser.
 ///
 /// This is the object the rest of the workspace (examples, benches, the NoC
 /// simulator) interacts with.
+///
+/// Memoized queries go through a [`SharedOpCache`]: by default each link
+/// starts with its own private cache, but a fleet of identical links can be
+/// pointed at one shared cache via
+/// [`NanophotonicLink::with_shared_cache`] so the `(scheme, BER bits,
+/// temperature bucket, stack fingerprint)` key space is solved once
+/// fleet-wide.  **Cloning a link shares its cache handle** (entries and
+/// counters); use [`NanophotonicLink::clone_with_fresh_cache`] for an
+/// isolated clone with an empty cache of the same resolution.
 #[derive(Debug, Clone)]
 pub struct NanophotonicLink {
     solver: ThermalSolver,
     power_model: ChannelPowerModel,
     accounting: EnergyAccounting,
     ambient: Celsius,
-    cache: OperatingPointCache,
+    cache: SharedOpCache,
     /// Memoized [`ThermalLinkStack::fingerprint`] of the active stack, part
     /// of every cache key.
     stack_fingerprint: u64,
@@ -316,7 +254,7 @@ impl NanophotonicLink {
             power_model: ChannelPowerModel::new(interface, modulation_power),
             accounting: EnergyAccounting::ActiveTransfersOnly,
             ambient,
-            cache: OperatingPointCache::new(OperatingPointCache::DEFAULT_BUCKETS_PER_KELVIN),
+            cache: SharedOpCache::new(),
             telemetry: RecorderHandle::none(),
         }
     }
@@ -358,8 +296,9 @@ impl NanophotonicLink {
     }
 
     /// Sets the temperature resolution of the memoized operating-point
-    /// cache, in buckets per kelvin (default 20, i.e. 0.05 K buckets), and
-    /// clears any cached entries.
+    /// cache, in buckets per kelvin (default 20, i.e. 0.05 K buckets).  The
+    /// link detaches from any shared cache: it gets a fresh (empty) private
+    /// [`SharedOpCache`] at the new resolution.
     ///
     /// # Errors
     ///
@@ -368,16 +307,39 @@ impl NanophotonicLink {
     /// every temperature onto one bucket (or divide by zero), silently
     /// serving one operating point for the whole sweep.
     pub fn with_cache_resolution(mut self, buckets_per_kelvin: f64) -> Result<Self, LinkError> {
-        if !(buckets_per_kelvin > 0.0 && buckets_per_kelvin.is_finite()) {
-            return Err(LinkError::InvalidConfiguration {
-                reason: format!(
-                    "cache resolution must be positive and finite, got {buckets_per_kelvin} \
-                     buckets per kelvin"
-                ),
-            });
-        }
-        self.cache = OperatingPointCache::new(buckets_per_kelvin);
+        self.cache = SharedOpCache::with_resolution(buckets_per_kelvin)?;
         Ok(self)
+    }
+
+    /// Points this link at `cache`: its memoized queries are answered from
+    /// (and fill) the shared storage, and its hit/miss traffic lands on the
+    /// shared counters.  Many links sharing one cache is the scale-out
+    /// configuration for homogeneous fleets — the key carries the stack
+    /// fingerprint, so heterogeneous links can share a map without aliasing,
+    /// but only identical stacks actually reuse each other's entries.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: SharedOpCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache handle this link currently resolves memoized queries
+    /// through.  Clone it to share the cache with other links or to inspect
+    /// counters fleet-wide.
+    #[must_use]
+    pub fn shared_cache(&self) -> SharedOpCache {
+        self.cache.clone()
+    }
+
+    /// A clone with a fresh (empty, private) cache at the same resolution —
+    /// the pre-scale-out `Clone` semantics, for callers that need cache
+    /// isolation (e.g. counting one link's solver traffic in isolation).
+    /// The derived `Clone` shares the cache handle instead.
+    #[must_use]
+    pub fn clone_with_fresh_cache(&self) -> Self {
+        let mut clone = self.clone();
+        clone.cache = self.cache.detached();
+        clone
     }
 
     /// Replaces the thermal stack (ring drift model, heater, variation,
@@ -620,29 +582,27 @@ impl NanophotonicLink {
         temperature: Celsius,
     ) -> Result<OperatingPoint, LinkError> {
         let snapped = self.cache.snap(temperature);
-        let key = (
+        let key = OpCacheKey {
             scheme,
-            target_ber.to_bits(),
-            self.cache.bucket(snapped),
-            self.stack_fingerprint,
-        );
-        if let Some(cached) = self.cache.lock_map().get(&key) {
-            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            ber_bits: target_ber.to_bits(),
+            bucket: self.cache.bucket(snapped),
+            stack_fingerprint: self.stack_fingerprint,
+        };
+        let (solved, hit) = self.cache.get_or_solve(key, || {
+            self.telemetry.emit(|| TelemetryEvent::CacheMiss {
+                fingerprint: self.stack_fingerprint,
+                scheme: scheme.to_string(),
+                temperature_c: snapped.value(),
+            });
+            self.operating_point_at(scheme, target_ber, snapped)
+        });
+        if hit {
             self.telemetry.emit(|| TelemetryEvent::CacheHit {
                 fingerprint: self.stack_fingerprint,
                 scheme: scheme.to_string(),
                 temperature_c: snapped.value(),
             });
-            return cached.clone();
         }
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
-        self.telemetry.emit(|| TelemetryEvent::CacheMiss {
-            fingerprint: self.stack_fingerprint,
-            scheme: scheme.to_string(),
-            temperature_c: snapped.value(),
-        });
-        let solved = self.operating_point_at(scheme, target_ber, snapped);
-        self.cache.lock_map().insert(key, solved.clone());
         solved
     }
 
@@ -653,10 +613,9 @@ impl NanophotonicLink {
     }
 
     /// Empties the memoized operating-point cache and resets its counters.
+    /// With a shared cache, this clears the cache for every sharer.
     pub fn clear_cache(&self) {
-        self.cache.lock_map().clear();
-        self.cache.hits.store(0, Ordering::Relaxed);
-        self.cache.misses.store(0, Ordering::Relaxed);
+        self.cache.clear();
     }
 
     /// The representative temperature the cache snaps `temperature` to.
@@ -1007,18 +966,50 @@ mod tests {
     }
 
     #[test]
-    fn clearing_and_cloning_reset_the_cache() {
+    fn clearing_and_fresh_cache_cloning_reset_the_cache() {
         let l = link();
         let _ = l.operating_point_memoized(EccScheme::Uncoded, 1e-11, Celsius::new(25.0));
         assert_eq!(l.cache_counters().entries, 1);
-        let cloned = l.clone();
-        assert_eq!(cloned.cache_counters().entries, 0);
-        assert_eq!(cloned.cache_counters().total(), 0);
+        let isolated = l.clone_with_fresh_cache();
+        assert_eq!(isolated.cache_counters().entries, 0);
+        assert_eq!(isolated.cache_counters().total(), 0);
+        assert!(!isolated.shared_cache().ptr_eq(&l.shared_cache()));
         l.clear_cache();
         assert_eq!(l.cache_counters(), CacheCounters::default());
         // A custom resolution snaps more coarsely.
         let coarse = link().with_cache_resolution(1.0).unwrap();
         assert!((coarse.cache_bucket_temperature(Celsius::new(55.4)).value() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_clones_share_the_cache_handle() {
+        let l = link();
+        let twin = l.clone();
+        assert!(twin.shared_cache().ptr_eq(&l.shared_cache()));
+        let _ = l.operating_point_memoized(EccScheme::Uncoded, 1e-11, Celsius::new(25.0));
+        // The twin answers the same query as a pure hit from the shared map.
+        let _ = twin.operating_point_memoized(EccScheme::Uncoded, 1e-11, Celsius::new(25.0));
+        let counters = l.cache_counters();
+        assert_eq!(counters.misses, 1, "one solve across both sharers");
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.entries, 1);
+        assert_eq!(twin.cache_counters(), counters);
+    }
+
+    #[test]
+    fn with_shared_cache_joins_an_existing_fleet_cache() {
+        let fleet = SharedOpCache::new();
+        let a = link().with_shared_cache(fleet.clone());
+        let b = link().with_shared_cache(fleet.clone());
+        let _ = a.operating_point_memoized(EccScheme::Hamming74, 1e-11, Celsius::new(40.0));
+        let _ = b.operating_point_memoized(EccScheme::Hamming74, 1e-11, Celsius::new(40.0));
+        assert_eq!(fleet.counters().misses, 1, "identical stacks share entries");
+        assert_eq!(fleet.counters().hits, 1);
+        // merge() sums snapshots — the heterogeneous-fleet aggregation path.
+        let mut merged = a.cache_counters();
+        merged.merge(b.cache_counters());
+        assert_eq!(merged.hits, 2);
+        assert_eq!(merged.misses, 2);
     }
 
     #[test]

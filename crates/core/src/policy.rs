@@ -151,6 +151,16 @@ impl LinkManager {
         self
     }
 
+    /// Points this manager's link at a shared operating-point cache — the
+    /// scale-out configuration where a fleet of managers over identical
+    /// stacks solves each `(scheme, BER, temperature bucket)` point once.
+    /// See [`NanophotonicLink::with_shared_cache`].
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: crate::cache::SharedOpCache) -> Self {
+        self.link = self.link.with_shared_cache(cache);
+        self
+    }
+
     /// Nominal BER target.
     #[must_use]
     pub fn nominal_ber(&self) -> f64 {

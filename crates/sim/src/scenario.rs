@@ -45,10 +45,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::path::PathBuf;
 
 use onoc_ecc_codes::EccScheme;
 use onoc_link::{
-    CacheCounters, LinkManager, ManagerDecision, NanophotonicLink, ThermalLinkStack, TrafficClass,
+    CacheCounters, LinkManager, ManagerDecision, NanophotonicLink, SharedOpCache, ThermalLinkStack,
+    TrafficClass,
 };
 use onoc_parallel::{default_shards, parallel_map_traced};
 use onoc_telemetry::{RecorderHandle, TelemetryEvent};
@@ -466,8 +468,10 @@ impl ScenarioConfig {
 
     /// The link of destination `oni` under this configuration: the base
     /// stack (custom or paper default) plus, for heterogeneous fleets, that
-    /// ONI's own chip instance and tuning mode.
-    fn oni_link(&self, oni: usize) -> NanophotonicLink {
+    /// ONI's own chip instance and tuning mode.  With a fleet cache the link
+    /// joins the shared storage (the cache handle carries the resolution);
+    /// without one it keeps a private cache at the configured resolution.
+    fn oni_link(&self, oni: usize, fleet_cache: Option<&SharedOpCache>) -> NanophotonicLink {
         let mut link = NanophotonicLink::paper_link();
         if let Some(stack) = self.stack.clone() {
             link = link.with_thermal_stack(stack);
@@ -477,10 +481,12 @@ impl ScenarioConfig {
                 .with_fabrication_variation(variation.oni_variation(oni))
                 .with_bank_tuning_mode(variation.mode);
         }
-        if let Some(buckets) = self.cache_buckets_per_kelvin {
+        if let Some(cache) = fleet_cache {
+            link = link.with_shared_cache(cache.clone());
+        } else if let Some(buckets) = self.cache_buckets_per_kelvin {
             link = link
                 .with_cache_resolution(buckets)
-                .expect("validated cache resolution");
+                .unwrap_or_else(|e| panic!("validated cache resolution: {e}"));
         }
         link
     }
@@ -505,6 +511,19 @@ pub struct ScenarioBuilder {
     /// is a side channel, not a simulated quantity, so config equality,
     /// serialization and the report stay recorder-independent.
     recorder: RecorderHandle,
+    /// Externally-injected shared operating-point cache (scale-out warm
+    /// start across scenarios).  A side channel like the recorder: the cache
+    /// only memoizes deterministic solver outputs, so the report is
+    /// bit-identical with or without it.
+    shared_cache: Option<SharedOpCache>,
+    /// Persistent cache snapshot: loaded (if present) before the run, saved
+    /// after it.  Also a side channel — see `shared_cache`.
+    snapshot_path: Option<PathBuf>,
+    /// Forces one manager (and one private cache) per ONI even for a
+    /// homogeneous fleet — the pre-scale-out engine, kept for A/B
+    /// comparison.  Physics are bit-identical to the shared-cache engine;
+    /// only the cache counters differ (each ONI re-solves its own points).
+    per_link_caches: bool,
 }
 
 impl ScenarioBuilder {
@@ -520,7 +539,7 @@ impl ScenarioBuilder {
     pub fn from_config(config: ScenarioConfig) -> Self {
         Self {
             config,
-            recorder: RecorderHandle::none(),
+            ..Self::default()
         }
     }
 
@@ -678,6 +697,45 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Points the whole manager fleet at an externally-owned shared
+    /// operating-point cache: every link joins `cache`'s storage, so
+    /// repeated scenarios (sweeps, A/B runs) reuse each other's solves.  The
+    /// cache handle carries its own temperature resolution; combining it
+    /// with a conflicting [`ScenarioBuilder::cache_resolution`] override is
+    /// rejected by [`ScenarioBuilder::build`].  Like the recorder, the cache
+    /// is a side channel: the report is bit-identical with or without it —
+    /// only the solver-cache counters reflect the warm start.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: SharedOpCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Persists the fleet's operating-point cache at `path`: if the file
+    /// exists it is loaded before the run (warm start — a repeat of the same
+    /// sweep reports zero solver invocations), and the cache is saved back
+    /// after [`Scenario::run`] completes.  The snapshot is rendered through
+    /// the deterministic telemetry JSON kernel, so its bytes are reproducible
+    /// for a given entry set.  Mutually exclusive with
+    /// [`ScenarioBuilder::per_link_caches`].
+    #[must_use]
+    pub fn cache_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Forces the pre-scale-out fleet layout: one manager with its own
+    /// private cache per ONI, even when the fleet is homogeneous.  Physics
+    /// are bit-identical to the default shared-cache engine (property-
+    /// tested); only the cache counters differ, since every ONI re-solves
+    /// points its neighbours already computed.  Kept for A/B comparison and
+    /// for isolating one channel's solver traffic.
+    #[must_use]
+    pub fn per_link_caches(mut self) -> Self {
+        self.per_link_caches = true;
+        self
+    }
+
     /// Validates the configuration and prepares the scenario: builds the
     /// manager fleet, generates the traffic, and solves the initial
     /// operating points.
@@ -689,7 +747,82 @@ impl ScenarioBuilder {
     /// * [`SimulationError::NoFeasibleConfiguration`] when the traffic class
     ///   cannot be served at some required temperature.
     pub fn build(self) -> Result<Scenario, SimulationError> {
-        Scenario::new_traced(self.config, self.recorder)
+        Scenario::prepare(
+            self.config,
+            self.recorder,
+            FleetCacheSetup {
+                shared_cache: self.shared_cache,
+                snapshot_path: self.snapshot_path,
+                per_link_caches: self.per_link_caches,
+            },
+        )
+    }
+}
+
+/// How the fleet's operating-point caches are wired: the builder's
+/// side-channel cache knobs, collected for [`Scenario::prepare`].
+#[derive(Debug, Default)]
+struct FleetCacheSetup {
+    shared_cache: Option<SharedOpCache>,
+    snapshot_path: Option<PathBuf>,
+    per_link_caches: bool,
+}
+
+impl FleetCacheSetup {
+    /// Resolves the fleet cache: the injected handle, a warm-started load of
+    /// the snapshot file, or a fresh cache at the configured resolution.
+    /// Returns `None` in per-link mode (every link keeps a private cache).
+    fn resolve(&self, config: &ScenarioConfig) -> Result<Option<SharedOpCache>, SimulationError> {
+        let invalid = |reason: String| SimulationError::InvalidConfiguration { reason };
+        if self.per_link_caches {
+            if self.shared_cache.is_some() || self.snapshot_path.is_some() {
+                return Err(invalid(
+                    "per-link caches cannot be combined with a shared cache or a cache snapshot"
+                        .into(),
+                ));
+            }
+            return Ok(None);
+        }
+        let check_resolution = |cache: &SharedOpCache, origin: &str| {
+            if let Some(buckets) = config.cache_buckets_per_kelvin {
+                if cache.buckets_per_kelvin() != buckets {
+                    return Err(invalid(format!(
+                        "{origin} holds {} buckets per kelvin but the scenario configures \
+                         {buckets}; entries solved on one grid cannot be served on another",
+                        cache.buckets_per_kelvin()
+                    )));
+                }
+            }
+            Ok(())
+        };
+        if let Some(cache) = &self.shared_cache {
+            check_resolution(cache, "the injected shared cache")?;
+            if self.snapshot_path.is_some() {
+                return Err(invalid(
+                    "an injected shared cache cannot be combined with a cache snapshot; \
+                     pick one owner for the warm start"
+                        .into(),
+                ));
+            }
+            return Ok(Some(cache.clone()));
+        }
+        if let Some(path) = &self.snapshot_path {
+            if path.exists() {
+                let cache = SharedOpCache::load(path)
+                    .map_err(|e| invalid(format!("cache snapshot failed to load: {e}")))?;
+                check_resolution(&cache, "the loaded cache snapshot")?;
+                return Ok(Some(cache));
+            }
+            // First run: start cold, save after the run.
+            let cache = match config.cache_buckets_per_kelvin {
+                Some(buckets) => {
+                    SharedOpCache::with_resolution(buckets).map_err(|e| invalid(e.to_string()))?
+                }
+                None => SharedOpCache::new(),
+            };
+            return Ok(Some(cache));
+        }
+        Ok(None)
     }
 }
 
@@ -859,6 +992,13 @@ pub struct Scenario {
     /// Telemetry sink shared with the manager fleet (see
     /// [`ScenarioBuilder::telemetry`]).
     recorder: RecorderHandle,
+    /// The shared operating-point cache the whole fleet resolves through,
+    /// when one is in play (injected, snapshot-loaded, or snapshot-fresh);
+    /// `None` when every manager owns a private cache.
+    fleet_cache: Option<SharedOpCache>,
+    /// Where to save the fleet cache after the run (see
+    /// [`ScenarioBuilder::cache_snapshot`]).
+    snapshot_path: Option<PathBuf>,
 }
 
 impl Scenario {
@@ -883,13 +1023,28 @@ impl Scenario {
         config: ScenarioConfig,
         recorder: RecorderHandle,
     ) -> Result<Self, SimulationError> {
+        Self::prepare(config, recorder, FleetCacheSetup::default())
+    }
+
+    /// The full preparation path behind [`ScenarioBuilder::build`]:
+    /// [`Scenario::new_traced`] plus the builder's cache side channels.
+    fn prepare(
+        config: ScenarioConfig,
+        recorder: RecorderHandle,
+        cache_setup: FleetCacheSetup,
+    ) -> Result<Self, SimulationError> {
         config.validate()?;
         let policy = config.resolved_policy();
         let n = config.oni_count;
+        let fleet_cache = cache_setup.resolve(&config)?;
         // A homogeneous fleet shares one manager (and one operating-point
         // cache); a heterogeneous fleet — per-ONI chip instances and/or
-        // per-ONI design-time assignments — gets one manager per ONI.
-        let manager_count = if config.variation.is_some() || config.assignment.is_some() {
+        // per-ONI design-time assignments — gets one manager per ONI, as
+        // does the per-link-cache A/B engine.
+        let manager_count = if config.variation.is_some()
+            || config.assignment.is_some()
+            || cache_setup.per_link_caches
+        {
             n
         } else {
             1
@@ -903,7 +1058,9 @@ impl Scenario {
             .map(|spec| (spec, config.thermal.design_temperatures(n)));
         let managers: Vec<LinkManager> = (0..manager_count)
             .map(|oni| {
-                let mut link = config.oni_link(oni).with_telemetry(recorder.clone());
+                let mut link = config
+                    .oni_link(oni, fleet_cache.as_ref())
+                    .with_telemetry(recorder.clone());
                 if let Some((spec, temperatures)) = &design {
                     let assigner = link.wavelength_assigner(spec.strategy, spec.oni_seed(oni));
                     let assignment = assigner
@@ -1002,8 +1159,8 @@ impl Scenario {
                 };
                 let solved: Vec<ManagerDecision> =
                     if manager_count == n && n > 1 && config.shards() > 1 {
-                        // Heterogeneous fleet: every ONI owns its manager and
-                        // cache, so the expensive first solves shard cleanly.
+                        // Heterogeneous fleet: every ONI owns its manager, so
+                        // the expensive first solves shard cleanly.
                         parallel_map_traced(
                             &initial,
                             config.shards(),
@@ -1014,22 +1171,37 @@ impl Scenario {
                         .into_iter()
                         .collect::<Result<_, _>>()?
                     } else {
-                        // Shared manager: solve each distinct bucket once, in
-                        // ONI order (identical values, deterministic counters).
-                        let mut memo: BTreeMap<(usize, i64), ManagerDecision> = BTreeMap::new();
-                        let mut out = Vec::with_capacity(n);
+                        // Shared manager: solve each distinct bucket exactly
+                        // once (first-touch order), sharding the distinct
+                        // batch across threads when it is large enough — the
+                        // solve-once cache issues the same query multiset as
+                        // the serial walk, so counters stay deterministic.
+                        let mut distinct: Vec<(usize, i64)> = Vec::new();
+                        let mut index_of: BTreeMap<(usize, i64), usize> = BTreeMap::new();
                         for key in &initial {
-                            let decision = match memo.get(key) {
-                                Some(&decision) => decision,
-                                None => {
-                                    let decision = solve(key)?;
-                                    memo.insert(*key, decision);
-                                    decision
-                                }
-                            };
-                            out.push(decision);
+                            if !index_of.contains_key(key) {
+                                index_of.insert(*key, distinct.len());
+                                distinct.push(*key);
+                            }
                         }
-                        out
+                        let solved_distinct: Vec<ManagerDecision> =
+                            if distinct.len() > 1 && config.shards() > 1 {
+                                parallel_map_traced(
+                                    &distinct,
+                                    config.shards(),
+                                    solve,
+                                    &recorder,
+                                    "initial-solve",
+                                )
+                                .into_iter()
+                                .collect::<Result<_, _>>()?
+                            } else {
+                                distinct.iter().map(solve).collect::<Result<_, _>>()?
+                            };
+                        initial
+                            .iter()
+                            .map(|key| solved_distinct[index_of[key]])
+                            .collect()
                     };
                 decisions.push(solved[0]);
                 baselines = solved.iter().map(DecisionParams::from_decision).collect();
@@ -1054,6 +1226,8 @@ impl Scenario {
             messages,
             injection_order,
             recorder,
+            fleet_cache,
+            snapshot_path: cache_setup.snapshot_path,
         })
     }
 
@@ -1106,25 +1280,51 @@ impl Scenario {
     }
 
     /// Aggregated operating-point cache counters across the manager fleet.
+    /// With a fleet-wide cache the handle's own counters are authoritative
+    /// (a per-manager fold would double-count the shared traffic).
     fn cache_counters(&self) -> CacheCounters {
+        if let Some(cache) = &self.fleet_cache {
+            return cache.counters();
+        }
         self.managers
             .iter()
             .fold(CacheCounters::default(), |mut total, manager| {
-                let counters = manager.link().cache_counters();
-                total.hits += counters.hits;
-                total.misses += counters.misses;
-                total.entries += counters.entries;
+                total.merge(manager.link().cache_counters());
                 total
             })
     }
 
-    /// Runs the scenario to completion.
+    /// The fleet-wide shared operating-point cache, when one is in play
+    /// (see [`ScenarioBuilder::shared_cache`] /
+    /// [`ScenarioBuilder::cache_snapshot`]); `None` when every manager owns
+    /// a private cache.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<SharedOpCache> {
+        self.fleet_cache.clone()
+    }
+
+    /// Runs the scenario to completion.  With a snapshot path configured,
+    /// the fleet cache is saved after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache snapshot cannot be written.
     #[must_use]
     pub fn run(self) -> RunReport {
-        match self.policy {
+        let persist = match (&self.fleet_cache, &self.snapshot_path) {
+            (Some(cache), Some(path)) => Some((cache.clone(), path.clone())),
+            _ => None,
+        };
+        let report = match self.policy {
             DecisionPolicy::PerMessage { .. } => self.run_per_message(),
             DecisionPolicy::EpochGated { .. } => self.run_epoch_gated(),
+        };
+        if let Some((cache, path)) = persist {
+            cache
+                .save(&path)
+                .unwrap_or_else(|e| panic!("cache snapshot {}: {e}", path.display()));
         }
+        report
     }
 
     /// The per-message engine: every message rides the decision precomputed
@@ -1515,11 +1715,13 @@ impl Scenario {
         let mut trajectory: Vec<EpochSample> = Vec::new();
         let mut deposited_pj = vec![0.0f64; n];
         let mut acc = OniAccumulators::new(n);
-        // Per-ONI re-asks shard across threads only when every ONI owns its
-        // manager (and memoized cache); a shared cache stays serial so its
-        // hit/miss counters remain deterministic.
+        // Per-ONI re-asks shard across threads for heterogeneous fleets
+        // (every ONI owns its manager) *and* for homogeneous fleets behind
+        // one shared manager: the solve-once cache admits exactly one miss
+        // per distinct key whatever the interleaving, so the hit/miss
+        // counters stay deterministic at any thread count.
         let shards = self.config.shards();
-        let shard_reasks = self.managers.len() == n && n > 1 && shards > 1;
+        let shard_reasks = n > 1 && shards > 1;
 
         while let Some(&Reverse(next)) = queue.peek() {
             // Nominal epoch boundary; long idle gaps are covered by a single

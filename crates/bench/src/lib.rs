@@ -18,6 +18,7 @@
 //! | `fig_feedback` | closed-loop activity-driven heating demonstration (beyond the paper) |
 //! | `fig_variation` | σ × temperature sweep: pure-heater vs barrel-shift tuning (beyond the paper) |
 //! | `fig_assignment` | design-time (GLOW-style) wavelength assignment vs identity (beyond the paper) |
+//! | `fig_topology` | single ring vs multi-ring vs hybrid mesh → `BENCH_topology.json` (beyond the paper) |
 //! | `perf_trajectory` | telemetry-instrumented scaling matrix → `BENCH_scaling.json` (beyond the paper) |
 //!
 //! Criterion micro-benchmarks (`benches/`) measure codec throughput, the

@@ -11,6 +11,7 @@ use onoc_bench::perf::{run_scale_out, scale_out_builder, ScaleOutRun};
 use onoc_link::CacheCounters;
 use onoc_sim::RunReport;
 use onoc_telemetry::MetricsSnapshot;
+use onoc_topology::Topology;
 use proptest::prelude::*;
 
 /// Coarse decision buckets keep the property-test runs fast.
@@ -70,6 +71,48 @@ proptest! {
             reference.report.solver_cache.misses
         );
     }
+}
+
+proptest! {
+    /// Gate for the destination-sharded epoch playback: with a fabric
+    /// topology configured, the serial walk (1 thread) and the sharded
+    /// fan-out (4 threads) produce bit-identical reports, deterministic
+    /// metrics and cache counters.  Multi-ring fabrics stay single-hop, so
+    /// every delivery is exactly one hop.
+    #[test]
+    fn epoch_playback_shards_bit_identically_by_destination(
+        messages_per_node in 4u64..16,
+        groups in 1usize..4,
+    ) {
+        let builder = scale_out_builder(8, messages_per_node, QUANTIZATION_K)
+            .topology(Topology::multi_ring(8, groups));
+        let serial = run_scale_out(&builder, 1);
+        let sharded = run_scale_out(&builder, 4);
+        prop_assert_eq!(&serial.metrics, &sharded.metrics);
+        prop_assert_eq!(physics(&serial.report), physics(&sharded.report));
+        prop_assert_eq!(serial.report.solver_cache, sharded.report.solver_cache);
+        prop_assert_eq!(
+            serial.report.stats.hops_traversed,
+            serial.report.stats.delivered_messages
+        );
+    }
+}
+
+#[test]
+fn multihop_playback_is_thread_invariant() {
+    let builder = scale_out_builder(8, 12, QUANTIZATION_K).topology(Topology::hybrid_mesh(8, 4));
+    let serial = run_scale_out(&builder, 1);
+    let sharded = run_scale_out(&builder, 4);
+    assert_eq!(serial.metrics, sharded.metrics);
+    assert_eq!(physics(&serial.report), physics(&sharded.report));
+    assert_eq!(
+        serial.report.stats.delivered_messages,
+        serial.report.stats.injected_messages
+    );
+    assert!(
+        serial.report.stats.hops_traversed > serial.report.stats.delivered_messages,
+        "inter-cluster flows must relay"
+    );
 }
 
 #[test]

@@ -22,6 +22,33 @@
 use onoc_units::{Celsius, Microwatts, Milliwatts};
 use serde::{Deserialize, Serialize};
 
+/// The electro-thermal fixed point diverged: every extra milliwatt of
+/// electrical power heats the junction enough to cost more than a milliwatt
+/// of efficiency — no finite electrical power emits the requested output.
+///
+/// With the paper VCSEL this happens around 85 °C ambient; topology sweeps
+/// probe that whole envelope, so the condition is a typed error rather than
+/// a panic (the link layer reports it as `LinkError::Infeasible`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalRunaway {
+    /// Requested optical output the solve was running for.
+    pub optical_output: Microwatts,
+    /// Electrical-layer activity of the failing solve.
+    pub activity: f64,
+}
+
+impl std::fmt::Display for ThermalRunaway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "laser thermal runaway while solving for {} at activity {:.2}",
+            self.optical_output, self.activity
+        )
+    }
+}
+
+impl std::error::Error for ThermalRunaway {}
+
 /// Thermal/efficiency description of a VCSEL.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LaserThermalModel {
@@ -169,17 +196,46 @@ impl VcselLaser {
     ///
     /// Panics if `optical_output` exceeds the laser's deliverable maximum
     /// (check with [`VcselLaser::can_emit`] first) or if the thermal runaway
-    /// prevents convergence.
+    /// prevents convergence; use [`VcselLaser::try_electrical_power`] to get
+    /// the runaway as a typed error instead.
     #[must_use]
     pub fn electrical_power(&self, optical_output: Microwatts, activity: f64) -> Milliwatts {
+        self.try_electrical_power(optical_output, activity)
+            .unwrap_or_else(|runaway| panic!("{runaway}"))
+    }
+
+    /// Fallible form of [`VcselLaser::electrical_power`]: a diverging
+    /// electro-thermal fixed point is reported as [`ThermalRunaway`] instead
+    /// of aborting, so envelope sweeps can record the point as infeasible.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalRunaway`] when the fixed point diverges (or fails to
+    /// converge) — no finite electrical power can emit `optical_output` at
+    /// this ambient/activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `optical_output` exceeds the laser's deliverable maximum
+    /// (check with [`VcselLaser::can_emit`] first); that is a precondition
+    /// violation, not a physical infeasibility.
+    pub fn try_electrical_power(
+        &self,
+        optical_output: Microwatts,
+        activity: f64,
+    ) -> Result<Milliwatts, ThermalRunaway> {
         assert!(
             self.can_emit(optical_output),
             "requested optical output {optical_output} exceeds the laser maximum {}",
             self.max_output
         );
         if optical_output.is_zero() {
-            return Milliwatts::zero();
+            return Ok(Milliwatts::zero());
         }
+        let runaway = ThermalRunaway {
+            optical_output,
+            activity,
+        };
         let op_mw = optical_output.to_milliwatts().value();
         // Initial guess: constant base efficiency.
         let mut electrical = op_mw / self.thermal.base_efficiency;
@@ -189,7 +245,7 @@ impl VcselLaser {
             let eta = self.thermal.efficiency_at(t);
             let next = op_mw / eta;
             if !next.is_finite() || next > 1e4 {
-                panic!("laser thermal runaway while solving for {optical_output}");
+                return Err(runaway);
             }
             if (next - electrical).abs() < 1e-9 {
                 electrical = next;
@@ -199,11 +255,12 @@ impl VcselLaser {
             // Damping keeps the iteration stable close to the runaway region.
             electrical = 0.5 * electrical + 0.5 * next;
         }
-        assert!(
-            converged,
-            "laser electro-thermal fixed point did not converge"
-        );
-        Milliwatts::new(electrical)
+        // The damped iteration on a monotone map only fails to settle when it
+        // is creeping towards the divergence; classify that as runaway too.
+        if !converged {
+            return Err(runaway);
+        }
+        Ok(Milliwatts::new(electrical))
     }
 
     /// Wall-plug efficiency at the operating point (`optical_output`,
@@ -312,6 +369,30 @@ mod tests {
     fn over_ceiling_request_panics() {
         let laser = VcselLaser::paper_vcsel();
         let _ = laser.electrical_power(Microwatts::new(900.0), 0.25);
+    }
+
+    #[test]
+    fn runaway_is_a_typed_error_on_the_fallible_path() {
+        // Far beyond the paper envelope the electro-thermal fixed point has
+        // no solution: every milliwatt heats the junction enough to cost
+        // more than a milliwatt of efficiency.
+        let furnace = VcselLaser::paper_vcsel().with_ambient(Celsius::new(150.0));
+        let err = furnace
+            .try_electrical_power(Microwatts::new(700.0), 1.0)
+            .expect_err("no fixed point exists at 150 degC ambient");
+        assert!((err.optical_output.value() - 700.0).abs() < 1e-9);
+        assert!(err.to_string().contains("thermal runaway"));
+        // The feasible region is still served normally by the same path.
+        assert!(VcselLaser::paper_vcsel()
+            .try_electrical_power(Microwatts::new(700.0), 0.25)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal runaway")]
+    fn runaway_still_panics_on_the_infallible_path() {
+        let furnace = VcselLaser::paper_vcsel().with_ambient(Celsius::new(150.0));
+        let _ = furnace.electrical_power(Microwatts::new(700.0), 1.0);
     }
 
     #[test]

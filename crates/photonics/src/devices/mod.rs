@@ -10,7 +10,7 @@ mod multiplexer;
 mod photodetector;
 mod waveguide;
 
-pub use laser::{LaserThermalModel, VcselLaser};
+pub use laser::{LaserThermalModel, ThermalRunaway, VcselLaser};
 pub use micro_ring::{MicroRingResonator, RingState};
 pub use multiplexer::Multiplexer;
 pub use photodetector::Photodetector;

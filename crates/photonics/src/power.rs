@@ -41,6 +41,17 @@ pub enum SolveError {
         /// The offending value.
         target_ber: f64,
     },
+    /// The laser's electro-thermal fixed point diverged: the junction heats
+    /// faster than efficiency can pay for it, so no finite electrical power
+    /// emits the required output (the paper VCSEL hits this near 85 °C).
+    ThermalRunaway {
+        /// Scheme that was being solved for.
+        scheme: EccScheme,
+        /// Target decoded BER.
+        target_ber: f64,
+        /// Requested laser optical output in µW when the solve diverged.
+        optical_microwatts: f64,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -59,6 +70,15 @@ impl std::fmt::Display for SolveError {
             Self::InvalidTarget { target_ber } => {
                 write!(f, "target BER {target_ber} is outside (0, 0.5)")
             }
+            Self::ThermalRunaway {
+                scheme,
+                target_ber,
+                optical_microwatts,
+            } => write!(
+                f,
+                "{scheme} at BER {target_ber:.1e} drives the laser into thermal runaway \
+                 at {optical_microwatts:.1} uW of optical output"
+            ),
         }
     }
 }
@@ -189,7 +209,22 @@ impl LaserPowerSolver {
             });
         }
         let activity = self.channel.geometry().chip_activity;
-        let electrical = laser.electrical_power(laser_output, activity);
+        let electrical = laser
+            .try_electrical_power(laser_output, activity)
+            .map_err(|runaway| SolveError::ThermalRunaway {
+                scheme,
+                target_ber,
+                optical_microwatts: runaway.optical_output.value(),
+            })?;
+        // Efficiency from the solved point directly; a second fixed-point
+        // solve via `laser.efficiency` would repeat the same iteration.
+        let laser_efficiency = if electrical.is_zero() {
+            laser
+                .thermal_model()
+                .efficiency_at(laser.junction_temperature(Milliwatts::zero(), activity))
+        } else {
+            laser_output.to_milliwatts().value() / electrical.value()
+        };
         Ok(LaserOperatingPoint {
             scheme,
             target_ber,
@@ -199,7 +234,7 @@ impl LaserPowerSolver {
             required_swing,
             laser_output_power: laser_output,
             laser_electrical_power: electrical,
-            laser_efficiency: laser.efficiency(laser_output, activity),
+            laser_efficiency,
         })
     }
 
@@ -399,6 +434,24 @@ mod tests {
             s.solve(EccScheme::Uncoded, 0.7),
             Err(SolveError::InvalidTarget { .. })
         ));
+    }
+
+    #[test]
+    fn runaway_surfaces_as_a_typed_solve_error() {
+        // A laser baked far past its envelope still needs less than the
+        // 700 µW ceiling, so the ceiling check passes and the electro-thermal
+        // fixed point is what fails — as a typed error, not a panic.
+        let s = LaserPowerSolver::new(
+            PaperCalibration::dac17()
+                .into_channel()
+                .with_laser_ambient(onoc_units::Celsius::new(200.0)),
+        );
+        let err = s.solve(EccScheme::Uncoded, 1e-11).unwrap_err();
+        assert!(
+            matches!(err, SolveError::ThermalRunaway { .. }),
+            "expected runaway, got {err}"
+        );
+        assert!(err.to_string().contains("thermal runaway"));
     }
 
     #[test]

@@ -250,6 +250,39 @@ impl DecisionParams {
             self.codec_latency.value() + self.word_duration.value() * words as f64,
         )
     }
+
+    /// The transmission parameters of an electrical fallback hop: a fixed
+    /// router latency plus per-word serialization, with the transfer energy
+    /// expressed as an average power over the hop duration (1 pJ/ns = 1 mW).
+    /// Electrical hops carry their own line coding, so they are error-free
+    /// by model and burn no photonic static power.
+    pub(crate) fn electrical_hop(
+        latency_ns: f64,
+        ns_per_word: f64,
+        energy_pj_per_bit: f64,
+        words: u64,
+    ) -> Self {
+        let duration_ns = latency_ns + ns_per_word * words as f64;
+        let bits = words as f64 * 64.0;
+        let dynamic_power_mw = if duration_ns > 0.0 {
+            energy_pj_per_bit * bits / duration_ns
+        } else {
+            0.0
+        };
+        Self {
+            scheme: EccScheme::Uncoded,
+            channel_power_mw: dynamic_power_mw,
+            static_power_mw: 0.0,
+            dynamic_power_mw,
+            tuning_power_mw: 0.0,
+            temperature_c: 0.0,
+            decoded_ber: 0.0,
+            word_duration: onoc_units::Nanoseconds::new(ns_per_word),
+            codec_latency: onoc_units::Nanoseconds::new(latency_ns),
+            word_error_probability: 0.0,
+            corrected_probability: 0.0,
+        }
+    }
 }
 
 /// Samples how many payload bits of a corrupted 64-bit word are flipped:

@@ -58,6 +58,7 @@ use onoc_thermal::{
     AssignmentStrategy, BankTuningMode, FabricationVariation, RcNetworkParameters,
     ThermalEnvironment, ThermalModel, ThermalModelSpec, WavelengthAssignment, WorkloadTrace,
 };
+use onoc_topology::{FabricSpec, LinkKind, RouteTable, Router};
 use onoc_units::Celsius;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -314,6 +315,15 @@ pub struct ScenarioConfig {
     /// temperatures and the ONI's chip instance) before the run starts, so
     /// the fleet becomes heterogeneous like under `variation`.
     pub assignment: Option<DesignAssignmentConfig>,
+    /// Optional fabric topology: the physical link structure the traffic
+    /// rides over.  `None` keeps the canonical single MWSR ring (one reader
+    /// channel per destination, all-to-all single-hop) — exactly equivalent
+    /// to `Topology::single_ring(oni_count)` with zero crosstalk, and pinned
+    /// bit-identical to it by the golden tests.  A configured fabric routes
+    /// every flow over deterministic shortest paths; waveguide-group
+    /// crosstalk makes the fleet thermally heterogeneous, and electrical
+    /// fallback links carry multi-hop traffic between clusters.
+    pub topology: Option<FabricSpec>,
     /// Optional operating-point cache resolution override, in buckets per
     /// kelvin (`None` keeps the link default of 20).
     pub cache_buckets_per_kelvin: Option<f64>,
@@ -341,6 +351,7 @@ impl Default for ScenarioConfig {
             stack: None,
             variation: None,
             assignment: None,
+            topology: None,
             cache_buckets_per_kelvin: None,
             threads: 0,
         }
@@ -463,7 +474,100 @@ impl ScenarioConfig {
                 });
             }
         }
+        if let Some(fabric) = &self.topology {
+            fabric
+                .validate()
+                .map_err(|e| SimulationError::InvalidConfiguration {
+                    reason: e.to_string(),
+                })?;
+            if fabric.topology.node_count() != self.oni_count {
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: format!(
+                        "the topology spans {} nodes but the scenario has {} ONIs",
+                        fabric.topology.node_count(),
+                        self.oni_count
+                    ),
+                });
+            }
+            let routes = Router::resolve(&fabric.topology);
+            if routes.uses_swmr() {
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: "SWMR hops are not yet supported by the scenario engines \
+                             (the arbiters serialize per destination channel)"
+                        .into(),
+                });
+            }
+            if matches!(policy, DecisionPolicy::PerMessage { .. }) && !routes.is_single_hop() {
+                // The per-message engine precomputes one decision per
+                // injection; a message relayed through intermediate routers
+                // needs the per-hop grant bookkeeping only the epoch-gated
+                // engine maintains.
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: "multi-hop topologies require the epoch-gated policy".into(),
+                });
+            }
+            if matches!(policy, DecisionPolicy::PerMessage { .. })
+                && self.topology_fleet_is_heterogeneous()
+            {
+                // Crosstalk-scaled drift slopes give every waveguide group
+                // its own chip behaviour — the same heterogeneous-fleet
+                // situation as `variation`.
+                return Err(SimulationError::InvalidConfiguration {
+                    reason: "a crosstalk-heterogeneous topology requires the \
+                             epoch-gated policy"
+                        .into(),
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Whether the configured topology gives different ONIs different
+    /// thermal stacks: nonzero waveguide-group crosstalk over groups of
+    /// unequal population scales each reader channel's drift slope by its
+    /// own neighbour count.
+    fn topology_fleet_is_heterogeneous(&self) -> bool {
+        let Some(fabric) = &self.topology else {
+            return false;
+        };
+        if fabric.crosstalk_per_neighbor <= 0.0 {
+            return false;
+        }
+        let fabric_nodes = &fabric.topology;
+        let populations: std::collections::BTreeSet<usize> = (0..fabric_nodes.node_count())
+            .map(|node| {
+                let link = fabric_nodes
+                    .reader_link(node)
+                    .expect("validated: every node reads one MWSR channel");
+                fabric_nodes.group_population(fabric_nodes.links()[link].waveguide_group)
+            })
+            .collect();
+        populations.len() > 1
+    }
+
+    /// The crosstalk-adjusted thermal stack of `oni`'s reader channel under
+    /// the configured topology — `None` when no topology is set or when the
+    /// derived stack equals the base (zero crosstalk / isolated group), so
+    /// the default single-ring path stays byte-identical to a run without a
+    /// topology.
+    fn topology_stack(&self, oni: usize) -> Option<ThermalLinkStack> {
+        let fabric = self.topology.as_ref()?;
+        let base = self
+            .stack
+            .clone()
+            .unwrap_or_else(ThermalLinkStack::paper_default);
+        let link = fabric
+            .topology
+            .reader_link(oni)
+            .expect("validated: every node reads one MWSR channel");
+        let stack = fabric
+            .link_stack(&base, link)
+            .expect("reader links are photonic");
+        if stack == base {
+            None
+        } else {
+            Some(stack)
+        }
     }
 
     /// The link of destination `oni` under this configuration: the base
@@ -473,7 +577,12 @@ impl ScenarioConfig {
     /// without one it keeps a private cache at the configured resolution.
     fn oni_link(&self, oni: usize, fleet_cache: Option<&SharedOpCache>) -> NanophotonicLink {
         let mut link = NanophotonicLink::paper_link();
-        if let Some(stack) = self.stack.clone() {
+        if let Some(stack) = self.topology_stack(oni) {
+            // Crosstalk-adjusted reader-channel stack of this node's fabric
+            // link; falls back to the plain base stack below when the
+            // topology leaves it unchanged.
+            link = link.with_thermal_stack(stack);
+        } else if let Some(stack) = self.stack.clone() {
             link = link.with_thermal_stack(stack);
         }
         if let Some(variation) = &self.variation {
@@ -664,6 +773,21 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn design_assignment(mut self, assignment: DesignAssignmentConfig) -> Self {
         self.config.assignment = Some(assignment);
+        self
+    }
+
+    /// Routes the traffic over a fabric topology (see
+    /// [`onoc_topology::Topology`]): per-flow deterministic shortest paths,
+    /// per-router queueing at the existing per-destination arbiters, and
+    /// additive per-hop latency/energy accounting.  Accepts a bare
+    /// [`onoc_topology::Topology`] (zero crosstalk, paper electrical
+    /// fallback) or a full [`FabricSpec`].  The canonical
+    /// `Topology::single_ring(oni_count)` is pinned bit-identical to the
+    /// default (no-topology) run.  Multi-hop fabrics and
+    /// crosstalk-heterogeneous fleets require the epoch-gated policy.
+    #[must_use]
+    pub fn topology(mut self, fabric: impl Into<FabricSpec>) -> Self {
+        self.config.topology = Some(fabric.into());
         self
     }
 
@@ -941,6 +1065,65 @@ struct ChannelState {
     switches: u64,
 }
 
+/// Outcome of playing one destination channel's events through one epoch:
+/// everything the merge step folds back into the global run state.  The
+/// fold always walks destinations in ascending order, so the report is
+/// independent of how the playback was scheduled across threads.
+#[derive(Debug)]
+struct ChannelPlayback {
+    channel: ChannelState,
+    arbiter: TokenArbiter,
+    /// Completions scheduled past the epoch boundary, re-queued globally.
+    carryover: Vec<Event>,
+    /// Latest event time this channel processed.
+    local_makespan: SimTime,
+    delivered: u64,
+    delivered_bits: u64,
+    hops: u64,
+    busy_ns: f64,
+    /// Dynamic energy charged inside this epoch, in pJ.
+    dynamic_pj: f64,
+    reconfigured: u64,
+    total_latency_ns: f64,
+    max_latency_ns: f64,
+    deadline_misses: u64,
+    corrupted_words: u64,
+    corrupted_bits: u64,
+    corrected_words: u64,
+}
+
+/// The error-injection RNG stream of one message on one hop, derived from
+/// the scenario seed, the message id and the hop index (SplitMix64 mixing,
+/// like [`RingVariationConfig::oni_variation`]).  Tying the stream to the
+/// message instead of the playback position keeps the sampled errors
+/// identical whether the epoch events are played serially or sharded by
+/// destination channel.
+fn hop_error_rng(seed: u64, message: MessageId, hop: u64) -> StdRng {
+    StdRng::seed_from_u64(onoc_thermal::bank::splitmix64_mix(
+        (seed ^ 0x0E44_5EED_0DD5_EED5)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(message.0.wrapping_add(1)))
+            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(hop.wrapping_add(1))),
+    ))
+}
+
+/// Samples the residual-error outcome of one transfer: `(corrupted words,
+/// corrupted bits, corrected words)` over `words` 64-bit words at `point`.
+fn sample_word_errors(rng: &mut StdRng, words: u64, point: &DecisionParams) -> (u64, u64, u64) {
+    let mut corrupted_words = 0u64;
+    let mut corrupted_bits = 0u64;
+    let mut corrected_words = 0u64;
+    for _ in 0..words {
+        if rng.gen_bool(point.word_error_probability.clamp(0.0, 1.0)) {
+            corrupted_words += 1;
+            corrupted_bits += conditional_corrupted_bits(rng, 64, point.decoded_ber);
+        }
+        if rng.gen_bool(point.corrected_probability.clamp(0.0, 1.0)) {
+            corrected_words += 1;
+        }
+    }
+    (corrupted_words, corrupted_bits, corrected_words)
+}
+
 /// Per-ONI bookkeeping shared by both run loops.
 #[derive(Debug, Clone, Default)]
 struct OniAccumulators {
@@ -986,6 +1169,10 @@ pub struct Scenario {
     /// Design-time wavelength assignments, one per ONI (empty when the
     /// scenario runs unassigned).
     assignments: Vec<WavelengthAssignment>,
+    /// Resolved per-flow routes of the configured topology (`None` without
+    /// one: the canonical ring needs no table — every flow is the single
+    /// hop onto its destination's reader channel).
+    routes: Option<RouteTable>,
     messages: BTreeMap<MessageId, Message>,
     injection_order: Vec<MessageId>,
     rng: StdRng,
@@ -1036,14 +1223,30 @@ impl Scenario {
         config.validate()?;
         let policy = config.resolved_policy();
         let n = config.oni_count;
-        let fleet_cache = cache_setup.resolve(&config)?;
+        let mut fleet_cache = cache_setup.resolve(&config)?;
+        let topology_heterogeneous = config.topology_fleet_is_heterogeneous();
+        if fleet_cache.is_none() && !cache_setup.per_link_caches && topology_heterogeneous {
+            // Crosstalk-heterogeneous fabric: stamp one fleet-wide shared
+            // cache so links whose derived stacks coincide reuse each
+            // other's solves — keys carry the stack fingerprint, so mixing
+            // distinct stacks in one store is safe.
+            fleet_cache = Some(match config.cache_buckets_per_kelvin {
+                Some(buckets) => SharedOpCache::with_resolution(buckets).map_err(|e| {
+                    SimulationError::InvalidConfiguration {
+                        reason: e.to_string(),
+                    }
+                })?,
+                None => SharedOpCache::new(),
+            });
+        }
         // A homogeneous fleet shares one manager (and one operating-point
-        // cache); a heterogeneous fleet — per-ONI chip instances and/or
-        // per-ONI design-time assignments — gets one manager per ONI, as
-        // does the per-link-cache A/B engine.
+        // cache); a heterogeneous fleet — per-ONI chip instances, per-ONI
+        // design-time assignments, or crosstalk-scaled topology stacks —
+        // gets one manager per ONI, as does the per-link-cache A/B engine.
         let manager_count = if config.variation.is_some()
             || config.assignment.is_some()
             || cache_setup.per_link_caches
+            || topology_heterogeneous
         {
             n
         } else {
@@ -1209,12 +1412,29 @@ impl Scenario {
             }
         }
 
+        // Resolve the fabric's route table once, before any traffic plays:
+        // deterministic shortest paths with lexicographic tie-breaks, one
+        // `route_resolved` event per ordered flow.
+        let routes = config.topology.as_ref().map(|fabric| {
+            let table = Router::resolve(&fabric.topology);
+            for route in table.iter() {
+                recorder.emit(|| TelemetryEvent::RouteResolved {
+                    source: route.source as u64,
+                    destination: route.destination as u64,
+                    hops: route.hop_count() as u64,
+                    electrical_hops: route.electrical_hops() as u64,
+                });
+            }
+            table
+        });
+
         let injection_order = generated.iter().map(|m| m.id).collect();
         let messages = generated.into_iter().map(|m| (m.id, m)).collect();
         Ok(Self {
             rng: StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00),
             policy,
             config,
+            routes,
             managers,
             decisions,
             assignment,
@@ -1402,6 +1622,19 @@ impl Scenario {
                     let destination = message.destination;
                     let duration_ns = point.transfer_duration(message.words).value();
                     stats.delivered_messages += 1;
+                    // The per-message policy only admits single-hop fabrics:
+                    // every delivery is exactly one hop onto the
+                    // destination's reader channel.
+                    stats.hops_traversed += 1;
+                    if self.routes.is_some() {
+                        self.recorder.emit(|| TelemetryEvent::HopTraversed {
+                            message: message.id.0,
+                            node: destination as u64,
+                            hop_index: 0,
+                            electrical: false,
+                            time_ns: event.time.as_nanos(),
+                        });
+                    }
                     stats.delivered_bits += message.payload_bits();
                     stats.channel_busy_ns += duration_ns;
                     // Only the transfer-gated share is charged per transfer;
@@ -1692,16 +1925,22 @@ impl Scenario {
         };
         let mut arbiters: BTreeMap<usize, TokenArbiter> = BTreeMap::new();
         let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut sequence = 0u64;
-        for &id in &self.injection_order {
+        // Injections take sequence numbers 0..N in injection order; the
+        // completion of a message reuses its injection index offset by N.
+        // The numbering is a pure function of the traffic, so event order
+        // at equal times never depends on how earlier epochs were played.
+        let mut injection_index: BTreeMap<MessageId, u64> = BTreeMap::new();
+        for (index, &id) in self.injection_order.iter().enumerate() {
+            let sequence = index as u64;
+            injection_index.insert(id, sequence);
             queue.push(Reverse(Event {
                 time: self.messages[&id].injected_at,
                 sequence,
                 kind: EventKind::Inject,
                 message: id,
             }));
-            sequence += 1;
         }
+        let complete_seq_base = self.injection_order.len() as u64;
 
         let mut makespan = SimTime::ZERO;
         let mut epoch_start = SimTime::ZERO;
@@ -1722,6 +1961,22 @@ impl Scenario {
         // counters stay deterministic at any thread count.
         let shards = self.config.shards();
         let shard_reasks = n > 1 && shards > 1;
+        // Multi-hop fabrics play serially with per-hop grant bookkeeping;
+        // single-hop traffic (the canonical ring and any single-hop fabric)
+        // partitions by destination channel and fans out across threads.
+        let multihop: Option<RouteTable> = self
+            .routes
+            .as_ref()
+            .filter(|table| !table.is_single_hop())
+            .cloned();
+        let electrical = self
+            .config
+            .topology
+            .as_ref()
+            .map_or_else(onoc_topology::ElectricalLinkModel::paper_fallback, |f| {
+                f.electrical
+            });
+        let mut hop_cursor: BTreeMap<MessageId, usize> = BTreeMap::new();
 
         while let Some(&Reverse(next)) = queue.peek() {
             // Nominal epoch boundary; long idle gaps are covered by a single
@@ -1733,88 +1988,196 @@ impl Scenario {
             }
 
             // 1. Play the event queue through this epoch.
-            while let Some(&Reverse(event)) = queue.peek() {
-                if event.time > epoch_end {
-                    break;
-                }
-                let Reverse(event) = queue.pop().expect("peeked");
-                makespan = makespan.max_time(event.time);
-                let message = self.messages[&event.message];
-                match event.kind {
-                    EventKind::Inject => {
-                        arbiters
-                            .entry(message.destination)
-                            .or_default()
-                            .request(message.source, message.id);
-                        Self::epoch_try_start(
-                            message.destination,
-                            event.time,
-                            &mut arbiters,
-                            &mut channels,
-                            &mut queue,
-                            &mut sequence,
-                            &self.messages,
-                        );
+            if let Some(routes) = &multihop {
+                // Multi-hop fabric: relay each message hop by hop, queueing
+                // at every router's per-destination arbiter along the way.
+                while let Some(&Reverse(event)) = queue.peek() {
+                    if event.time > epoch_end {
+                        break;
                     }
-                    EventKind::Complete => {
-                        let (point, started) = channels[message.destination]
-                            .active
-                            .take()
-                            .expect("completion implies an active transfer");
-                        let duration_ns = point.transfer_duration(message.words).value();
-                        stats.delivered_messages += 1;
-                        stats.delivered_bits += message.payload_bits();
-                        stats.channel_busy_ns += duration_ns;
-                        // Dynamic energy for the part of the transfer inside
-                        // this epoch; earlier parts were charged at the
-                        // boundaries of the epochs they crossed.
-                        let from = started.max_time(epoch_start);
-                        let slice_pj = point.dynamic_power_mw * event.time.since(from).value();
-                        stats.energy_pj += slice_pj;
-                        deposited_pj[message.destination] += slice_pj;
-                        acc.dynamic_pj[message.destination] += slice_pj;
-                        acc.delivered[message.destination] += 1;
-                        if point.scheme != channels[message.destination].baseline_scheme {
-                            reconfigured_messages += 1;
+                    let Reverse(event) = queue.pop().expect("peeked");
+                    makespan = makespan.max_time(event.time);
+                    let message = self.messages[&event.message];
+                    let route = routes.route(message.source, message.destination);
+                    match event.kind {
+                        EventKind::Inject => {
+                            let entry = route.hops[0].node;
+                            hop_cursor.insert(message.id, 0);
+                            arbiters
+                                .entry(entry)
+                                .or_default()
+                                .request(message.source, message.id);
+                            Self::multihop_try_start(
+                                entry,
+                                event.time,
+                                &mut arbiters,
+                                &mut channels,
+                                &mut queue,
+                                routes,
+                                &electrical,
+                                &hop_cursor,
+                                &self.messages,
+                                &injection_index,
+                                complete_seq_base,
+                            );
                         }
-                        let latency = event.time.since(message.injected_at).value();
-                        stats.total_latency_ns += latency;
-                        stats.max_latency_ns = stats.max_latency_ns.max(latency);
-                        if message.misses_deadline(event.time) {
-                            stats.deadline_misses += 1;
-                        }
-                        for _ in 0..message.words {
-                            if self
-                                .rng
-                                .gen_bool(point.word_error_probability.clamp(0.0, 1.0))
-                            {
-                                stats.corrupted_words += 1;
-                                stats.corrupted_bits += conditional_corrupted_bits(
-                                    &mut self.rng,
-                                    64,
-                                    point.decoded_ber,
+                        EventKind::Complete => {
+                            let hop_index = *hop_cursor
+                                .get(&message.id)
+                                .expect("completion implies a hop cursor");
+                            let hop = route.hops[hop_index];
+                            let node = hop.node;
+                            let (point, started) = channels[node]
+                                .active
+                                .take()
+                                .expect("completion implies an active transfer");
+                            let duration_ns = point.transfer_duration(message.words).value();
+                            stats.channel_busy_ns += duration_ns;
+                            // Dynamic energy for the part of the hop inside
+                            // this epoch; earlier parts were charged at the
+                            // boundaries of the epochs they crossed.  The
+                            // hop's energy heats the router it lands on.
+                            let from = started.max_time(epoch_start);
+                            let slice_pj = point.dynamic_power_mw * event.time.since(from).value();
+                            stats.energy_pj += slice_pj;
+                            deposited_pj[node] += slice_pj;
+                            acc.dynamic_pj[node] += slice_pj;
+                            stats.hops_traversed += 1;
+                            let electrical_hop = hop.kind == LinkKind::Electrical;
+                            self.recorder.emit(|| TelemetryEvent::HopTraversed {
+                                message: message.id.0,
+                                node: node as u64,
+                                hop_index: hop_index as u64,
+                                electrical: electrical_hop,
+                                time_ns: event.time.as_nanos(),
+                            });
+                            // Residual errors accrue on photonic hops; the
+                            // electrical fallback wires are error-free by
+                            // model (their line coding is priced into the
+                            // per-bit energy).
+                            if !electrical_hop {
+                                let mut rng =
+                                    hop_error_rng(self.config.seed, message.id, hop_index as u64);
+                                let (corrupted_words, corrupted_bits, corrected_words) =
+                                    sample_word_errors(&mut rng, message.words, &point);
+                                stats.corrupted_words += corrupted_words;
+                                stats.corrupted_bits += corrupted_bits;
+                                stats.corrected_words += corrected_words;
+                            }
+                            arbiters
+                                .get_mut(&node)
+                                .expect("completion implies a prior grant")
+                                .release(message.id);
+                            if hop_index + 1 < route.hops.len() {
+                                // Relay: queue at the next router.
+                                hop_cursor.insert(message.id, hop_index + 1);
+                                let next = route.hops[hop_index + 1].node;
+                                arbiters
+                                    .entry(next)
+                                    .or_default()
+                                    .request(message.source, message.id);
+                                Self::multihop_try_start(
+                                    next,
+                                    event.time,
+                                    &mut arbiters,
+                                    &mut channels,
+                                    &mut queue,
+                                    routes,
+                                    &electrical,
+                                    &hop_cursor,
+                                    &self.messages,
+                                    &injection_index,
+                                    complete_seq_base,
                                 );
+                            } else {
+                                hop_cursor.remove(&message.id);
+                                stats.delivered_messages += 1;
+                                stats.delivered_bits += message.payload_bits();
+                                acc.delivered[message.destination] += 1;
+                                if !electrical_hop && point.scheme != channels[node].baseline_scheme
+                                {
+                                    reconfigured_messages += 1;
+                                }
+                                let latency = event.time.since(message.injected_at).value();
+                                stats.total_latency_ns += latency;
+                                stats.max_latency_ns = stats.max_latency_ns.max(latency);
+                                if message.misses_deadline(event.time) {
+                                    stats.deadline_misses += 1;
+                                }
                             }
-                            if self
-                                .rng
-                                .gen_bool(point.corrected_probability.clamp(0.0, 1.0))
-                            {
-                                stats.corrected_words += 1;
-                            }
+                            Self::multihop_try_start(
+                                node,
+                                event.time,
+                                &mut arbiters,
+                                &mut channels,
+                                &mut queue,
+                                routes,
+                                &electrical,
+                                &hop_cursor,
+                                &self.messages,
+                                &injection_index,
+                                complete_seq_base,
+                            );
                         }
-                        arbiters
-                            .get_mut(&message.destination)
-                            .expect("completion implies a prior grant")
-                            .release(message.id);
-                        Self::epoch_try_start(
-                            message.destination,
-                            event.time,
-                            &mut arbiters,
-                            &mut channels,
-                            &mut queue,
-                            &mut sequence,
-                            &self.messages,
-                        );
+                    }
+                }
+            } else {
+                // Single-hop traffic partitions by destination channel:
+                // each partition owns its arbiter, channel state and error
+                // streams outright, so playing the partitions in any
+                // schedule — serially below, or sharded across threads —
+                // folds back to the same report (gated bit-identical by the
+                // scale-out tests).
+                let mut due: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
+                while let Some(&Reverse(event)) = queue.peek() {
+                    if event.time > epoch_end {
+                        break;
+                    }
+                    let Reverse(event) = queue.pop().expect("peeked");
+                    due.entry(self.messages[&event.message].destination)
+                        .or_default()
+                        .push(event);
+                }
+                let work: Vec<(usize, Vec<Event>)> = due.into_iter().collect();
+                if !work.is_empty() {
+                    let play = |(destination, events): &(usize, Vec<Event>)| {
+                        self.play_channel_epoch(
+                            events,
+                            channels[*destination],
+                            arbiters.get(destination).cloned().unwrap_or_default(),
+                            epoch_start,
+                            epoch_end,
+                            complete_seq_base,
+                            &injection_index,
+                        )
+                    };
+                    let outcomes: Vec<ChannelPlayback> = if shard_reasks && work.len() > 1 {
+                        parallel_map_traced(&work, shards, play, &self.recorder, "epoch-playback")
+                    } else {
+                        work.iter().map(play).collect()
+                    };
+                    for ((destination, _), outcome) in work.iter().zip(outcomes) {
+                        channels[*destination] = outcome.channel;
+                        arbiters.insert(*destination, outcome.arbiter);
+                        for event in outcome.carryover {
+                            queue.push(Reverse(event));
+                        }
+                        makespan = makespan.max_time(outcome.local_makespan);
+                        stats.delivered_messages += outcome.delivered;
+                        stats.hops_traversed += outcome.hops;
+                        stats.delivered_bits += outcome.delivered_bits;
+                        stats.channel_busy_ns += outcome.busy_ns;
+                        stats.energy_pj += outcome.dynamic_pj;
+                        deposited_pj[*destination] += outcome.dynamic_pj;
+                        acc.dynamic_pj[*destination] += outcome.dynamic_pj;
+                        acc.delivered[*destination] += outcome.delivered;
+                        reconfigured_messages += outcome.reconfigured;
+                        stats.total_latency_ns += outcome.total_latency_ns;
+                        stats.max_latency_ns = stats.max_latency_ns.max(outcome.max_latency_ns);
+                        stats.deadline_misses += outcome.deadline_misses;
+                        stats.corrupted_words += outcome.corrupted_words;
+                        stats.corrupted_bits += outcome.corrupted_bits;
+                        stats.corrected_words += outcome.corrected_words;
                     }
                 }
             }
@@ -1961,33 +2324,211 @@ impl Scenario {
         }
     }
 
-    /// Grants the next pending transfer on `destination` (epoch mode),
-    /// capturing the channel's *current* operating point for the whole
-    /// transfer.
-    fn epoch_try_start(
-        destination: usize,
+    /// Plays one destination channel's due events through the current
+    /// epoch (single-hop fabrics).  The channel's arbiter, state and
+    /// per-message error streams are self-contained, so partitions play in
+    /// any order — or on any thread — with identical outcomes.
+    #[allow(clippy::too_many_arguments)]
+    fn play_channel_epoch(
+        &self,
+        events: &[Event],
+        mut channel: ChannelState,
+        mut arbiter: TokenArbiter,
+        epoch_start: SimTime,
+        epoch_end: SimTime,
+        complete_seq_base: u64,
+        injection_index: &BTreeMap<MessageId, u64>,
+    ) -> ChannelPlayback {
+        /// Grants the next pending transfer, capturing the channel's
+        /// *current* operating point for the whole transfer.  Completions
+        /// due within the epoch re-enter the local replay heap; later ones
+        /// carry over to the global queue.
+        #[allow(clippy::too_many_arguments)]
+        fn try_start(
+            channel: &mut ChannelState,
+            arbiter: &mut TokenArbiter,
+            local: &mut BinaryHeap<Reverse<Event>>,
+            carryover: &mut Vec<Event>,
+            now: SimTime,
+            epoch_end: SimTime,
+            complete_seq_base: u64,
+            injection_index: &BTreeMap<MessageId, u64>,
+            messages: &BTreeMap<MessageId, Message>,
+        ) {
+            if channel.active.is_some() {
+                return;
+            }
+            if let Some((_, id)) = arbiter.grant() {
+                let message = messages[&id];
+                let point = channel.params;
+                channel.active = Some((point, now));
+                let event = Event {
+                    time: now.advanced_by(point.transfer_duration(message.words)),
+                    sequence: complete_seq_base + injection_index[&id],
+                    kind: EventKind::Complete,
+                    message: id,
+                };
+                if event.time > epoch_end {
+                    carryover.push(event);
+                } else {
+                    local.push(Reverse(event));
+                }
+            }
+        }
+
+        let mut local: BinaryHeap<Reverse<Event>> = events.iter().copied().map(Reverse).collect();
+        let mut carryover: Vec<Event> = Vec::new();
+        let mut local_makespan = SimTime::ZERO;
+        let mut delivered = 0u64;
+        let mut delivered_bits = 0u64;
+        let mut hops = 0u64;
+        let mut busy_ns = 0.0f64;
+        let mut dynamic_pj = 0.0f64;
+        let mut reconfigured = 0u64;
+        let mut total_latency_ns = 0.0f64;
+        let mut max_latency_ns = 0.0f64;
+        let mut deadline_misses = 0u64;
+        let mut corrupted_words = 0u64;
+        let mut corrupted_bits = 0u64;
+        let mut corrected_words = 0u64;
+        let emit_hops = self.routes.is_some();
+
+        while let Some(Reverse(event)) = local.pop() {
+            local_makespan = local_makespan.max_time(event.time);
+            let message = self.messages[&event.message];
+            match event.kind {
+                EventKind::Inject => {
+                    arbiter.request(message.source, message.id);
+                    try_start(
+                        &mut channel,
+                        &mut arbiter,
+                        &mut local,
+                        &mut carryover,
+                        event.time,
+                        epoch_end,
+                        complete_seq_base,
+                        injection_index,
+                        &self.messages,
+                    );
+                }
+                EventKind::Complete => {
+                    let (point, started) = channel
+                        .active
+                        .take()
+                        .expect("completion implies an active transfer");
+                    let duration_ns = point.transfer_duration(message.words).value();
+                    delivered += 1;
+                    hops += 1;
+                    if emit_hops {
+                        self.recorder.emit(|| TelemetryEvent::HopTraversed {
+                            message: message.id.0,
+                            node: message.destination as u64,
+                            hop_index: 0,
+                            electrical: false,
+                            time_ns: event.time.as_nanos(),
+                        });
+                    }
+                    delivered_bits += message.payload_bits();
+                    busy_ns += duration_ns;
+                    // Dynamic energy for the part of the transfer inside
+                    // this epoch; earlier parts were charged at the
+                    // boundaries of the epochs they crossed.
+                    let from = started.max_time(epoch_start);
+                    dynamic_pj += point.dynamic_power_mw * event.time.since(from).value();
+                    if point.scheme != channel.baseline_scheme {
+                        reconfigured += 1;
+                    }
+                    let latency = event.time.since(message.injected_at).value();
+                    total_latency_ns += latency;
+                    max_latency_ns = max_latency_ns.max(latency);
+                    if message.misses_deadline(event.time) {
+                        deadline_misses += 1;
+                    }
+                    let mut rng = hop_error_rng(self.config.seed, message.id, 0);
+                    let (new_corrupted_words, new_corrupted_bits, new_corrected_words) =
+                        sample_word_errors(&mut rng, message.words, &point);
+                    corrupted_words += new_corrupted_words;
+                    corrupted_bits += new_corrupted_bits;
+                    corrected_words += new_corrected_words;
+                    arbiter.release(message.id);
+                    try_start(
+                        &mut channel,
+                        &mut arbiter,
+                        &mut local,
+                        &mut carryover,
+                        event.time,
+                        epoch_end,
+                        complete_seq_base,
+                        injection_index,
+                        &self.messages,
+                    );
+                }
+            }
+        }
+
+        ChannelPlayback {
+            channel,
+            arbiter,
+            carryover,
+            local_makespan,
+            delivered,
+            delivered_bits,
+            hops,
+            busy_ns,
+            dynamic_pj,
+            reconfigured,
+            total_latency_ns,
+            max_latency_ns,
+            deadline_misses,
+            corrupted_words,
+            corrupted_bits,
+            corrected_words,
+        }
+    }
+
+    /// Grants the next pending transfer on the channel of router `node`
+    /// (multi-hop epoch mode): the granted message rides its *current*
+    /// hop — the node's photonic operating point, or the fabric's
+    /// electrical fallback — captured for the whole hop.
+    #[allow(clippy::too_many_arguments)]
+    fn multihop_try_start(
+        node: usize,
         now: SimTime,
         arbiters: &mut BTreeMap<usize, TokenArbiter>,
         channels: &mut [ChannelState],
         queue: &mut BinaryHeap<Reverse<Event>>,
-        sequence: &mut u64,
+        routes: &RouteTable,
+        electrical: &onoc_topology::ElectricalLinkModel,
+        hop_cursor: &BTreeMap<MessageId, usize>,
         messages: &BTreeMap<MessageId, Message>,
+        injection_index: &BTreeMap<MessageId, u64>,
+        complete_seq_base: u64,
     ) {
-        if channels[destination].active.is_some() {
+        if channels[node].active.is_some() {
             return;
         }
-        let arbiter = arbiters.entry(destination).or_default();
+        let arbiter = arbiters.entry(node).or_default();
         if let Some((_, id)) = arbiter.grant() {
             let message = messages[&id];
-            let point = channels[destination].params;
-            channels[destination].active = Some((point, now));
+            let hop_index = hop_cursor[&id];
+            let hop = routes.route(message.source, message.destination).hops[hop_index];
+            let point = if hop.kind == LinkKind::Electrical {
+                DecisionParams::electrical_hop(
+                    electrical.latency_ns,
+                    electrical.ns_per_word,
+                    electrical.energy_pj_per_bit,
+                    message.words,
+                )
+            } else {
+                channels[node].params
+            };
+            channels[node].active = Some((point, now));
             queue.push(Reverse(Event {
                 time: now.advanced_by(point.transfer_duration(message.words)),
-                sequence: *sequence,
+                sequence: complete_seq_base + injection_index[&id],
                 kind: EventKind::Complete,
                 message: id,
             }));
-            *sequence += 1;
         }
     }
 }

@@ -9,6 +9,11 @@ pub struct SimStats {
     pub injected_messages: u64,
     /// Messages delivered to their destination.
     pub delivered_messages: u64,
+    /// Link hops traversed by delivered traffic.  Equals
+    /// [`SimStats::delivered_messages`] on a single-hop fabric (the default
+    /// all-to-all ring); multi-hop topologies count every photonic or
+    /// electrical hop a message completes.
+    pub hops_traversed: u64,
     /// Payload bits delivered.
     pub delivered_bits: u64,
     /// Payload bits that arrived flipped after decoding.  Every corrupted
@@ -111,6 +116,7 @@ mod tests {
         SimStats {
             injected_messages: 10,
             delivered_messages: 10,
+            hops_traversed: 10,
             delivered_bits: 10_240,
             corrupted_bits: 3,
             corrupted_words: 2,

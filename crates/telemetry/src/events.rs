@@ -108,6 +108,33 @@ pub enum TelemetryEvent {
         /// Refinement swaps applied in this step (0 outside `refine-pass`).
         swaps_applied: u64,
     },
+    /// The scenario router resolved one flow's route over the configured
+    /// fabric topology (emitted once per ordered node pair at prepare
+    /// time).
+    RouteResolved {
+        /// Source node of the flow.
+        source: u64,
+        /// Destination node of the flow.
+        destination: u64,
+        /// Total hops on the resolved route.
+        hops: u64,
+        /// Electrical fallback hops among them.
+        electrical_hops: u64,
+    },
+    /// A message finished traversing one hop of its multi-hop route
+    /// (emitted by the epoch-gated engine when a topology is configured).
+    HopTraversed {
+        /// Message identifier.
+        message: u64,
+        /// Node the hop arrived at.
+        node: u64,
+        /// 0-based position of the hop on the message's route.
+        hop_index: u64,
+        /// Whether the hop rode an electrical fallback wire.
+        electrical: bool,
+        /// Simulated completion time of the hop, in nanoseconds.
+        time_ns: f64,
+    },
     /// One `parallel_map` worker finished its chunk.  **Wall-clock data** —
     /// explicitly non-deterministic, never counted with the deterministic
     /// metrics.
@@ -136,6 +163,8 @@ impl TelemetryEvent {
             Self::SchemeSwitched { .. } => "scheme_switched",
             Self::EpochAdvanced { .. } => "epoch_advanced",
             Self::AssignmentSearchStep { .. } => "assignment_search_step",
+            Self::RouteResolved { .. } => "route_resolved",
+            Self::HopTraversed { .. } => "hop_traversed",
             Self::ShardCompleted { .. } => "shard_completed",
         }
     }
@@ -206,6 +235,19 @@ impl TelemetryEvent {
                 candidate_cost_uw: 812.5,
                 accepted: true,
                 swaps_applied: 4,
+            },
+            Self::RouteResolved {
+                source: 1,
+                destination: 6,
+                hops: 3,
+                electrical_hops: 1,
+            },
+            Self::HopTraversed {
+                message: 17,
+                node: 4,
+                hop_index: 1,
+                electrical: true,
+                time_ns: 86.5,
             },
             Self::ShardCompleted {
                 label: "epoch-reask".into(),
@@ -299,6 +341,30 @@ impl TelemetryEvent {
                 fields.push(("candidate_cost_uw", (*candidate_cost_uw).into()));
                 fields.push(("accepted", (*accepted).into()));
                 fields.push(("swaps_applied", (*swaps_applied).into()));
+            }
+            Self::RouteResolved {
+                source,
+                destination,
+                hops,
+                electrical_hops,
+            } => {
+                fields.push(("source", (*source).into()));
+                fields.push(("destination", (*destination).into()));
+                fields.push(("hops", (*hops).into()));
+                fields.push(("electrical_hops", (*electrical_hops).into()));
+            }
+            Self::HopTraversed {
+                message,
+                node,
+                hop_index,
+                electrical,
+                time_ns,
+            } => {
+                fields.push(("message", (*message).into()));
+                fields.push(("node", (*node).into()));
+                fields.push(("hop_index", (*hop_index).into()));
+                fields.push(("electrical", (*electrical).into()));
+                fields.push(("time_ns", (*time_ns).into()));
             }
             Self::ShardCompleted {
                 label,
@@ -407,6 +473,19 @@ impl TelemetryEvent {
                 accepted: bool_field("accepted")?,
                 swaps_applied: u64_field("swaps_applied")?,
             }),
+            "route_resolved" => Ok(Self::RouteResolved {
+                source: u64_field("source")?,
+                destination: u64_field("destination")?,
+                hops: u64_field("hops")?,
+                electrical_hops: u64_field("electrical_hops")?,
+            }),
+            "hop_traversed" => Ok(Self::HopTraversed {
+                message: u64_field("message")?,
+                node: u64_field("node")?,
+                hop_index: u64_field("hop_index")?,
+                electrical: bool_field("electrical")?,
+                time_ns: f64_field("time_ns")?,
+            }),
             "shard_completed" => Ok(Self::ShardCompleted {
                 label: str_field("label")?,
                 shard: u64_field("shard")?,
@@ -436,7 +515,7 @@ mod tests {
     fn kinds_are_distinct_and_tagged() {
         let examples = TelemetryEvent::examples();
         let kinds: std::collections::HashSet<_> = examples.iter().map(|e| e.kind()).collect();
-        assert_eq!(kinds.len(), 8, "one kind per variant");
+        assert_eq!(kinds.len(), 10, "one kind per variant");
         for event in &examples {
             assert_eq!(
                 event.to_json().get("type").and_then(Json::as_str),

@@ -591,6 +591,21 @@ impl Recorder for RegistryRecorder {
             }
             TelemetryEvent::SchemeSwitched { .. } => self.metrics.increment("scheme.switches"),
             TelemetryEvent::EpochAdvanced { .. } => self.metrics.increment("epochs.advanced"),
+            TelemetryEvent::RouteResolved {
+                hops,
+                electrical_hops,
+                ..
+            } => {
+                self.metrics.increment("route.flows");
+                self.metrics.add("route.hops", *hops);
+                self.metrics.add("route.electrical_hops", *electrical_hops);
+            }
+            TelemetryEvent::HopTraversed { electrical, .. } => {
+                self.metrics.increment("hop.traversals");
+                if *electrical {
+                    self.metrics.increment("hop.electrical");
+                }
+            }
             TelemetryEvent::AssignmentSearchStep {
                 candidate_cost_uw,
                 accepted,

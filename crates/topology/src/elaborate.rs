@@ -1,0 +1,280 @@
+//! Elaboration: stamping a [`Topology`] into per-link photonic model cards.
+
+use std::collections::BTreeMap;
+
+use onoc_link::{LinkError, NanophotonicLink, SharedOpCache};
+use onoc_photonics::ThermalLinkStack;
+
+use crate::fabric::{FabricSpec, Topology, TopologyError};
+
+/// One stamped photonic link: the model card the scenario engines and the
+/// benches drive.
+#[derive(Debug, Clone)]
+pub struct LinkCard {
+    /// Index into [`Topology::links`] of the stamped link.
+    pub link: usize,
+    /// The crosstalk-adjusted thermal stack baked into the model.
+    pub stack: ThermalLinkStack,
+    /// The stack's fingerprint — the cache lineage this card joined.
+    pub fingerprint: u64,
+    /// The ready-to-serve link model, wired to the shared cache of its
+    /// fingerprint group.
+    pub model: NanophotonicLink,
+}
+
+/// The result of elaborating a fabric: one [`LinkCard`] per photonic link,
+/// with one [`SharedOpCache`] per *distinct* stack fingerprint shared by
+/// every card in that group — stamped links with identical physics also
+/// share their solver work.
+#[derive(Debug)]
+pub struct ElaboratedFabric {
+    cards: Vec<LinkCard>,
+    caches: BTreeMap<u64, SharedOpCache>,
+}
+
+impl ElaboratedFabric {
+    /// The stamped cards, in canonical link order.
+    #[must_use]
+    pub fn cards(&self) -> &[LinkCard] {
+        &self.cards
+    }
+
+    /// The card stamped for topology link `link`, or `None` for electrical
+    /// links (which have no photonic model).
+    #[must_use]
+    pub fn card_for_link(&self, link: usize) -> Option<&LinkCard> {
+        self.cards.iter().find(|card| card.link == link)
+    }
+
+    /// The card serving `node`'s MWSR reader channel.
+    #[must_use]
+    pub fn reader_card(&self, topology: &Topology, node: usize) -> Option<&LinkCard> {
+        self.card_for_link(topology.reader_link(node)?)
+    }
+
+    /// Number of distinct stack fingerprints (= number of shared caches).
+    #[must_use]
+    pub fn distinct_stacks(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Whether every stamped link carries the same stack — the shape under
+    /// which a fabric is physically indistinguishable from the paper's
+    /// single ring.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.caches.len() <= 1
+    }
+
+    /// The shared cache of one fingerprint group.
+    #[must_use]
+    pub fn shared_cache(&self, fingerprint: u64) -> Option<&SharedOpCache> {
+        self.caches.get(&fingerprint)
+    }
+}
+
+/// Deterministically stamps out one [`NanophotonicLink`] model card per
+/// photonic link of a fabric.
+///
+/// Cards are derived from a single base stack (default: the paper's), with
+/// each link's ring drift slope amplified by its waveguide-group crosstalk
+/// ([`FabricSpec::link_stack`]).  Links whose adjusted stacks fingerprint
+/// identically share one [`SharedOpCache`], so a fleet of identical rings
+/// pays for each operating-point solve once.
+#[derive(Debug, Clone)]
+pub struct TopologyElaborator {
+    base_stack: ThermalLinkStack,
+    cache_buckets_per_kelvin: Option<f64>,
+}
+
+impl TopologyElaborator {
+    /// An elaborator stamping the paper's default stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            base_stack: ThermalLinkStack::paper_default(),
+            cache_buckets_per_kelvin: None,
+        }
+    }
+
+    /// Replaces the base stack every card is derived from.
+    #[must_use]
+    pub fn with_base_stack(mut self, stack: ThermalLinkStack) -> Self {
+        self.base_stack = stack;
+        self
+    }
+
+    /// Sets the temperature quantisation of the stamped links' caches.
+    #[must_use]
+    pub fn with_cache_resolution(mut self, buckets_per_kelvin: f64) -> Self {
+        self.cache_buckets_per_kelvin = Some(buckets_per_kelvin);
+        self
+    }
+
+    /// The base stack cards are derived from.
+    #[must_use]
+    pub fn base_stack(&self) -> &ThermalLinkStack {
+        &self.base_stack
+    }
+
+    /// Stamps the fabric: validates the spec and the base stack, derives
+    /// each photonic link's stack, groups identical fingerprints onto one
+    /// shared cache, and builds the link models.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] when the spec's physical knobs are invalid, the
+    /// base stack fails validation, or a link model rejects its
+    /// configuration.
+    pub fn elaborate(&self, spec: &FabricSpec) -> Result<ElaboratedFabric, TopologyError> {
+        spec.validate()?;
+        self.base_stack.validate().map_err(|reason| TopologyError {
+            reason: format!("base stack: {reason}"),
+        })?;
+        let mut cards = Vec::new();
+        let mut caches: BTreeMap<u64, SharedOpCache> = BTreeMap::new();
+        for (index, link) in spec.topology.links().iter().enumerate() {
+            if !link.kind.is_photonic() {
+                continue;
+            }
+            let stack = spec
+                .link_stack(&self.base_stack, index)
+                .expect("photonic links derive a stack");
+            let fingerprint = stack.fingerprint();
+            let cache = caches.entry(fingerprint).or_default();
+            let mut model = NanophotonicLink::paper_link()
+                .with_thermal_stack(stack.clone())
+                .with_shared_cache(cache.clone());
+            if let Some(buckets) = self.cache_buckets_per_kelvin {
+                model = model
+                    .with_cache_resolution(buckets)
+                    .map_err(|error| TopologyError {
+                        reason: format!("link {index}: {error}"),
+                    })?;
+            }
+            cards.push(LinkCard {
+                link: index,
+                stack,
+                fingerprint,
+                model,
+            });
+        }
+        Ok(ElaboratedFabric { cards, caches })
+    }
+}
+
+impl Default for TopologyElaborator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// LinkError only flows out wrapped in TopologyError messages, but keep the
+// conversion for callers composing the two layers.
+impl From<LinkError> for TopologyError {
+    fn from(error: LinkError) -> Self {
+        Self {
+            reason: error.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{LinkKind, LinkSpec};
+
+    #[test]
+    fn uniform_fabric_shares_one_cache_across_all_cards() {
+        let spec = FabricSpec::new(Topology::single_ring(4));
+        let fabric = TopologyElaborator::new().elaborate(&spec).expect("stamps");
+        assert_eq!(fabric.cards().len(), 4);
+        assert!(fabric.is_uniform());
+        assert_eq!(fabric.distinct_stacks(), 1);
+
+        // Warm the cache through card 0, then observe the hit through card 3.
+        let scheme = onoc_ecc_codes::EccScheme::Hamming74;
+        let temperature = onoc_units::Celsius::new(45.0);
+        fabric.cards()[0]
+            .model
+            .operating_point_memoized(scheme, 1e-12, temperature)
+            .expect("solves");
+        fabric.cards()[3]
+            .model
+            .operating_point_memoized(scheme, 1e-12, temperature)
+            .expect("serves");
+        let counters = fabric.cards()[3].model.cache_counters();
+        assert_eq!(counters.misses, 1, "one solve for the whole fleet");
+        assert!(counters.hits >= 1, "card 3 must hit card 0's solve");
+    }
+
+    #[test]
+    fn crosstalk_splits_fingerprint_groups_by_waveguide_population() {
+        // 6 nodes over 2 groups of 3 channels each, plus crosstalk: both
+        // groups have the same population, so all stacks still agree.
+        let even = FabricSpec::new(Topology::multi_ring(6, 2)).with_crosstalk(0.05);
+        let fabric = TopologyElaborator::new().elaborate(&even).expect("stamps");
+        assert_eq!(fabric.distinct_stacks(), 1);
+
+        // 4 nodes where group 0 holds 2 channels and groups 1..=2 hold one
+        // each: populations differ, so fingerprints split into two groups.
+        let skewed = FabricSpec::new(
+            Topology::new(
+                4,
+                vec![
+                    LinkSpec::mwsr(0, [1, 2, 3], 0),
+                    LinkSpec::mwsr(1, [0, 2, 3], 0),
+                    LinkSpec::mwsr(2, [0, 1, 3], 1),
+                    LinkSpec::mwsr(3, [0, 1, 2], 2),
+                ],
+            )
+            .expect("valid"),
+        )
+        .with_crosstalk(0.05);
+        let fabric = TopologyElaborator::new()
+            .elaborate(&skewed)
+            .expect("stamps");
+        assert_eq!(fabric.distinct_stacks(), 2);
+        assert!(!fabric.is_uniform());
+        let crowded = fabric.cards()[0].fingerprint;
+        assert_eq!(fabric.cards()[1].fingerprint, crowded);
+        let lonely = fabric.cards()[2].fingerprint;
+        assert_eq!(fabric.cards()[3].fingerprint, lonely);
+        assert_ne!(crowded, lonely);
+        assert!(fabric.shared_cache(crowded).is_some());
+        assert!(fabric.shared_cache(lonely).is_some());
+    }
+
+    #[test]
+    fn electrical_links_are_skipped_and_reader_cards_resolve() {
+        let topology = Topology::hybrid_mesh(8, 4);
+        let spec = FabricSpec::new(topology.clone());
+        let fabric = TopologyElaborator::new().elaborate(&spec).expect("stamps");
+        assert_eq!(fabric.cards().len(), 8, "one card per photonic link only");
+        for link in 0..topology.links().len() {
+            let is_photonic = topology.links()[link].kind.is_photonic();
+            assert_eq!(fabric.card_for_link(link).is_some(), is_photonic);
+        }
+        for node in 0..8 {
+            let card = fabric.reader_card(&topology, node).expect("reader card");
+            assert_eq!(topology.links()[card.link].hub, node);
+            assert_eq!(topology.links()[card.link].kind, LinkKind::Mwsr);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let spec = FabricSpec::new(Topology::single_ring(2)).with_crosstalk(-1.0);
+        let error = TopologyElaborator::new()
+            .elaborate(&spec)
+            .expect_err("negative crosstalk");
+        assert!(error.reason.contains("crosstalk"));
+
+        let spec = FabricSpec::new(Topology::single_ring(2));
+        let error = TopologyElaborator::new()
+            .with_cache_resolution(0.0)
+            .elaborate(&spec)
+            .expect_err("zero resolution");
+        assert!(error.reason.contains("link 0"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: routing is a pure function of the *fabric*, invariant
+//! under link declaration order, and every resolved route is well-formed.
+
+use onoc_topology::{LinkKind, LinkSpec, Router, Topology};
+use proptest::prelude::*;
+
+/// The link lists of the built-in constructors, before canonicalisation.
+fn fabric_links(nodes: usize, flavour: usize) -> (usize, Vec<LinkSpec>) {
+    match flavour {
+        0 => (nodes, Topology::single_ring(nodes).links().to_vec()),
+        1 => {
+            let groups = (nodes / 2).max(1);
+            (nodes, Topology::multi_ring(nodes, groups).links().to_vec())
+        }
+        _ => {
+            // Scale the node count into a valid (clusters >= 2) hybrid mesh.
+            let cluster = 2 + nodes % 3;
+            let clusters = 2 + nodes % 2;
+            let total = cluster * clusters;
+            (
+                total,
+                Topology::hybrid_mesh(total, cluster).links().to_vec(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn routes_are_invariant_under_link_declaration_order(
+        nodes in 2usize..10,
+        flavour in 0usize..3,
+        rotate in 0usize..16,
+        reverse in 0usize..2,
+    ) {
+        let (nodes, mut links) = fabric_links(nodes, flavour);
+        let reference = Topology::new(nodes, links.clone()).expect("valid");
+        let baseline = Router::resolve(&reference);
+
+        // Permute the declaration order deterministically.
+        let pivot = rotate % links.len().max(1);
+        links.rotate_left(pivot);
+        if reverse == 1 {
+            links.reverse();
+        }
+        let permuted = Topology::new(nodes, links).expect("still valid");
+        prop_assert_eq!(&reference, &permuted);
+        prop_assert_eq!(baseline, Router::resolve(&permuted));
+    }
+
+    #[test]
+    fn resolved_routes_are_well_formed(nodes in 2usize..9, flavour in 0usize..3) {
+        let (nodes, links) = fabric_links(nodes, flavour);
+        let fabric = Topology::new(nodes, links).expect("valid");
+        let table = Router::resolve(&fabric);
+        prop_assert_eq!(table.len(), nodes * (nodes - 1));
+        prop_assert!(!table.uses_swmr(), "built-ins carry no SWMR links");
+        for route in table.iter() {
+            prop_assert!(!route.hops.is_empty());
+            prop_assert_eq!(route.hops.last().expect("non-empty").node, route.destination);
+            // Hops chain: each hop's link must be traversable from the
+            // previous node to the hop's node.
+            let mut at = route.source;
+            for hop in &route.hops {
+                let link = &fabric.links()[hop.link];
+                prop_assert_eq!(hop.kind, link.kind);
+                match link.kind {
+                    LinkKind::Mwsr => {
+                        prop_assert!(link.members.contains(&at));
+                        prop_assert_eq!(hop.node, link.hub);
+                    }
+                    LinkKind::Swmr | LinkKind::Electrical => {
+                        prop_assert_eq!(at, link.hub);
+                        prop_assert!(link.members.contains(&hop.node));
+                    }
+                }
+                at = hop.node;
+            }
+            prop_assert_eq!(at, route.destination);
+            // Shortest paths never revisit a node.
+            let mut seen: Vec<usize> = vec![route.source];
+            for hop in &route.hops {
+                prop_assert!(!seen.contains(&hop.node), "loop-free");
+                seen.push(hop.node);
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_reproducible_across_repeated_and_threaded_calls(
+        nodes in 2usize..8,
+        flavour in 0usize..3,
+    ) {
+        let (nodes, links) = fabric_links(nodes, flavour);
+        let fabric = Topology::new(nodes, links).expect("valid");
+        let serial = Router::resolve(&fabric);
+        // Resolve the same fabric concurrently from several threads; every
+        // result must be bit-identical to the serial one.
+        let tables: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| Router::resolve(&fabric)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("router thread"))
+                .collect()
+        });
+        for table in tables {
+            prop_assert_eq!(&serial, &table);
+        }
+    }
+}

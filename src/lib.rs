@@ -14,6 +14,8 @@
 //! * [`interface`] — the ONI datapaths and the Table I cost database,
 //! * [`link`] — operating points, design-space exploration, the
 //!   (thermally-adaptive) link manager,
+//! * [`topology`] — fabric descriptions (MWSR/SWMR/electrical links),
+//!   deterministic multi-hop routing and per-link model-card elaboration,
 //! * [`sim`] — the event-driven optical NoC simulator with thermal-scenario
 //!   playback,
 //! * [`telemetry`] — structured event tracing (recorders, JSONL) and the
@@ -42,6 +44,7 @@ pub use onoc_photonics as photonics;
 pub use onoc_sim as sim;
 pub use onoc_telemetry as telemetry;
 pub use onoc_thermal as thermal;
+pub use onoc_topology as topology;
 pub use onoc_units as units;
 
 /// Version of the reproduction workspace.

@@ -189,4 +189,9 @@ fn distinct_final_schemes_sees_the_split() {
 
 // Captured from the pre-conversion (HashMap-based) engine; see module docs.
 const GOLDEN_PER_MESSAGE: u64 = 0xB47B_376D_9EB7_A8BD;
-const GOLDEN_EPOCH_GATED: u64 = 0x3EA7_031B_A615_936C;
+// Re-captured when the epoch engine moved to destination-sharded playback:
+// completions took schedule-independent sequence numbers and error
+// injection moved to per-message RNG streams, so the digest changed once,
+// deliberately.  It still pins every ordering-sensitive field against
+// future collection or scheduling regressions.
+const GOLDEN_EPOCH_GATED: u64 = 0x788F_90DA_5492_1855;

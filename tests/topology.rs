@@ -1,0 +1,183 @@
+//! Fabric-topology invariants of the scenario engines:
+//!
+//! * the canonical single MWSR ring, configured explicitly, reproduces the
+//!   default (no-topology) run bit for bit under both decision policies;
+//! * the hybrid mesh relays every inter-cluster message over multiple hops
+//!   and still delivers all traffic;
+//! * topology runs speak the `route_resolved` / `hop_traversed` telemetry
+//!   vocabulary;
+//! * structural misconfigurations (node-count mismatch, multi-hop or
+//!   crosstalk-heterogeneous fabrics under the per-message policy) are
+//!   rejected at build time.
+
+use std::sync::Arc;
+
+use onoc_ecc::link::TrafficClass;
+use onoc_ecc::sim::traffic::TrafficPattern;
+use onoc_ecc::sim::{DecisionPolicy, RunReport, ScenarioBuilder, SimulationError};
+use onoc_ecc::telemetry::{MemoryRecorder, RecorderHandle, TelemetryEvent};
+use onoc_ecc::thermal::RcNetworkParameters;
+use onoc_ecc::topology::{FabricSpec, Topology};
+
+fn base_builder(oni_count: usize, epoch_gated: bool) -> ScenarioBuilder {
+    let builder = ScenarioBuilder::new()
+        .oni_count(oni_count)
+        .pattern(TrafficPattern::UniformRandom {
+            messages_per_node: 20,
+        })
+        .class(TrafficClass::LatencyFirst)
+        .words_per_message(8)
+        .mean_inter_arrival_ns(6.0)
+        .seed(41);
+    if epoch_gated {
+        builder
+            .activity_coupled(RcNetworkParameters::paper_package())
+            .policy(DecisionPolicy::epoch_gated())
+    } else {
+        builder
+    }
+}
+
+/// A report with the configured topology normalized away — the only field
+/// that legitimately differs between the default run and the explicit
+/// single-ring run.
+fn sans_topology(mut report: RunReport) -> RunReport {
+    report.config.topology = None;
+    report
+}
+
+#[test]
+fn single_ring_topology_is_bit_identical_to_the_default_path() {
+    for epoch_gated in [false, true] {
+        let default_report = base_builder(6, epoch_gated)
+            .build()
+            .expect("default scenario builds")
+            .run();
+        let ring_report = base_builder(6, epoch_gated)
+            .topology(Topology::single_ring(6))
+            .build()
+            .expect("single-ring scenario builds")
+            .run();
+        assert!(ring_report.config.topology.is_some());
+        assert_eq!(
+            ring_report.stats.hops_traversed, ring_report.stats.delivered_messages,
+            "the ring is single-hop"
+        );
+        assert_eq!(
+            sans_topology(ring_report),
+            default_report,
+            "single ring must reproduce the default path (epoch_gated = {epoch_gated})"
+        );
+    }
+}
+
+#[test]
+fn hybrid_mesh_delivers_all_traffic_over_multiple_hops() {
+    let report = base_builder(8, true)
+        .topology(Topology::hybrid_mesh(8, 4))
+        .build()
+        .expect("hybrid-mesh scenario builds")
+        .run();
+    assert_eq!(
+        report.stats.delivered_messages, report.stats.injected_messages,
+        "multi-hop routing must not lose traffic"
+    );
+    assert!(
+        report.stats.hops_traversed > report.stats.delivered_messages,
+        "inter-cluster flows take more than one hop: {} hops for {} messages",
+        report.stats.hops_traversed,
+        report.stats.delivered_messages
+    );
+    assert!(report.stats.makespan_ns > 0.0);
+    assert!(report.stats.energy_pj > 0.0);
+}
+
+#[test]
+fn topology_runs_emit_route_and_hop_events() {
+    let memory = Arc::new(MemoryRecorder::new());
+    let report = base_builder(8, true)
+        .topology(Topology::hybrid_mesh(8, 4))
+        .telemetry(RecorderHandle::new(memory.clone()))
+        .build()
+        .expect("hybrid-mesh scenario builds")
+        .run();
+    let events = memory.events();
+    let routes = events
+        .iter()
+        .filter(|e| e.kind() == "route_resolved")
+        .count();
+    let hops = events
+        .iter()
+        .filter(|e| e.kind() == "hop_traversed")
+        .count() as u64;
+    assert_eq!(routes, 8 * 7, "one route_resolved event per ordered flow");
+    assert_eq!(
+        hops, report.stats.hops_traversed,
+        "one hop_traversed event per completed hop"
+    );
+    let electrical_hops = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TelemetryEvent::HopTraversed {
+                    electrical: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        electrical_hops > 0,
+        "inter-cluster traffic must ride the electrical fallback"
+    );
+}
+
+#[test]
+fn node_count_mismatch_is_rejected() {
+    let err = base_builder(6, true)
+        .topology(Topology::single_ring(4))
+        .build()
+        .expect_err("4-node fabric over 6 ONIs must not build");
+    let SimulationError::InvalidConfiguration { reason } = err else {
+        panic!("wrong error variant");
+    };
+    assert!(reason.contains("4 nodes"), "{reason}");
+}
+
+#[test]
+fn multi_hop_requires_the_epoch_gated_policy() {
+    let err = base_builder(8, false)
+        .topology(Topology::hybrid_mesh(8, 4))
+        .build()
+        .expect_err("multi-hop under the per-message policy must not build");
+    let SimulationError::InvalidConfiguration { reason } = err else {
+        panic!("wrong error variant");
+    };
+    assert!(reason.contains("epoch-gated"), "{reason}");
+}
+
+#[test]
+fn crosstalk_heterogeneous_fleet_requires_the_epoch_gated_policy() {
+    // multi_ring(5, 2) leaves the two waveguide groups with unequal reader
+    // populations (3 vs 2), so nonzero crosstalk splits the fleet into
+    // distinct thermal stacks.
+    let fabric = FabricSpec::new(Topology::multi_ring(5, 2)).with_crosstalk(0.08);
+    let err = base_builder(5, false)
+        .topology(fabric.clone())
+        .build()
+        .expect_err("heterogeneous fabric under the per-message policy must not build");
+    let SimulationError::InvalidConfiguration { reason } = err else {
+        panic!("wrong error variant");
+    };
+    assert!(reason.contains("epoch-gated"), "{reason}");
+    let report = base_builder(5, true)
+        .topology(fabric)
+        .build()
+        .expect("epoch-gated heterogeneous fabric builds")
+        .run();
+    assert_eq!(
+        report.stats.delivered_messages,
+        report.stats.injected_messages
+    );
+}

@@ -36,7 +36,7 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use onoc_ecc_codes::EccScheme;
@@ -172,6 +172,10 @@ struct CacheInner {
     evict: Mutex<()>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Whether the completed-entry set has changed since the cache was
+    /// built, loaded or last saved — the signal that lets sweep campaigns
+    /// skip rewriting an unchanged snapshot.
+    dirty: AtomicBool,
 }
 
 /// A cheaply-clonable handle on one shared operating-point cache.
@@ -258,6 +262,7 @@ impl SharedOpCache {
                 evict: Mutex::new(()),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                dirty: AtomicBool::new(false),
             }),
         }
     }
@@ -352,6 +357,7 @@ impl SharedOpCache {
         let solved = solve();
         let mut map = lock_shard(shard);
         map.insert(key, Slot::Done(Box::new(solved.clone())));
+        self.inner.dirty.store(true, Ordering::Relaxed);
         guard.armed = false;
         drop(map);
         shard.filled.notify_all();
@@ -397,6 +403,7 @@ impl SharedOpCache {
             let mut map = lock_shard(shard);
             if matches!(map.get(&victim), Some(Slot::Done(_))) {
                 map.remove(&victim);
+                self.inner.dirty.store(true, Ordering::Relaxed);
             }
         }
     }
@@ -431,6 +438,16 @@ impl SharedOpCache {
         }
         self.inner.hits.store(0, Ordering::Relaxed);
         self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the completed-entry set has changed since the cache was
+    /// built, loaded from a snapshot, or last [`SharedOpCache::save`]d.  A
+    /// clean cache's snapshot is already on disk byte-for-byte, so callers
+    /// persisting between sweep runs can skip the rewrite.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.inner.dirty.load(Ordering::Relaxed)
     }
 
     /// Every completed entry, in key order (deterministic across shard
@@ -567,7 +584,16 @@ impl SharedOpCache {
     ///
     /// Propagates the underlying filesystem error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().render_pretty())
+        // Clear the flag *before* serializing: an entry that lands while the
+        // snapshot renders may miss the file, but it re-dirties the cache so
+        // the next save picks it up (clearing after would lose it).
+        self.inner.dirty.store(false, Ordering::Relaxed);
+        let rendered = self.to_json().render_pretty();
+        let result = std::fs::write(path, rendered);
+        if result.is_err() {
+            self.inner.dirty.store(true, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Reads a snapshot written by [`SharedOpCache::save`].
@@ -1148,6 +1174,45 @@ mod tests {
             SharedOpCache::from_json(&Json::obj(vec![("schema_version", 99u64.into())])),
             Err(LinkError::InvalidConfiguration { .. })
         ));
+    }
+
+    #[test]
+    fn dirty_flag_tracks_entry_set_changes_across_the_snapshot_lifecycle() {
+        let point = sample_point();
+        let cache = SharedOpCache::new();
+        assert!(!cache.is_dirty(), "a fresh cache has nothing to persist");
+        // A pure hit does not dirty; a miss-insert does.
+        let _ = cache.get_or_solve(key(EccScheme::Hamming74, 1), || Ok(point));
+        assert!(cache.is_dirty(), "a new entry must dirty the cache");
+        let dir = std::env::temp_dir();
+        let path = dir.join("onoc_op_cache_dirty_test.json");
+        cache.save(&path).unwrap();
+        assert!(!cache.is_dirty(), "saving writes the entry set out");
+        let _ = cache.get_or_solve(key(EccScheme::Hamming74, 1), || Ok(point));
+        assert!(
+            !cache.is_dirty(),
+            "answering from the cache adds nothing to persist"
+        );
+        // A warm-started cache is clean until it learns something new.
+        let loaded = SharedOpCache::load(&path).unwrap();
+        assert!(!loaded.is_dirty(), "a loaded snapshot is already on disk");
+        let _ = loaded.get_or_solve(key(EccScheme::Hamming74, 1), || {
+            panic!("warm cache must not re-solve")
+        });
+        assert!(!loaded.is_dirty());
+        let _ = loaded.get_or_solve(key(EccScheme::Hamming74, 2), || Ok(point));
+        assert!(loaded.is_dirty(), "a fresh solve must dirty the cache");
+        // Clearing and evicting change the retained set too.
+        let cleared = SharedOpCache::load(&path).unwrap();
+        cleared.clear();
+        assert!(cleared.is_dirty());
+        let bounded = SharedOpCache::with_capacity(1).unwrap();
+        let _ = bounded.get_or_solve(key(EccScheme::Hamming74, 1), || Ok(point));
+        bounded.save(&path).unwrap();
+        assert!(!bounded.is_dirty());
+        let _ = bounded.get_or_solve(key(EccScheme::Hamming74, 2), || Ok(point));
+        assert!(bounded.is_dirty(), "eviction changes the retained set");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -65,8 +65,8 @@ pub use engine::{SimulationConfig, SimulationError, SimulationReport};
 pub use feedback::{FeedbackConfig, FeedbackReport, OniFeedbackReport};
 pub use packet::{Message, MessageId};
 pub use scenario::{
-    DecisionPolicy, DesignAssignmentConfig, EpochSample, OniReport, RingVariationConfig, RunReport,
-    Scenario, ScenarioBuilder, ScenarioConfig, SchemeSwitch,
+    DecisionPolicy, DesignAssignmentConfig, EpochSample, OniReport, PhaseTransition,
+    RingVariationConfig, RunReport, Scenario, ScenarioBuilder, ScenarioConfig, SchemeSwitch,
 };
 pub use stats::SimStats;
 pub use thermal::{OniThermalReport, ThermalRunReport};

@@ -56,7 +56,8 @@ use onoc_parallel::{default_shards, parallel_map_traced};
 use onoc_telemetry::{RecorderHandle, TelemetryEvent};
 use onoc_thermal::{
     AssignmentStrategy, BankTuningMode, FabricationVariation, RcNetworkParameters,
-    ThermalEnvironment, ThermalModel, ThermalModelSpec, WavelengthAssignment, WorkloadTrace,
+    ThermalEnvironment, ThermalModel, ThermalModelSpec, WavelengthAssignment, WorkloadSchedule,
+    WorkloadTrace,
 };
 use onoc_topology::{FabricSpec, LinkKind, RouteTable, Router};
 use onoc_units::Celsius;
@@ -149,6 +150,30 @@ pub struct EpochSample {
     pub max_temperature_c: f64,
     /// Number of destination channels currently on a non-baseline scheme.
     pub reconfigured_onis: usize,
+}
+
+/// One phase boundary the epoch-gated engine crossed while playing a
+/// scheduled workload ([`onoc_thermal::WorkloadSchedule`]): when it
+/// happened, which ONIs hopped to their new-phase wavelength assignment,
+/// and how many scheme switches the swap provoked right after.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTransition {
+    /// Index of the phase being entered (the run starts inside phase 0
+    /// without a transition, so indices here start at 1).
+    pub phase: usize,
+    /// Schedule time of the boundary, in nanoseconds.  The engine clamps
+    /// the preceding epoch to end exactly here, so this is always an epoch
+    /// edge of the run.
+    pub time_ns: f64,
+    /// Index of the first epoch played inside the new phase.
+    pub epoch: u64,
+    /// ONIs whose wavelength assignment fingerprint changed at this
+    /// boundary (0 unless the scenario uses per-phase design assignments).
+    pub swapped_onis: usize,
+    /// Scheme switches taken in the storm window after the boundary — the
+    /// epochs in `[epoch, epoch + 8)`, truncated at the next transition.
+    /// The re-tuning cost of swapping the fleet mid-run.
+    pub storm_switches: u64,
 }
 
 /// When and how the runtime manager re-decides a channel's operating point.
@@ -255,6 +280,13 @@ pub struct DesignAssignmentConfig {
     pub strategy: AssignmentStrategy,
     /// Base seed of the refinement search; each ONI derives its own.
     pub seed: u64,
+    /// Derive one assignment fleet **per schedule phase** (each searched
+    /// against that phase's own steady-state heat map,
+    /// [`ThermalModelSpec::phase_design_temperatures`]) instead of a single
+    /// fleet against the worst-case fold.  The epoch-gated engine swaps
+    /// fleets hitlessly at phase boundaries.  With a single-phase (or
+    /// unscheduled) thermal model this degenerates to the worst-case fleet.
+    pub per_phase: bool,
 }
 
 impl DesignAssignmentConfig {
@@ -264,7 +296,16 @@ impl DesignAssignmentConfig {
         Self {
             strategy: AssignmentStrategy::GreedyRefine,
             seed,
+            per_phase: false,
         }
+    }
+
+    /// Switches to one assignment fleet per schedule phase (see
+    /// [`DesignAssignmentConfig::per_phase`]).
+    #[must_use]
+    pub fn per_phase(mut self) -> Self {
+        self.per_phase = true;
+        self
     }
 
     /// The assigner seed of destination `oni` (SplitMix64 of `(seed, oni)`,
@@ -741,6 +782,22 @@ impl ScenarioBuilder {
         self.thermal_model(ThermalModelSpec::WorkloadHeated { network, traces })
     }
 
+    /// Heats the run with the link's dissipation plus a phase-scheduled
+    /// DVFS workload: per-ONI heat-injection traces that change at phase
+    /// boundaries ([`onoc_thermal::WorkloadSchedule`] — diurnal power
+    /// levels, task migration between clusters).  The epoch-gated engine
+    /// clamps epochs to the phase boundaries and, with
+    /// [`DesignAssignmentConfig::per_phase`], swaps each ONI's wavelength
+    /// assignment hitlessly as its phase begins.
+    #[must_use]
+    pub fn workload_scheduled(
+        self,
+        network: RcNetworkParameters,
+        schedule: WorkloadSchedule,
+    ) -> Self {
+        self.thermal_model(ThermalModelSpec::WorkloadScheduled { network, schedule })
+    }
+
     /// Sets the decision policy explicitly (the default follows the thermal
     /// model: prescribed → per-message, coupled → epoch-gated).
     #[must_use]
@@ -1018,6 +1075,9 @@ pub struct RunReport {
     pub switch_log: Vec<SchemeSwitch>,
     /// Temperature envelope per epoch (empty under the per-message policy).
     pub trajectory: Vec<EpochSample>,
+    /// Phase boundaries crossed while playing a scheduled workload, in time
+    /// order (empty under the per-message policy or an unscheduled model).
+    pub phases: Vec<PhaseTransition>,
     /// Aggregated operating-point cache counters of the manager fleet:
     /// `misses` is the number of actual photonic-solver invocations.
     pub solver_cache: CacheCounters,
@@ -1147,10 +1207,13 @@ impl OniAccumulators {
 pub struct Scenario {
     config: ScenarioConfig,
     policy: DecisionPolicy,
-    /// One manager per destination ONI for heterogeneous fleets, or a
-    /// single shared manager (and operating-point cache) when every channel
-    /// is the same chip.
-    managers: Vec<LinkManager>,
+    /// The manager fleets, one per design phase: `managers[phase][oni]`.
+    /// All runs keep exactly one fleet unless per-phase design assignments
+    /// are configured over a scheduled model; within a fleet there is one
+    /// manager per destination ONI for heterogeneous fleets, or a single
+    /// shared manager (and operating-point cache) when every channel is the
+    /// same chip.
+    managers: Vec<Vec<LinkManager>>,
     /// Distinct operating-point decisions: the baseline of ONI 0 first,
     /// then (per-message policy) one entry per distinct decision bucket.
     decisions: Vec<ManagerDecision>,
@@ -1166,9 +1229,10 @@ pub struct Scenario {
     baselines: Vec<DecisionParams>,
     /// Epoch-gated policy: the instantiated thermal model.
     model: Option<Box<dyn ThermalModel>>,
-    /// Design-time wavelength assignments, one per ONI (empty when the
-    /// scenario runs unassigned).
-    assignments: Vec<WavelengthAssignment>,
+    /// Design-time wavelength assignments, `assignments[phase][oni]`
+    /// (empty when the scenario runs unassigned; a single phase-0 fleet
+    /// unless per-phase assignments are configured).
+    assignments: Vec<Vec<WavelengthAssignment>>,
     /// Resolved per-flow routes of the configured topology (`None` without
     /// one: the canonical ring needs no table — every flow is the single
     /// hop onto its destination's reader channel).
@@ -1254,30 +1318,56 @@ impl Scenario {
         };
         // Design-time wavelength assignment: search each ONI's permutation
         // against the thermal model's own design temperatures before the
-        // first operating point is ever solved.
-        let mut assignments: Vec<WavelengthAssignment> = Vec::new();
-        let design = config
-            .assignment
-            .map(|spec| (spec, config.thermal.design_temperatures(n)));
-        let managers: Vec<LinkManager> = (0..manager_count)
-            .map(|oni| {
-                let mut link = config
-                    .oni_link(oni, fleet_cache.as_ref())
-                    .with_telemetry(recorder.clone());
-                if let Some((spec, temperatures)) = &design {
-                    let assigner = link.wavelength_assigner(spec.strategy, spec.oni_seed(oni));
-                    let assignment = assigner
-                        .assign_traced(&link.ring_bank_state_at(temperatures[oni]), &recorder);
-                    assignments.push(assignment.clone());
-                    link = link
-                        .with_wavelength_assignment(assignment)
-                        .expect("the assigner covers the link's own wavelength grid");
+        // first operating point is ever solved.  Per-phase mode searches one
+        // fleet per schedule phase against that phase's own heat map;
+        // otherwise a single fleet is searched against the worst-case fold.
+        let design = match config.assignment {
+            Some(spec) => {
+                let maps = if spec.per_phase {
+                    config.thermal.phase_design_temperatures(n)
+                } else {
+                    config.thermal.design_temperatures(n).map(|map| vec![map])
                 }
-                LinkManager::new(
-                    link,
-                    EccScheme::paper_schemes().to_vec(),
-                    config.nominal_ber,
-                )
+                .map_err(|e| SimulationError::InvalidConfiguration {
+                    reason: e.to_string(),
+                })?;
+                Some((spec, maps))
+            }
+            None => None,
+        };
+        let phase_fleets = design.as_ref().map_or(1, |(_, maps)| maps.len());
+        let mut assignments: Vec<Vec<WavelengthAssignment>> = Vec::new();
+        let managers: Vec<Vec<LinkManager>> = (0..phase_fleets)
+            .map(|phase| {
+                let mut fleet_assignments: Vec<WavelengthAssignment> = Vec::new();
+                let fleet: Vec<LinkManager> = (0..manager_count)
+                    .map(|oni| {
+                        let mut link = config
+                            .oni_link(oni, fleet_cache.as_ref())
+                            .with_telemetry(recorder.clone());
+                        if let Some((spec, maps)) = &design {
+                            let assigner =
+                                link.wavelength_assigner(spec.strategy, spec.oni_seed(oni));
+                            let assignment = assigner.assign_traced(
+                                &link.ring_bank_state_at(maps[phase][oni]),
+                                &recorder,
+                            );
+                            fleet_assignments.push(assignment.clone());
+                            link = link
+                                .with_wavelength_assignment(assignment)
+                                .expect("the assigner covers the link's own wavelength grid");
+                        }
+                        LinkManager::new(
+                            link,
+                            EccScheme::paper_schemes().to_vec(),
+                            config.nominal_ber,
+                        )
+                    })
+                    .collect();
+                if design.is_some() {
+                    assignments.push(fleet_assignments);
+                }
+                fleet
             })
             .collect();
 
@@ -1309,7 +1399,9 @@ impl Scenario {
                 // The baseline of ONI 0's chip at the calibration ambient,
                 // then one decision per distinct (manager, temperature
                 // bucket) a message injection touches.
-                let baseline = managers[0].configure(config.class).ok_or_else(infeasible)?;
+                let baseline = managers[0][0]
+                    .configure(config.class)
+                    .ok_or_else(infeasible)?;
                 decisions.push(baseline);
                 let ThermalModelSpec::Prescribed { environment } = &config.thermal else {
                     unreachable!("validated: per-message policy implies a prescribed model");
@@ -1328,7 +1420,7 @@ impl Scenario {
                         None => {
                             let bucket_temperature =
                                 Celsius::new(bucket_centre(bucket, quantization_k));
-                            let decision = managers[key.0]
+                            let decision = managers[0][key.0]
                                 .configure_at(config.class, bucket_temperature)
                                 .ok_or_else(infeasible)?;
                             precompute_queries += 1;
@@ -1352,8 +1444,10 @@ impl Scenario {
                         (manager_index(oni), bucket_index(t0, quantization_k))
                     })
                     .collect();
+                // Initial solves run on the phase-0 fleet: the run starts
+                // inside phase 0, whatever the schedule holds later.
                 let solve = |&(midx, bucket): &(usize, i64)| {
-                    managers[midx]
+                    managers[0][midx]
                         .configure_at(
                             config.class,
                             Celsius::new(bucket_centre(bucket, quantization_k)),
@@ -1484,18 +1578,30 @@ impl Scenario {
 
     /// The design-time wavelength assignments of the fleet, one per ONI —
     /// empty when the scenario runs unassigned (see
-    /// [`ScenarioBuilder::design_assignment`]).
+    /// [`ScenarioBuilder::design_assignment`]).  With per-phase assignments
+    /// this is the phase-0 fleet; see [`Scenario::phase_assignments`].
     #[must_use]
     pub fn assignments(&self) -> &[WavelengthAssignment] {
+        self.assignments.first().map_or(&[], Vec::as_slice)
+    }
+
+    /// The design-time assignment fleets per schedule phase,
+    /// `phase_assignments()[phase][oni]` — a single entry unless
+    /// [`DesignAssignmentConfig::per_phase`] is set over a scheduled model,
+    /// empty when the scenario runs unassigned.
+    #[must_use]
+    pub fn phase_assignments(&self) -> &[Vec<WavelengthAssignment>] {
         &self.assignments
     }
 
-    /// The manager serving destination `oni`.
-    fn manager_for(&self, oni: usize) -> &LinkManager {
-        if self.managers.len() == 1 {
-            &self.managers[0]
+    /// The manager serving destination `oni` during design phase `phase`
+    /// (clamped: without per-phase fleets every phase shares fleet 0).
+    fn manager_for(&self, phase: usize, oni: usize) -> &LinkManager {
+        let fleet = &self.managers[phase.min(self.managers.len() - 1)];
+        if fleet.len() == 1 {
+            &fleet[0]
         } else {
-            &self.managers[oni]
+            &fleet[oni]
         }
     }
 
@@ -1508,6 +1614,7 @@ impl Scenario {
         }
         self.managers
             .iter()
+            .flatten()
             .fold(CacheCounters::default(), |mut total, manager| {
                 total.merge(manager.link().cache_counters());
                 total
@@ -1540,9 +1647,13 @@ impl Scenario {
             DecisionPolicy::EpochGated { .. } => self.run_epoch_gated(),
         };
         if let Some((cache, path)) = persist {
-            cache
-                .save(&path)
-                .unwrap_or_else(|e| panic!("cache snapshot {}: {e}", path.display()));
+            // A warm-started run that added no entries leaves the snapshot
+            // bytes untouched instead of rewriting the whole file.
+            if cache.is_dirty() || !path.exists() {
+                cache
+                    .save(&path)
+                    .unwrap_or_else(|e| panic!("cache snapshot {}: {e}", path.display()));
+            }
         }
         report
     }
@@ -1761,6 +1872,7 @@ impl Scenario {
             reconfigured_messages,
             switch_log,
             trajectory: Vec::new(),
+            phases: Vec::new(),
             solver_cache: self.cache_counters(),
             config: self.config,
         }
@@ -1820,10 +1932,12 @@ impl Scenario {
     /// infeasibility handling of the feedback loop.  Pure in everything but
     /// the manager's memoized cache, so heterogeneous fleets shard it
     /// across threads with bit-identical results.
+    #[allow(clippy::too_many_arguments)]
     fn reask(
         &self,
         mut channel: ChannelState,
         oni: usize,
+        phase: usize,
         t_now: f64,
         end_ns: f64,
         epoch: u64,
@@ -1838,7 +1952,7 @@ impl Scenario {
         };
         let bucket_t = bucket_centre(bucket_index(t_now, quantization_k), quantization_k);
         match self
-            .manager_for(oni)
+            .manager_for(phase, oni)
             .configure_at(self.config.class, Celsius::new(bucket_t))
         {
             Some(decision) => {
@@ -1977,14 +2091,120 @@ impl Scenario {
                 f.electrical
             });
         let mut hop_cursor: BTreeMap<MessageId, usize> = BTreeMap::new();
+        // Phase boundaries of a scheduled workload: epochs are clamped so
+        // every boundary lands exactly on an epoch edge, and per-phase
+        // assignment fleets swap as the new phase begins.  The swap is
+        // hitless by construction — grants capture the channel's operating
+        // point for the whole transfer, so in-flight traffic completes on
+        // the old phase's point while new grants ride the new one.
+        let phase_boundaries: Vec<SimTime> = match &self.config.thermal {
+            ThermalModelSpec::WorkloadScheduled { schedule, .. } => schedule
+                .phase_starts()
+                .iter()
+                .map(|&ns| SimTime::from_nanos(ns))
+                .collect(),
+            _ => vec![SimTime::ZERO],
+        };
+        let mut current_phase = 0usize;
+        let mut phases: Vec<PhaseTransition> = Vec::new();
 
         while let Some(&Reverse(next)) = queue.peek() {
+            // Enter every phase whose boundary has been reached — the
+            // preceding epoch was clamped to end exactly at the boundary,
+            // so the new phase starts on an epoch edge.
+            while current_phase + 1 < phase_boundaries.len()
+                && epoch_start >= phase_boundaries[current_phase + 1]
+            {
+                current_phase += 1;
+                let boundary_ns = phase_boundaries[current_phase].as_nanos();
+                self.recorder.emit(|| TelemetryEvent::PhaseEntered {
+                    phase: current_phase as u64,
+                    time_ns: boundary_ns,
+                    epoch: epochs,
+                });
+                // Per-phase assignment fleets: swap exactly the ONIs whose
+                // assignment changed, and force those channels to re-decide
+                // on the new fleet at their current model temperature (the
+                // new permutation changes the tuning cost, so the old
+                // operating point no longer describes the channel).
+                let mut swapped: Vec<(usize, f64)> = Vec::new();
+                if self.managers.len() > 1 {
+                    let from_fleet = &self.assignments[current_phase - 1];
+                    let to_fleet = &self.assignments[current_phase];
+                    for oni in 0..n {
+                        let from = from_fleet[oni].fingerprint();
+                        let to = to_fleet[oni].fingerprint();
+                        if from != to {
+                            self.recorder.emit(|| TelemetryEvent::AssignmentSwapped {
+                                oni: oni as u64,
+                                phase: current_phase as u64,
+                                from_fingerprint: from,
+                                to_fingerprint: to,
+                                time_ns: boundary_ns,
+                                epoch: epochs,
+                            });
+                            swapped.push((oni, model.temperature_of(oni).value()));
+                        }
+                    }
+                }
+                if !swapped.is_empty() {
+                    decisions += swapped.len() as u64;
+                    let phase_reask = |&(oni, t): &(usize, f64)| {
+                        self.reask(channels[oni], oni, current_phase, t, boundary_ns, epochs)
+                    };
+                    let outcomes: Vec<(ChannelState, Option<SchemeSwitch>, u64)> =
+                        if shard_reasks && swapped.len() > 1 {
+                            parallel_map_traced(
+                                &swapped,
+                                shards,
+                                phase_reask,
+                                &self.recorder,
+                                "phase-reask",
+                            )
+                        } else {
+                            swapped.iter().map(phase_reask).collect()
+                        };
+                    for (&(oni, _), (state, switch, infeasible)) in swapped.iter().zip(outcomes) {
+                        channels[oni] = state;
+                        decisions_per_oni[oni] += 1;
+                        if let Some(switch) = switch {
+                            self.recorder.emit(|| TelemetryEvent::SchemeSwitched {
+                                oni: switch.oni as u64,
+                                from: switch.from.to_string(),
+                                to: switch.to.to_string(),
+                                time_ns: switch.time_ns,
+                                temperature_c: switch.temperature_c,
+                                epoch: switch.epoch,
+                            });
+                            switch_log.push(switch);
+                        }
+                        infeasible_requests += infeasible;
+                        infeasible_per_oni[oni] += infeasible;
+                    }
+                }
+                phases.push(PhaseTransition {
+                    phase: current_phase,
+                    time_ns: boundary_ns,
+                    epoch: epochs,
+                    swapped_onis: swapped.len(),
+                    storm_switches: 0,
+                });
+            }
+
             // Nominal epoch boundary; long idle gaps are covered by a single
             // stretched epoch ending at the next event (the model step
             // integrates the whole gap, so nothing is lost).
             let mut epoch_end = SimTime::from_nanos(epoch_start.as_nanos() + epoch_ns);
             if next.time > epoch_end {
                 epoch_end = next.time;
+            }
+            // Clamp to the next phase boundary so the boundary is always an
+            // epoch edge.  Events exactly at the boundary still play inside
+            // the closing epoch: their grants capture the old phase's point.
+            if let Some(&boundary) = phase_boundaries.get(current_phase + 1) {
+                if epoch_start < boundary && epoch_end > boundary {
+                    epoch_end = boundary;
+                }
             }
 
             // 1. Play the event queue through this epoch.
@@ -2237,14 +2457,32 @@ impl Scenario {
                         parallel_map_traced(
                             &pending,
                             shards,
-                            |&oni| self.reask(channels[oni], oni, temps[oni], end_ns, epochs),
+                            |&oni| {
+                                self.reask(
+                                    channels[oni],
+                                    oni,
+                                    current_phase,
+                                    temps[oni],
+                                    end_ns,
+                                    epochs,
+                                )
+                            },
                             &self.recorder,
                             "epoch-reask",
                         )
                     } else {
                         pending
                             .iter()
-                            .map(|&oni| self.reask(channels[oni], oni, temps[oni], end_ns, epochs))
+                            .map(|&oni| {
+                                self.reask(
+                                    channels[oni],
+                                    oni,
+                                    current_phase,
+                                    temps[oni],
+                                    end_ns,
+                                    epochs,
+                                )
+                            })
                             .collect()
                     };
                 for (&oni, (state, switch, infeasible)) in pending.iter().zip(outcomes) {
@@ -2288,6 +2526,25 @@ impl Scenario {
         }
 
         stats.makespan_ns = makespan.as_nanos();
+        // Switch-storm accounting: the scheme flaps charged to each phase
+        // transition are those decided in the epochs right after its
+        // boundary, truncated at the next transition.
+        const STORM_WINDOW_EPOCHS: u64 = 8;
+        let window_ends: Vec<u64> = (0..phases.len())
+            .map(|index| {
+                (phases[index].epoch + STORM_WINDOW_EPOCHS)
+                    .min(phases.get(index + 1).map_or(u64::MAX, |next| next.epoch))
+            })
+            .collect();
+        for (transition, window_end) in phases.iter_mut().zip(window_ends) {
+            transition.storm_switches = switch_log
+                .iter()
+                .filter(|s| {
+                    s.epoch
+                        .is_some_and(|epoch| epoch >= transition.epoch && epoch < window_end)
+                })
+                .count() as u64;
+        }
         let per_oni = channels
             .iter()
             .enumerate()
@@ -2319,6 +2576,7 @@ impl Scenario {
             reconfigured_messages,
             switch_log,
             trajectory,
+            phases,
             solver_cache: self.cache_counters(),
             config: self.config,
         }

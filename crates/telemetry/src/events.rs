@@ -135,6 +135,34 @@ pub enum TelemetryEvent {
         /// Simulated completion time of the hop, in nanoseconds.
         time_ns: f64,
     },
+    /// The epoch-gated engine crossed into a new workload-schedule phase
+    /// at an epoch boundary.
+    PhaseEntered {
+        /// 0-based index of the phase being entered.
+        phase: u64,
+        /// Scheduled start of the phase, in nanoseconds (the epoch edge it
+        /// lands on).
+        time_ns: f64,
+        /// Index of the first epoch played inside the new phase.
+        epoch: u64,
+    },
+    /// One ONI's wavelength assignment was swapped hitlessly at a phase
+    /// boundary (in-flight transfers complete on their granted operating
+    /// points; the new mapping applies from the next grant).
+    AssignmentSwapped {
+        /// Destination ONI whose assignment changed.
+        oni: u64,
+        /// Phase whose design assignment is now active.
+        phase: u64,
+        /// Fingerprint of the assignment being retired.
+        from_fingerprint: u64,
+        /// Fingerprint of the assignment taking over.
+        to_fingerprint: u64,
+        /// Simulated time of the swap, in nanoseconds.
+        time_ns: f64,
+        /// Index of the first epoch played under the new assignment.
+        epoch: u64,
+    },
     /// One `parallel_map` worker finished its chunk.  **Wall-clock data** —
     /// explicitly non-deterministic, never counted with the deterministic
     /// metrics.
@@ -165,6 +193,8 @@ impl TelemetryEvent {
             Self::AssignmentSearchStep { .. } => "assignment_search_step",
             Self::RouteResolved { .. } => "route_resolved",
             Self::HopTraversed { .. } => "hop_traversed",
+            Self::PhaseEntered { .. } => "phase_entered",
+            Self::AssignmentSwapped { .. } => "assignment_swapped",
             Self::ShardCompleted { .. } => "shard_completed",
         }
     }
@@ -248,6 +278,19 @@ impl TelemetryEvent {
                 hop_index: 1,
                 electrical: true,
                 time_ns: 86.5,
+            },
+            Self::PhaseEntered {
+                phase: 2,
+                time_ns: 500.0,
+                epoch: 20,
+            },
+            Self::AssignmentSwapped {
+                oni: 5,
+                phase: 2,
+                from_fingerprint: 0xFEED_FACE_CAFE_BEEF,
+                to_fingerprint: 77,
+                time_ns: 500.0,
+                epoch: 20,
             },
             Self::ShardCompleted {
                 label: "epoch-reask".into(),
@@ -365,6 +408,36 @@ impl TelemetryEvent {
                 fields.push(("hop_index", (*hop_index).into()));
                 fields.push(("electrical", (*electrical).into()));
                 fields.push(("time_ns", (*time_ns).into()));
+            }
+            Self::PhaseEntered {
+                phase,
+                time_ns,
+                epoch,
+            } => {
+                fields.push(("phase", (*phase).into()));
+                fields.push(("time_ns", (*time_ns).into()));
+                fields.push(("epoch", (*epoch).into()));
+            }
+            Self::AssignmentSwapped {
+                oni,
+                phase,
+                from_fingerprint,
+                to_fingerprint,
+                time_ns,
+                epoch,
+            } => {
+                fields.push(("oni", (*oni).into()));
+                fields.push(("phase", (*phase).into()));
+                // Same exactness split as the cache fingerprints above.
+                fields.push(("from_fingerprint_hi", (from_fingerprint >> 32).into()));
+                fields.push((
+                    "from_fingerprint_lo",
+                    (from_fingerprint & 0xFFFF_FFFF).into(),
+                ));
+                fields.push(("to_fingerprint_hi", (to_fingerprint >> 32).into()));
+                fields.push(("to_fingerprint_lo", (to_fingerprint & 0xFFFF_FFFF).into()));
+                fields.push(("time_ns", (*time_ns).into()));
+                fields.push(("epoch", (*epoch).into()));
             }
             Self::ShardCompleted {
                 label,
@@ -486,6 +559,21 @@ impl TelemetryEvent {
                 electrical: bool_field("electrical")?,
                 time_ns: f64_field("time_ns")?,
             }),
+            "phase_entered" => Ok(Self::PhaseEntered {
+                phase: u64_field("phase")?,
+                time_ns: f64_field("time_ns")?,
+                epoch: u64_field("epoch")?,
+            }),
+            "assignment_swapped" => Ok(Self::AssignmentSwapped {
+                oni: u64_field("oni")?,
+                phase: u64_field("phase")?,
+                from_fingerprint: (u64_field("from_fingerprint_hi")? << 32)
+                    | u64_field("from_fingerprint_lo")?,
+                to_fingerprint: (u64_field("to_fingerprint_hi")? << 32)
+                    | u64_field("to_fingerprint_lo")?,
+                time_ns: f64_field("time_ns")?,
+                epoch: u64_field("epoch")?,
+            }),
             "shard_completed" => Ok(Self::ShardCompleted {
                 label: str_field("label")?,
                 shard: u64_field("shard")?,
@@ -515,7 +603,7 @@ mod tests {
     fn kinds_are_distinct_and_tagged() {
         let examples = TelemetryEvent::examples();
         let kinds: std::collections::HashSet<_> = examples.iter().map(|e| e.kind()).collect();
-        assert_eq!(kinds.len(), 10, "one kind per variant");
+        assert_eq!(kinds.len(), 12, "one kind per variant");
         for event in &examples {
             assert_eq!(
                 event.to_json().get("type").and_then(Json::as_str),

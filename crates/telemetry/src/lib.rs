@@ -625,6 +625,10 @@ impl Recorder for RegistryRecorder {
                     *candidate_cost_uw,
                 );
             }
+            TelemetryEvent::PhaseEntered { .. } => self.metrics.increment("phase.entries"),
+            TelemetryEvent::AssignmentSwapped { .. } => {
+                self.metrics.increment("assignment.swaps");
+            }
         }
         if let Some(forward) = &self.forward {
             forward.record(event);

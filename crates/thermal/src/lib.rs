@@ -82,6 +82,7 @@ pub mod bank;
 pub mod drift;
 pub mod environment;
 pub mod model;
+pub mod schedule;
 pub mod tuning;
 
 pub use activity::{ActivityCoupledEnvironment, RcNetworkParameters};
@@ -90,6 +91,8 @@ pub use bank::{BankCompensation, BankTuningMode, FabricationVariation, RingBankS
 pub use drift::{ResonanceDrift, RingThermalModel};
 pub use environment::ThermalEnvironment;
 pub use model::{
-    PrescribedEnvironment, ThermalModel, ThermalModelSpec, WorkloadHeatedEnvironment, WorkloadTrace,
+    PrescribedEnvironment, ScheduledWorkloadEnvironment, ThermalModel, ThermalModelError,
+    ThermalModelSpec, WorkloadHeatedEnvironment, WorkloadTrace,
 };
+pub use schedule::{WorkloadPhase, WorkloadSchedule};
 pub use tuning::{ThermalCompensation, ThermalTuner, TuningPolicy};

@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activity::{ActivityCoupledEnvironment, RcNetworkParameters};
 use crate::environment::ThermalEnvironment;
+use crate::schedule::WorkloadSchedule;
 
 /// A stepped temperature field over the ONIs: the single substrate the NoC
 /// simulator's epoch engine drives, whatever physics produces the
@@ -213,8 +214,18 @@ impl WorkloadTrace {
 
     /// Exact time-average of the injected power over `[from_ns, to_ns]`, in
     /// mW (equal to [`WorkloadTrace::power_at`] for a degenerate interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is inverted (`from_ns > to_ns`) — an inverted
+    /// interval is always a caller bug (a negative epoch span), and silently
+    /// answering with the instantaneous power would hide it.
     #[must_use]
     pub fn mean_power_mw(&self, from_ns: f64, to_ns: f64) -> f64 {
+        assert!(
+            from_ns.partial_cmp(&to_ns) != Some(std::cmp::Ordering::Greater),
+            "workload power interval must not be inverted, got [{from_ns}, {to_ns}]"
+        );
         let span = to_ns - from_ns;
         if span <= 0.0 {
             return self.power_at(from_ns);
@@ -247,6 +258,13 @@ impl WorkloadTrace {
             return Err(format!(
                 "workload burst window must not end before it starts, got [{}, {})",
                 self.burst_start_ns, self.burst_stop_ns
+            ));
+        }
+        if self.burst_mw > 0.0 && self.burst_stop_ns == self.burst_start_ns {
+            return Err(format!(
+                "workload burst window [{0}, {0}) is zero-length and can never fire; \
+                 set burst_mw to zero for a steady trace",
+                self.burst_start_ns
             ));
         }
         Ok(())
@@ -368,6 +386,116 @@ impl ThermalModel for WorkloadHeatedEnvironment {
     }
 }
 
+/// The RC network driven by a piecewise [`WorkloadSchedule`] superimposed
+/// on the link's own dissipation: the [`WorkloadHeatedEnvironment`] of a
+/// *scheduled* workload.  DVFS phase steps, task migration between clusters
+/// and diurnal curves all play through this one model; within any single
+/// phase it integrates exactly like the plain workload-heated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledWorkloadEnvironment {
+    network: ActivityCoupledEnvironment,
+    schedule: WorkloadSchedule,
+    time_ns: f64,
+}
+
+impl ScheduledWorkloadEnvironment {
+    /// Creates the network over `schedule` (whose phases fix the ONI
+    /// count), every node at the package ambient and the clock at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid (see
+    /// [`WorkloadSchedule::validate`]) or the network parameters are
+    /// invalid.
+    #[must_use]
+    pub fn new(parameters: RcNetworkParameters, schedule: WorkloadSchedule) -> Self {
+        assert!(
+            !schedule.phases.is_empty(),
+            "a workload schedule needs at least one phase"
+        );
+        let oni_count = schedule.phases[0].traces.len();
+        schedule
+            .validate(oni_count)
+            .unwrap_or_else(|reason| panic!("invalid workload schedule: {reason}"));
+        Self {
+            network: ActivityCoupledEnvironment::new(oni_count, parameters),
+            schedule,
+            time_ns: 0.0,
+        }
+    }
+
+    /// The underlying RC network.
+    #[must_use]
+    pub fn network(&self) -> &ActivityCoupledEnvironment {
+        &self.network
+    }
+
+    /// The workload schedule being played.
+    #[must_use]
+    pub fn schedule(&self) -> &WorkloadSchedule {
+        &self.schedule
+    }
+
+    /// Current simulated time, in nanoseconds.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        self.time_ns
+    }
+}
+
+impl ThermalModel for ScheduledWorkloadEnvironment {
+    fn oni_count(&self) -> usize {
+        self.network.oni_count()
+    }
+
+    fn temperature_of(&self, oni: usize) -> Celsius {
+        self.network.temperature_of(oni)
+    }
+
+    fn advance(&mut self, deposited_power_mw: &[f64], dt_ns: f64) {
+        assert_eq!(
+            deposited_power_mw.len(),
+            self.network.oni_count(),
+            "one power entry per ONI is required"
+        );
+        let to_ns = self.time_ns + dt_ns;
+        let powers: Vec<f64> = deposited_power_mw
+            .iter()
+            .enumerate()
+            .map(|(oni, &link_mw)| link_mw + self.schedule.mean_power_mw(oni, self.time_ns, to_ns))
+            .collect();
+        self.network.step(&powers, dt_ns);
+        self.time_ns = to_ns;
+    }
+
+    fn is_activity_coupled(&self) -> bool {
+        true
+    }
+}
+
+/// Why a [`ThermalModelSpec`] design-time query could not be answered:
+/// the typed form of [`ThermalModelSpec::validate`]'s failure, so library
+/// callers (the scenario builder's design-assignment path) can propagate it
+/// instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThermalModelError {
+    /// The spec cannot describe a model for the requested ONI count.
+    InvalidSpec {
+        /// Human-readable reason, matching [`ThermalModelSpec::validate`].
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ThermalModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidSpec { reason } => write!(f, "invalid thermal model spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalModelError {}
+
 /// The serializable description of a [`ThermalModel`]: what a scenario
 /// configuration carries, instantiated into the stateful model when the run
 /// starts.
@@ -389,6 +517,14 @@ pub enum ThermalModelSpec {
         network: RcNetworkParameters,
         /// One heat-injection trace per ONI.
         traces: Vec<WorkloadTrace>,
+    },
+    /// The RC network driven by a piecewise workload schedule (DVFS phases,
+    /// task migration, diurnal curves) superimposed on link dissipation.
+    WorkloadScheduled {
+        /// Physical parameters of the RC network.
+        network: RcNetworkParameters,
+        /// The phased workload played over the run.
+        schedule: WorkloadSchedule,
     },
 }
 
@@ -433,6 +569,10 @@ impl ThermalModelSpec {
                 }
                 Ok(())
             }
+            Self::WorkloadScheduled { network, schedule } => {
+                network.validate()?;
+                schedule.validate(oni_count)
+            }
         }
     }
 
@@ -450,32 +590,70 @@ impl ThermalModelSpec {
     /// * the workload-heated network reports the steady state its workload
     ///   traces alone drive it to: the model is advanced 40 time constants
     ///   with zero link power and sampled, so lateral spreading through the
-    ///   interposer is included exactly as the runtime model sees it.
+    ///   interposer is included exactly as the runtime model sees it;
+    /// * the workload-scheduled network reports, per ONI, the **worst case
+    ///   over its phases** — the hottest each node gets across every
+    ///   phase's steady-state map.  A single assignment designed against
+    ///   this map is safe in every phase, at the price per-phase
+    ///   assignments ([`ThermalModelSpec::phase_design_temperatures`])
+    ///   avoid.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the spec is invalid for `oni_count` ONIs (see
-    /// [`ThermalModelSpec::validate`]).
-    #[must_use]
-    pub fn design_temperatures(&self, oni_count: usize) -> Vec<Celsius> {
+    /// Returns [`ThermalModelError::InvalidSpec`] when the spec is invalid
+    /// for `oni_count` ONIs (see [`ThermalModelSpec::validate`]).
+    pub fn design_temperatures(&self, oni_count: usize) -> Result<Vec<Celsius>, ThermalModelError> {
+        let maps = self.phase_design_temperatures(oni_count)?;
+        let mut iter = maps.into_iter();
+        let mut worst = iter
+            .next()
+            .unwrap_or_else(|| unreachable!("a validated spec has at least one design map"));
+        for map in iter {
+            for (seen, candidate) in worst.iter_mut().zip(map) {
+                if candidate > *seen {
+                    *seen = candidate;
+                }
+            }
+        }
+        Ok(worst)
+    }
+
+    /// The per-ONI design-point temperatures of **each phase** of the
+    /// described model: one heat map per schedule phase for
+    /// [`ThermalModelSpec::WorkloadScheduled`] (each phase's traces alone,
+    /// advanced 40 time constants in phase-relative time with zero link
+    /// power — exactly the [`ThermalModelSpec::WorkloadHeated`] design
+    /// computation applied per phase), and a single map (equal to
+    /// [`ThermalModelSpec::design_temperatures`]) for every unscheduled
+    /// family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalModelError::InvalidSpec`] when the spec is invalid
+    /// for `oni_count` ONIs (see [`ThermalModelSpec::validate`]).
+    pub fn phase_design_temperatures(
+        &self,
+        oni_count: usize,
+    ) -> Result<Vec<Vec<Celsius>>, ThermalModelError> {
         self.validate(oni_count)
-            .unwrap_or_else(|reason| panic!("invalid thermal model spec: {reason}"));
-        match self {
-            Self::Prescribed { environment } => match *environment {
+            .map_err(|reason| ThermalModelError::InvalidSpec { reason })?;
+        Ok(match self {
+            Self::Prescribed { environment } => vec![match *environment {
                 ThermalEnvironment::Transient { target, .. } => vec![target; oni_count],
                 _ => (0..oni_count)
                     .map(|oni| environment.temperature_at(oni, oni_count, 0.0))
                     .collect(),
-            },
-            Self::ActivityCoupled { network } => vec![network.ambient; oni_count],
+            }],
+            Self::ActivityCoupled { network } => vec![vec![network.ambient; oni_count]],
             Self::WorkloadHeated { network, traces } => {
-                let mut model = WorkloadHeatedEnvironment::new(*network, traces.clone());
-                model.advance(&vec![0.0; oni_count], network.time_constant_ns() * 40.0);
-                (0..oni_count)
-                    .map(|oni| ThermalModel::temperature_of(&model, oni))
-                    .collect()
+                vec![steady_workload_map(*network, traces.clone(), oni_count)]
             }
-        }
+            Self::WorkloadScheduled { network, schedule } => schedule
+                .phases
+                .iter()
+                .map(|phase| steady_workload_map(*network, phase.traces.clone(), oni_count))
+                .collect(),
+        })
     }
 
     /// Builds the stateful model for `oni_count` ONIs, with prescribed
@@ -498,8 +676,27 @@ impl ThermalModelSpec {
             Self::WorkloadHeated { network, traces } => {
                 Box::new(WorkloadHeatedEnvironment::new(*network, traces.clone()))
             }
+            Self::WorkloadScheduled { network, schedule } => Box::new(
+                ScheduledWorkloadEnvironment::new(*network, schedule.clone()),
+            ),
         }
     }
+}
+
+/// The steady state the given workload traces alone drive the RC network
+/// to: advanced 40 time constants with zero link power and sampled — the
+/// shared design-map computation of the workload-heated and
+/// workload-scheduled families.
+fn steady_workload_map(
+    network: RcNetworkParameters,
+    traces: Vec<WorkloadTrace>,
+    oni_count: usize,
+) -> Vec<Celsius> {
+    let mut model = WorkloadHeatedEnvironment::new(network, traces);
+    model.advance(&vec![0.0; oni_count], network.time_constant_ns() * 40.0);
+    (0..oni_count)
+        .map(|oni| ThermalModel::temperature_of(&model, oni))
+        .collect()
 }
 
 impl Default for ThermalModelSpec {
@@ -676,6 +873,7 @@ mod tests {
         // Uniform prescribed: the fixed ambient everywhere.
         assert!(ThermalModelSpec::paper_ambient()
             .design_temperatures(4)
+            .expect("valid spec")
             .iter()
             .all(|t| (t.value() - 25.0).abs() < 1e-12));
         // Transient: the asymptotic target, not the start.
@@ -688,6 +886,7 @@ mod tests {
         };
         assert!(transient
             .design_temperatures(3)
+            .expect("valid spec")
             .iter()
             .all(|t| (t.value() - 85.0).abs() < 1e-12));
         // Hotspot: the static per-ONI gradient.
@@ -699,7 +898,7 @@ mod tests {
                 decay_per_hop: 0.5,
             },
         };
-        let temps = hotspot.design_temperatures(6);
+        let temps = hotspot.design_temperatures(6).expect("valid spec");
         assert!((temps[1].value() - 80.0).abs() < 1e-12);
         assert!(temps[1] > temps[2] && temps[2] > temps[4]);
         // Activity-coupled: the package ambient (no workload knowledge).
@@ -708,6 +907,7 @@ mod tests {
         };
         assert!(coupled
             .design_temperatures(4)
+            .expect("valid spec")
             .iter()
             .all(|t| (t.value() - 25.0).abs() < 1e-12));
         // Workload-heated: matches an explicit 40 τ advance of the model.
@@ -717,7 +917,7 @@ mod tests {
             network: params,
             traces: traces.clone(),
         };
-        let designed = spec.design_temperatures(8);
+        let designed = spec.design_temperatures(8).expect("valid spec");
         let mut reference = WorkloadHeatedEnvironment::new(params, traces);
         reference.advance(&[0.0; 8], params.time_constant_ns() * 40.0);
         for (oni, t) in designed.iter().enumerate() {
@@ -739,5 +939,132 @@ mod tests {
             RcNetworkParameters::paper_package(),
             vec![WorkloadTrace::constant(f64::INFINITY)],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_power_intervals_panic() {
+        let _ = WorkloadTrace::constant(10.0).mean_power_mw(100.0, 50.0);
+    }
+
+    #[test]
+    fn zero_length_burst_windows_are_rejected() {
+        // A burst that can never fire is a spec bug...
+        assert!(WorkloadTrace::burst(50.0, 10.0, 10.0)
+            .validate()
+            .unwrap_err()
+            .contains("zero-length"));
+        // ...but the canonical steady traces carry a zero-power [0, 0)
+        // window and must stay valid.
+        assert!(WorkloadTrace::constant(10.0).validate().is_ok());
+        assert!(WorkloadTrace::idle().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_surface_a_typed_error_instead_of_panicking() {
+        let workload = ThermalModelSpec::WorkloadHeated {
+            network: RcNetworkParameters::paper_package(),
+            traces: WorkloadTrace::hot_cluster(4, 0, 100.0, 0.5),
+        };
+        let error = workload.design_temperatures(5).unwrap_err();
+        assert!(matches!(
+            &error,
+            ThermalModelError::InvalidSpec { reason } if reason.contains("one trace per ONI")
+        ));
+        assert!(error.to_string().contains("invalid thermal model spec"));
+        assert!(workload.phase_design_temperatures(5).is_err());
+    }
+
+    #[test]
+    fn scheduled_spec_validates_instantiates_and_steps() {
+        use crate::schedule::{WorkloadPhase, WorkloadSchedule};
+        let params = RcNetworkParameters::paper_package();
+        let schedule =
+            WorkloadSchedule::migration(6, params.time_constant_ns() * 40.0, &[1, 4], 300.0, 0.4);
+        let spec = ThermalModelSpec::WorkloadScheduled {
+            network: params,
+            schedule: schedule.clone(),
+        };
+        assert!(spec.validate(6).is_ok());
+        assert!(spec.is_activity_coupled());
+        assert!(spec.validate(3).unwrap_err().contains("one trace per ONI"));
+
+        let mut model = spec.instantiate(6);
+        assert_eq!(model.oni_count(), 6);
+        // Settle phase 0: the cluster sits on ONI 1.
+        model.advance(&[0.0; 6], params.time_constant_ns() * 40.0);
+        assert!(model.temperature_of(1) > model.temperature_of(4));
+        // Settle phase 1: the cluster has migrated to ONI 4.
+        model.advance(&[0.0; 6], params.time_constant_ns() * 40.0);
+        assert!(model.temperature_of(4) > model.temperature_of(1));
+
+        let zero_length = ThermalModelSpec::WorkloadScheduled {
+            network: params,
+            schedule: WorkloadSchedule::new(vec![WorkloadPhase::new(
+                0.0,
+                vec![WorkloadTrace::idle(); 6],
+            )]),
+        };
+        assert!(zero_length.validate(6).unwrap_err().contains("zero-length"));
+    }
+
+    #[test]
+    fn scheduled_design_maps_cover_each_phase_and_fold_to_the_worst_case() {
+        use crate::schedule::WorkloadSchedule;
+        let params = RcNetworkParameters::paper_package();
+        let spec = ThermalModelSpec::WorkloadScheduled {
+            network: params,
+            schedule: WorkloadSchedule::migration(6, 1000.0, &[1, 4], 300.0, 0.4),
+        };
+        let maps = spec.phase_design_temperatures(6).expect("valid spec");
+        assert_eq!(maps.len(), 2);
+        // Each phase map matches the equivalent workload-heated design map.
+        for (map, center) in maps.iter().zip([1usize, 4]) {
+            let heated = ThermalModelSpec::WorkloadHeated {
+                network: params,
+                traces: WorkloadTrace::hot_cluster(6, center, 300.0, 0.4),
+            };
+            let reference = heated.design_temperatures(6).expect("valid spec");
+            for (oni, t) in map.iter().enumerate() {
+                assert_eq!(t.value().to_bits(), reference[oni].value().to_bits());
+            }
+        }
+        // The single-map query folds the per-ONI maximum over the phases.
+        let worst = spec.design_temperatures(6).expect("valid spec");
+        for oni in 0..6 {
+            let expected = if maps[0][oni] > maps[1][oni] {
+                maps[0][oni]
+            } else {
+                maps[1][oni]
+            };
+            assert_eq!(worst[oni].value().to_bits(), expected.value().to_bits());
+        }
+        assert!(worst[1] > worst[2], "both cluster centres stay hot");
+        assert!(worst[4] > worst[2]);
+    }
+
+    #[test]
+    fn single_phase_schedule_steps_bit_identically_to_the_plain_traces() {
+        let params = RcNetworkParameters::paper_package();
+        let traces = WorkloadTrace::hot_cluster(4, 1, 150.0, 0.5);
+        let mut scheduled = ScheduledWorkloadEnvironment::new(
+            params,
+            crate::schedule::WorkloadSchedule::single(traces.clone()),
+        );
+        let mut plain = WorkloadHeatedEnvironment::new(params, traces);
+        for step in 0..50 {
+            let power = [3.0 + step as f64, 0.5, 7.0, 0.0];
+            scheduled.advance(&power, 40.0);
+            plain.advance(&power, 40.0);
+        }
+        for oni in 0..4 {
+            assert_eq!(
+                ThermalModel::temperature_of(&scheduled, oni)
+                    .value()
+                    .to_bits(),
+                ThermalModel::temperature_of(&plain, oni).value().to_bits(),
+                "ONI {oni}"
+            );
+        }
     }
 }

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         network: RcNetworkParameters::paper_package(),
         traces: WorkloadTrace::hot_cluster(ONIS, 2, 300.0, 0.4),
     };
-    let design = spec.design_temperatures(ONIS);
+    let design = spec.design_temperatures(ONIS)?;
     println!("Workload heat map (300 mW cluster at ONI 2), design temperatures:");
     let temps: Vec<String> = design.iter().map(|t| format!("{:.1}", t.value())).collect();
     println!("  [{}] degC\n", temps.join(", "));

@@ -174,6 +174,7 @@ fn scenario_assignment_is_reproducible_and_seed_sensitive() {
             .design_assignment(DesignAssignmentConfig {
                 strategy: AssignmentStrategy::GreedyRefine,
                 seed,
+                per_phase: false,
             })
             .build()
             .unwrap()

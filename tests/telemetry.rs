@@ -92,7 +92,7 @@ fn jsonl_round_trips_every_event_variant() {
     // `examples()` is the vocabulary: every variant must appear.
     let kinds: std::collections::BTreeSet<&'static str> =
         examples.iter().map(TelemetryEvent::kind).collect();
-    assert_eq!(kinds.len(), 10, "one exemplar kind per event variant");
+    assert_eq!(kinds.len(), 12, "one exemplar kind per event variant");
 
     let recorder = JsonlRecorder::new(Vec::new());
     for event in &examples {

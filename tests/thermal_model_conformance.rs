@@ -16,7 +16,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use onoc_ecc::thermal::{RcNetworkParameters, ThermalEnvironment, ThermalModelSpec, WorkloadTrace};
+use onoc_ecc::thermal::{
+    RcNetworkParameters, ThermalEnvironment, ThermalModelSpec, WorkloadSchedule, WorkloadTrace,
+};
 use onoc_ecc::units::Celsius;
 
 const ONI_COUNT: usize = 6;
@@ -46,6 +48,13 @@ fn specs() -> Vec<(&'static str, ThermalModelSpec)> {
             ThermalModelSpec::WorkloadHeated {
                 network: RcNetworkParameters::paper_package(),
                 traces: WorkloadTrace::hot_cluster(ONI_COUNT, 2, 250.0, 0.5),
+            },
+        ),
+        (
+            "workload-scheduled",
+            ThermalModelSpec::WorkloadScheduled {
+                network: RcNetworkParameters::paper_package(),
+                schedule: WorkloadSchedule::migration(ONI_COUNT, 800.0, &[1, 4], 250.0, 0.5),
             },
         ),
     ]
@@ -200,6 +209,16 @@ fn non_finite_temperatures_are_rejected_at_the_spec() {
             ThermalModelSpec::WorkloadHeated {
                 network: RcNetworkParameters::paper_package(),
                 traces: vec![WorkloadTrace::constant(f64::INFINITY); ONI_COUNT],
+            },
+        ),
+        (
+            "workload-scheduled (infinite phase trace)",
+            ThermalModelSpec::WorkloadScheduled {
+                network: RcNetworkParameters::paper_package(),
+                schedule: WorkloadSchedule::single(vec![
+                    WorkloadTrace::constant(f64::INFINITY);
+                    ONI_COUNT
+                ]),
             },
         ),
     ];
